@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction bench binaries. Each binary
+// regenerates one artefact of the paper's evaluation (see DESIGN.md) and
+// prints the series plus a paper-vs-measured comparison; the raw series is
+// also written to bench_out/<name>.csv for plotting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace rups::bench {
+
+/// Query/sample count scale factor: RUPS_BENCH_SCALE=2 doubles every
+/// campaign; 0.25 quarters it for smoke runs. Default 1.
+inline double scale() {
+  if (const char* env = std::getenv("RUPS_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const double s = scale() * static_cast<double>(n);
+  return s < 1.0 ? 1 : static_cast<std::size_t>(s);
+}
+
+/// CSV sink under bench_out/.
+inline rups::util::CsvWriter csv_out(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return rups::util::CsvWriter(std::filesystem::path("bench_out") /
+                               (name + ".csv"));
+}
+
+inline void header(const char* figure, const char* title) {
+  std::printf("================================================================\n");
+  std::printf("RUPS reproduction | %s: %s\n", figure, title);
+  std::printf("================================================================\n");
+}
+
+inline void paper_vs_measured(const char* what, double paper, double measured,
+                              const char* unit) {
+  std::printf("  %-46s paper %7.2f %-4s | measured %7.2f %-4s\n", what, paper,
+              unit, measured, unit);
+}
+
+inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+}  // namespace rups::bench

@@ -1,0 +1,99 @@
+// Fig 11: average RDE and SYN error with 95% confidence intervals under
+// dynamic environments (2-lane suburb / 4-lane urban same lane / 8-lane
+// urban same lane / 8-lane distinct lanes) x radio configurations
+// (1f/1f, 4f/4f, 4c/4f). Selective average over 5 SYN points (Sec. VI-C).
+//
+// Expected shape: best accuracy with 4 front radios; stable (<~4.5 m)
+// across environments in the paper's configuration; distinct lanes degrade
+// SYN error to ~10 m.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_campaign.hpp"
+#include "util/stats.hpp"
+
+using namespace rups;
+
+int main() {
+  bench::header("Fig 11", "RDE and SYN error across environments x radios");
+
+  struct EnvCase {
+    const char* label;
+    road::EnvironmentType env;
+    bool distinct_lanes;
+  };
+  const EnvCase envs[] = {
+      {"2-lane suburb", road::EnvironmentType::kTwoLaneSuburb, false},
+      {"4-lane urban, same lane", road::EnvironmentType::kFourLaneUrban, false},
+      {"8-lane urban, same lane", road::EnvironmentType::kEightLaneUrban, false},
+      {"8-lane urban, distinct lanes", road::EnvironmentType::kEightLaneUrban,
+       true},
+  };
+  struct RadioCase {
+    const char* label;
+    int front, rear;
+    sensors::RadioPlacement rear_placement;
+  };
+  const RadioCase radios[] = {
+      {"1 front, 1 front", 1, 1, sensors::RadioPlacement::kFrontPanel},
+      {"4 front, 4 front", 4, 4, sensors::RadioPlacement::kFrontPanel},
+      {"4 central, 4 front", 4, 4, sensors::RadioPlacement::kCenter},
+  };
+
+  const std::size_t queries = bench::scaled(120);
+  auto csv = bench::csv_out("fig11_environments");
+  csv.row(std::vector<std::string>{"environment", "radios", "mean_rde_m",
+                                   "rde_ci95_m", "mean_syn_err_m",
+                                   "syn_ci95_m"});
+
+  double best_config_worst_rde = 0.0;   // max over envs for 4f/4f
+  double best_config_sum = 0.0;
+  double one_radio_sum = 0.0;
+  double distinct_lane_syn = 0.0;
+  std::uint64_t seed = 300;
+  for (const auto& e : envs) {
+    std::printf("  %s\n", e.label);
+    for (const auto& r : radios) {
+      auto scenario = bench::paper_scenario(seed++, e.env, e.distinct_lanes);
+      scenario.rups.syn.syn_points = 5;
+      bench::set_radios(scenario, r.front, r.rear, r.rear_placement);
+      const auto result = bench::run(scenario, queries);
+
+      util::RunningStats rde, syn;
+      for (double v : result.rups_errors()) rde.add(v);
+      for (double v : result.syn_errors()) syn.add(v);
+      std::printf(
+          "    %-20s RDE %6.2f +- %5.2f m   SYN err %6.2f +- %5.2f m   (n=%zu)\n",
+          r.label, rde.mean(), rde.ci95_halfwidth(), syn.mean(),
+          syn.ci95_halfwidth(), rde.count());
+      csv.row(std::vector<std::string>{
+          e.label, r.label, std::to_string(rde.mean()),
+          std::to_string(rde.ci95_halfwidth()), std::to_string(syn.mean()),
+          std::to_string(syn.ci95_halfwidth())});
+
+      if (std::string(r.label) == "4 front, 4 front") {
+        best_config_sum += rde.mean();
+        if (!e.distinct_lanes && rde.mean() > best_config_worst_rde) {
+          best_config_worst_rde = rde.mean();
+        }
+        if (e.distinct_lanes) distinct_lane_syn = syn.mean();
+      }
+      if (std::string(r.label) == "1 front, 1 front" && !e.distinct_lanes) {
+        one_radio_sum += rde.mean();
+      }
+    }
+  }
+
+  bench::paper_vs_measured("worst same-lane mean RDE, 4f/4f", 4.5,
+                           best_config_worst_rde, "m");
+  bench::paper_vs_measured("distinct-lane SYN error, 4f/4f", 10.0,
+                           distinct_lane_syn, "m");
+  const bool pass = best_config_worst_rde < 8.0 &&
+                    best_config_sum / 4.0 < one_radio_sum / 3.0 + 2.0 &&
+                    distinct_lane_syn > best_config_worst_rde;
+  std::printf("  shape check: stable same-lane accuracy, 4f best, distinct lanes degrade: %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

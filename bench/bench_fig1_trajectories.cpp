@@ -1,0 +1,81 @@
+// Fig 1: R-GSM-900 power measurements on two different roads, with the
+// first road entered twice — the qualitative demonstration that GSM-aware
+// trajectories repeat on the same road and differ across roads.
+//
+// Prints summary statistics and dumps the three 150 m x full-band
+// spectrograms to bench_out/fig1_*.csv.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/correlation.hpp"
+#include "gsm/gsm_field.hpp"
+#include "road/road_network.hpp"
+#include "sim/survey.hpp"
+
+using namespace rups;
+
+namespace {
+
+void dump(const char* name, const core::ContextTrajectory& traj) {
+  auto csv = bench::csv_out(name);
+  std::vector<std::string> head{"metre"};
+  for (std::size_t c = 0; c < traj.channels(); ++c) {
+    head.push_back("ch" + std::to_string(c));
+  }
+  csv.row(head);
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    std::vector<double> row{static_cast<double>(i)};
+    for (std::size_t c = 0; c < traj.channels(); ++c) {
+      row.push_back(traj.power(i).at(c));
+    }
+    csv.row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig 1", "GSM-aware trajectories: two roads, road 1 twice");
+
+  const auto plan = gsm::ChannelPlan::full_r_gsm_900();
+  gsm::GsmField field(2016, plan);
+  sim::GsmSurvey survey(&field);
+  const auto net = road::RoadNetwork::generate(
+      7, 2, 150.0,
+      {road::EnvironmentType::kFourLaneUrban,
+       road::EnvironmentType::kEightLaneUrban});
+
+  // Road 1 entered twice (30 min apart), road 2 once — the paper's setup.
+  const auto road1_entry1 =
+      survey.collect_trajectory(net.segment(0), 0.0, 150.0, 1, 0.0);
+  const auto road1_entry2 =
+      survey.collect_trajectory(net.segment(0), 0.0, 150.0, 1, 1800.0);
+  const auto road2 =
+      survey.collect_trajectory(net.segment(1), 0.0, 150.0, 1, 0.0);
+
+  dump("fig1_road1_entry1", road1_entry1);
+  dump("fig1_road1_entry2", road1_entry2);
+  dump("fig1_road2", road2);
+
+  std::vector<std::size_t> channels(plan.size());
+  std::iota(channels.begin(), channels.end(), 0);
+  const double same_road = core::trajectory_correlation(
+      {&road1_entry1, 0}, {&road1_entry2, 0}, 150, channels);
+  const double diff_road = core::trajectory_correlation(
+      {&road1_entry1, 0}, {&road2, 0}, 150, channels);
+
+  std::printf("  trajectory correlation, road 1 vs road 1 (30 min later): %.3f\n",
+              same_road);
+  std::printf("  trajectory correlation, road 1 vs road 2:                %.3f\n",
+              diff_road);
+  bench::note("paper shows the same qualitative contrast (visual figure):");
+  bench::note("same road at different times ~similar, different roads distinct");
+  std::printf("  shape check: same-road corr >> different-road corr: %s\n",
+              same_road > diff_road + 0.5 ? "PASS" : "FAIL");
+  std::printf("  spectrograms written to bench_out/fig1_*.csv\n");
+  return same_road > diff_road + 0.5 ? 0 : 1;
+}

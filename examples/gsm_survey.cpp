@@ -1,0 +1,77 @@
+// GSM survey tool: reproduces the paper's Sec. III field methodology on the
+// synthetic radio environment — collect GSM-aware trajectories over sampled
+// road segments and report the three temporal-spatial properties that make
+// them usable as temporary fingerprints: temporary stability, geographical
+// uniqueness, fine resolution.
+//
+//   $ ./gsm_survey [seed] [segments]
+//
+// Useful both as a demonstration of the survey API and as a quick check of
+// any re-calibrated radio-environment profile.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gsm/gsm_field.hpp"
+#include "road/road_network.hpp"
+#include "sim/survey.hpp"
+#include "util/stats.hpp"
+
+using namespace rups;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2016;
+  const std::size_t segments =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 40;
+
+  const auto plan = gsm::ChannelPlan::full_r_gsm_900();
+  std::printf("R-GSM-900 band: %zu channels, %.0f ms/channel dwell, %.2f s sweep\n",
+              plan.size(), gsm::ChannelPlan::kChannelDwellSeconds * 1000.0,
+              plan.sweep_seconds());
+
+  gsm::GsmField field(seed, plan);
+  sim::GsmSurvey survey(&field);
+  const auto net = road::RoadNetwork::generate(
+      seed, segments, 150.0,
+      {road::EnvironmentType::kDowntown, road::EnvironmentType::kFourLaneUrban,
+       road::EnvironmentType::kTwoLaneSuburb});
+  std::printf("surveying %zu road segments x 150 m "
+              "(downtown / urban / suburban mix)\n\n",
+              net.size());
+
+  // Property 1: temporary stability (Fig 2's recipe).
+  std::printf("[1] temporary stability  P(power-vector corr >= thr | gap)\n");
+  for (double gap_min : {1.0, 5.0, 25.0}) {
+    const double p08 = survey.temporal_stability_probability(
+        net, gap_min * 60.0, 0.8, plan.size(), 200, 1);
+    const double p09 = survey.temporal_stability_probability(
+        net, gap_min * 60.0, 0.9, plan.size(), 200, 1);
+    std::printf("    gap %4.0f min : P(>=0.8) = %.3f   P(>=0.9) = %.3f\n",
+                gap_min, p08, p09);
+  }
+
+  // Property 2: geographical uniqueness (Fig 3's recipe).
+  const auto same =
+      survey.uniqueness_correlations(net, true, 1800.0, 150.0, 40, 2);
+  const auto diff =
+      survey.uniqueness_correlations(net, false, 1800.0, 150.0, 40, 2);
+  std::printf("\n[2] geographical uniqueness  (trajectory correlation, eq. 2)\n");
+  std::printf("    same road, 30 min apart : mean %.3f\n", util::mean(same));
+  std::printf("    different roads         : mean %.3f\n", util::mean(diff));
+  std::printf("    separation vs coherency threshold 1.2: %s\n",
+              util::mean(same) > 1.2 && util::mean(diff) < 1.2
+                  ? "usable as a fingerprint"
+                  : "NOT separable");
+
+  // Property 3: fine resolution (Fig 4's recipe).
+  std::printf("\n[3] fine resolution  (relative change of linear power, eq. 3)\n");
+  for (double d : {1.0, 10.0, 60.0, 120.0}) {
+    std::printf("    %3.0f m apart : %.3f\n", d,
+                survey.mean_relative_change(net, d, 200, 3));
+  }
+  std::printf("\nconclusion: GSM-aware trajectories are stable in time,\n"
+              "unique in space, and resolve displacement at metre scale —\n"
+              "the three properties RUPS builds on.\n");
+  return 0;
+}

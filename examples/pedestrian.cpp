@@ -1,0 +1,152 @@
+// Pedestrian extension (paper Sec. VII future work): RUPS for "users of
+// mobile devices such as pedestrians and bicyclists". A walker has no OBD
+// port, so speed comes from step counting on the phone's accelerometer
+// (core::StepCounter); everything downstream — trajectory binding, SYN
+// search, distance resolution — runs unchanged.
+//
+// Scenario: a pedestrian walks along an urban sidewalk; a jogger runs the
+// same street 30 m ahead, slowly pulling away. Both scan GSM with their
+// phones (one radio each, the hardest scanning regime) and exchange
+// contexts.
+//
+//   $ ./pedestrian [seed]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.hpp"
+#include "core/step_counter.hpp"
+#include "gsm/gsm_field.hpp"
+#include "road/route_builder.hpp"
+#include "sensors/gsm_scanner.hpp"
+#include "util/rng.hpp"
+
+using namespace rups;
+
+namespace {
+
+/// A walking/riding agent: ground truth position + phone sensors feeding a
+/// RUPS engine. Speed is estimated from steps (pedestrian) or a cheap
+/// wheel sensor approximated as exact cadence (cyclist).
+class Agent {
+ public:
+  Agent(const char* name, std::uint64_t seed, double start_m,
+        double speed_mps, double cadence_hz, const road::Route* route,
+        const gsm::GsmField* field)
+      : name_(name),
+        route_(route),
+        field_(field),
+        speed_mps_(speed_mps),
+        cadence_hz_(cadence_hz),
+        position_m_(start_m),
+        rng_(seed),
+        scanner_(&field->plan(), seed, scanner_config()) {
+    core::RupsConfig cfg;
+    cfg.channels = field->plan().size();
+    cfg.assume_aligned_sensors = true;  // phone held steady in hand
+    // Walking covers little ground: shorter window, adaptive enabled.
+    cfg.syn.window_m = 40;
+    cfg.syn.top_channels = 30;
+    cfg.context_capacity_m = 400;
+    engine_ = std::make_unique<core::RupsEngine>(cfg);
+    core::StepCounter::Config sc;
+    sc.stride_m = speed_mps / cadence_hz;  // calibrated stride
+    steps_ = std::make_unique<core::StepCounter>(sc);
+  }
+
+  void tick(double t, double dt) {
+    position_m_ += speed_mps_ * dt;
+    // Accelerometer magnitude with the gait bounce.
+    const double accel =
+        9.80665 + 3.0 * std::sin(2.0 * M_PI * cadence_hz_ * t) +
+        rng_.gaussian(0.0, 0.15);
+    if (const auto speed = steps_->on_accel(t, accel)) {
+      engine_->on_speed(*speed);
+    }
+    sensors::ImuSample imu;
+    imu.time_s = t;
+    imu.accel_mps2 = {0.0, 0.0, accel};
+    imu.mag_ut = {-30.0, 0.0, -35.0};
+    engine_->on_imu(imu);
+
+    measurements_.clear();
+    const auto pose = route_->pose_at(position_m_);
+    const auto& segment = route_->segments()[pose.segment_index];
+    scanner_.advance(t,
+                     [&](std::size_t c, double tt) {
+                       return field_->rssi_dbm(segment, pose.segment_offset_m,
+                                               /*lane=*/0, c, tt);
+                     },
+                     measurements_);
+    for (const auto& m : measurements_) engine_->on_rssi(m);
+  }
+
+  [[nodiscard]] double position() const { return position_m_; }
+  [[nodiscard]] const core::RupsEngine& engine() const { return *engine_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  static sensors::GsmScanner::Config scanner_config() {
+    sensors::GsmScanner::Config cfg;
+    cfg.radios = 1;  // one phone
+    return cfg;
+  }
+
+  const char* name_;
+  const road::Route* route_;
+  const gsm::GsmField* field_;
+  double speed_mps_, cadence_hz_, position_m_;
+  util::Rng rng_;
+  sensors::GsmScanner scanner_;
+  std::unique_ptr<core::RupsEngine> engine_;
+  std::unique_ptr<core::StepCounter> steps_;
+  std::vector<sensors::RssiMeasurement> measurements_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  const auto route = road::make_uniform_route(
+      seed, road::EnvironmentType::kFourLaneUrban, 2'000.0);
+  const auto plan = gsm::ChannelPlan::evaluation_subset(seed, 80);
+  gsm::GsmField field(seed, plan);
+
+  Agent walker("pedestrian", seed * 3 + 1, 0.0, /*speed=*/1.4,
+               /*cadence=*/2.0, &route, &field);
+  Agent jogger("jogger", seed * 3 + 2, 30.0, /*speed=*/1.9,
+               /*cadence=*/2.6, &route, &field);
+
+  std::printf("pedestrian (1.4 m/s) and jogger (1.9 m/s) share a sidewalk;\n"
+              "speed from STEP COUNTING, one GSM radio each.\n\n");
+  std::printf("%8s %14s %14s %10s\n", "t(s)", "truth gap(m)", "RUPS gap(m)",
+              "err(m)");
+
+  int resolved = 0, asked = 0;
+  for (long i = 0; i <= 48'000; ++i) {
+    const double t = static_cast<double>(i) * 0.01;
+    walker.tick(t, 0.01);
+    jogger.tick(t, 0.01);
+    if (i % 6'000 == 0 && t >= 120.0) {
+      ++asked;
+      const double truth = walker.position() - jogger.position();
+      const auto est =
+          walker.engine().estimate_distance(jogger.engine().context());
+      if (est.has_value()) {
+        ++resolved;
+        std::printf("%8.0f %14.1f %14.1f %10.2f\n", t, truth,
+                    est->distance_m, std::abs(est->distance_m - truth));
+      } else {
+        std::printf("%8.0f %14.1f %14s %10s\n", t, truth, "-", "no SYN");
+      }
+    }
+  }
+  std::printf("\nwalker steps: %s; resolved %d/%d queries\n",
+              "counted on-device", resolved, asked);
+  std::printf("conclusion: the RUPS pipeline is speed-source agnostic — a\n"
+              "step counter replaces the OBD feed and nothing else changes.\n");
+  return resolved > 0 ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Rush hour: heavy traffic on an 8-lane urban major. Three instrumented
+// vehicles drive in a loose platoon; a fourth drives a DIFFERENT road. The
+// example shows (a) pairwise relative distance fixing inside the platoon,
+// (b) rejection of the unrelated vehicle (no shared trajectory => no SYN
+// point), and (c) the Sec. V-B bandwidth arithmetic under heavy traffic,
+// where shrinking gaps let vehicles shrink the context scope they exchange.
+//
+//   $ ./rush_hour [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/convoy_sim.hpp"
+#include "v2v/codec.hpp"
+#include "v2v/exchange.hpp"
+
+using namespace rups;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+
+  // A three-car platoon in heavy traffic.
+  sim::Scenario scenario;
+  scenario.seed = seed;
+  scenario.env = road::EnvironmentType::kEightLaneUrban;
+  scenario.route_length_m = 9'000.0;
+  scenario.traffic = vehicle::TrafficDensity::kHeavy;
+  scenario.passing_rate_scale = 1.5;
+  for (int v = 0; v < 3; ++v) {
+    sim::VehicleSetup setup;
+    setup.seed = seed * 10 + static_cast<std::uint64_t>(v);
+    setup.start_offset_m = 80.0 - 40.0 * v;  // 40 m spacing
+    setup.lane = 3;
+    scenario.vehicles.push_back(setup);
+  }
+
+  // An unrelated vehicle on a different road (its own simulation world).
+  sim::Scenario elsewhere = sim::Scenario::two_car(
+      seed + 999, road::EnvironmentType::kFourLaneUrban);
+  elsewhere.route_length_m = 8'000.0;
+
+  std::printf("driving 3-car platoon through heavy traffic (+1 car elsewhere)...\n");
+  sim::ConvoySimulation platoon(scenario);
+  sim::ConvoySimulation other(elsewhere);
+  platoon.run_until(500.0);
+  other.run_until(500.0);
+
+  // (a) Pairwise fixing inside the platoon.
+  std::printf("\npairwise relative distances (rear asks front):\n");
+  for (std::size_t rear = 1; rear < 3; ++rear) {
+    for (std::size_t front = 0; front < rear; ++front) {
+      const auto q = platoon.query(rear, front);
+      if (q.rups.has_value()) {
+        std::printf("  car %zu -> car %zu : est %+8.2f m  truth %+8.2f m"
+                    "  err %5.2f m  (%zu SYN)\n",
+                    rear, front, q.rups->distance_m, q.truth,
+                    *q.rups_error(), q.syn_points.size());
+      } else {
+        std::printf("  car %zu -> car %zu : NO SYN POINT\n", rear, front);
+      }
+    }
+  }
+
+  // (b) Unrelated vehicle rejection.
+  const auto& rear_engine = platoon.rig(2).engine();
+  const auto foreign =
+      other.rig(0).engine().context();
+  const auto foreign_syns = rear_engine.find_syn_points(foreign);
+  std::printf("\nquery against a car on a different road: %s\n",
+              foreign_syns.empty()
+                  ? "correctly rejected (no SYN point above threshold)"
+                  : "FALSE POSITIVE!");
+
+  // (c) Heavy-traffic bandwidth: gaps shrink, so the exchanged context
+  // scope can shrink with them (Sec. V-B).
+  std::printf("\nbandwidth under heavy traffic (context scope ~ 4x gap):\n");
+  v2v::DsrcLink link(seed);
+  for (std::size_t rear = 1; rear < 3; ++rear) {
+    const auto q = platoon.query(rear, rear - 1);
+    const double gap = std::abs(q.truth);
+    const auto scope = static_cast<std::size_t>(
+        std::clamp(4.0 * gap + 100.0, 150.0, 1000.0));
+    const std::size_t bytes = v2v::TrajectoryCodec::encoded_size(
+        scope, platoon.scenario().channels);
+    const auto stats = link.transfer(bytes);
+    std::printf("  car %zu: gap %5.1f m -> scope %4zu m -> %6zu B, %zu pkts,"
+                " %.3f s\n",
+                rear, gap, scope, bytes, stats.packets, stats.duration_s);
+  }
+  return foreign_syns.empty() ? 0 : 1;
+}

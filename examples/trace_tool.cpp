@@ -1,0 +1,118 @@
+// Trace tool: the paper's trace-driven methodology as a workflow. Records
+// an instrumented drive to CSV, then replays the recorded sensor streams
+// through a FRESH RUPS engine — demonstrating that evaluation can run
+// offline, repeatedly, on captured data (exactly how the paper evaluates
+// its three months of Shanghai traces).
+//
+//   $ ./trace_tool record <trace.csv> [seed]    # drive & record
+//   $ ./trace_tool replay <trace.csv>           # rebuild context offline
+//   $ ./trace_tool demo                         # record + replay + verify
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "sim/convoy_sim.hpp"
+#include "sim/trace.hpp"
+
+using namespace rups;
+
+namespace {
+
+sim::Scenario make_scenario(std::uint64_t seed) {
+  sim::Scenario s =
+      sim::Scenario::two_car(seed, road::EnvironmentType::kFourLaneUrban);
+  s.route_length_m = 6'000.0;
+  return s;
+}
+
+sim::VehicleTrace record(std::uint64_t seed, double duration_s) {
+  sim::ConvoySimulation sim(make_scenario(seed));
+  sim::TraceRecorder recorder;
+  sim.mutable_rig(1).set_trace_sink(&recorder);
+  sim.run_until(duration_s);
+  // Ground truth per emitted metre, for offline error analysis.
+  auto& trace = recorder.trace();
+  const auto& rig = sim.rig(1);
+  const std::uint64_t metres =
+      rig.engine().context().first_metre() + rig.engine().context().size();
+  for (std::uint64_t m = 0; m < metres; ++m) {
+    trace.true_pos_of_metre.push_back(rig.true_position_of_metre(m));
+  }
+  return trace;
+}
+
+core::RupsEngine replay(const sim::VehicleTrace& trace) {
+  core::RupsConfig cfg;  // paper defaults, 115 channels
+  core::RupsEngine engine(cfg);
+  sim::replay_trace(trace, engine);
+  return engine;
+}
+
+void summarize(const char* label, const sim::VehicleTrace& trace) {
+  std::printf("%s: %zu IMU, %zu OBD, %zu RSSI, %zu GPS samples, %zu truth metres\n",
+              label, trace.imu.size(), trace.obd.size(), trace.rssi.size(),
+              trace.gps.size(), trace.true_pos_of_metre.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "demo";
+
+  if (mode == "record") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: trace_tool record <trace.csv> [seed]\n");
+      return 2;
+    }
+    const std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+    std::printf("recording a 300 s drive (seed %llu)...\n",
+                static_cast<unsigned long long>(seed));
+    const auto trace = record(seed, 300.0);
+    trace.save_csv(argv[2]);
+    summarize("recorded", trace);
+    std::printf("saved to %s\n", argv[2]);
+    return 0;
+  }
+
+  if (mode == "replay") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: trace_tool replay <trace.csv>\n");
+      return 2;
+    }
+    const auto trace = sim::VehicleTrace::load_csv(argv[2]);
+    summarize("loaded", trace);
+    const auto engine = replay(trace);
+    std::printf("replayed: odometer %.1f m, context %zu m, coverage %.1f%%\n",
+                engine.odometer_m(), engine.context().size(),
+                100.0 * engine.context().measured_fraction());
+    return 0;
+  }
+
+  // demo: record, round-trip through CSV, replay, verify equivalence.
+  const auto path = std::filesystem::temp_directory_path() / "rups_demo.csv";
+  std::printf("1) recording a 300 s drive...\n");
+  const auto trace = record(3, 300.0);
+  summarize("   recorded", trace);
+
+  std::printf("2) CSV round trip via %s...\n", path.c_str());
+  trace.save_csv(path);
+  const auto loaded = sim::VehicleTrace::load_csv(path);
+  summarize("   reloaded", loaded);
+
+  std::printf("3) replaying through a fresh engine...\n");
+  const auto engine = replay(loaded);
+  std::printf("   odometer %.1f m, context %zu m\n", engine.odometer_m(),
+              engine.context().size());
+
+  const bool ok = loaded.rssi.size() == trace.rssi.size() &&
+                  engine.context().size() > 100;
+  std::printf("\ntrace-driven workflow %s: the captured streams rebuild the\n"
+              "same journey context offline — evaluation never needs the\n"
+              "original drive again.\n",
+              ok ? "VERIFIED" : "FAILED");
+  std::filesystem::remove(path);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// Trajectory binding (paper Sec. IV-C): converts time-domain RSSI
+/// measurements into the distance-domain GSM-aware trajectory by assigning
+/// each measurement to the metre of estimated travel where it was taken,
+/// and estimates missing channels by linear interpolation between the
+/// nearest measured values over distance (the paper's Fig 6 recipe).
+class TrajectoryBinder {
+ public:
+  struct Config {
+    /// Longest distance gap (m) interpolation may bridge. Beyond this the
+    /// channel stays missing (stale values would lie).
+    std::size_t max_interpolation_gap_m = 40;
+    /// Enable/disable interpolation (ablation; paper always interpolates).
+    bool interpolate = true;
+  };
+
+  explicit TrajectoryBinder(std::size_t channels);
+  TrajectoryBinder(std::size_t channels, Config config);
+
+  /// Record a dwell result taken at estimated odometer `distance_m`.
+  /// Measurements for metres already finalized retro-fill the trajectory if
+  /// that metre is still retained; measurements ahead of the open metre are
+  /// buffered.
+  void add_measurement(std::size_t channel, double distance_m, float rssi_dbm,
+                       ContextTrajectory& trajectory);
+
+  /// Finalize metre `metre_index` with its geographic annotation: appends
+  /// the entry (with all measurements collected for that metre) to the
+  /// trajectory and runs gap interpolation.
+  void bind_metre(std::uint64_t metre_index, GeoSample geo,
+                  ContextTrajectory& trajectory);
+
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Pending {
+    std::uint64_t metre = 0;
+    std::size_t channel = 0;
+    float rssi = 0.0f;
+  };
+  struct LastSeen {
+    std::uint64_t metre = 0;
+    float rssi = 0.0f;
+    bool any = false;
+  };
+
+  void place(std::uint64_t metre, std::size_t channel, float rssi,
+             ContextTrajectory& trajectory);
+  void interpolate_channel(std::size_t channel, std::uint64_t from_metre,
+                           float from_rssi, std::uint64_t to_metre,
+                           float to_rssi, ContextTrajectory& trajectory);
+
+  std::size_t channels_;
+  Config config_;
+  std::uint64_t next_metre_ = 0;  ///< first metre not yet finalized
+  PowerVector open_;              ///< accumulating vector for next_metre_
+  std::vector<Pending> future_;   ///< measurements beyond the open metre
+  std::vector<LastSeen> last_seen_;
+};
+
+}  // namespace rups::core

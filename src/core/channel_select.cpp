@@ -1,0 +1,64 @@
+#include "core/channel_select.hpp"
+
+#include <algorithm>
+
+namespace rups::core {
+
+std::vector<std::size_t> select_top_channels(
+    const ContextTrajectory& trajectory, std::size_t window_start,
+    std::size_t window_m, std::size_t k, double min_coverage) {
+  if (trajectory.empty() || window_m == 0 ||
+      window_start >= trajectory.size()) {
+    return {};
+  }
+  const std::size_t end =
+      std::min(window_start + window_m, trajectory.size());
+  const std::size_t len = end - window_start;
+  const std::size_t channels = trajectory.channels();
+
+  struct Rank {
+    std::size_t channel;
+    double mean;
+  };
+  std::vector<Rank> ranks;
+  ranks.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = window_start; i < end; ++i) {
+      const PowerVector& pv = trajectory.power(i);
+      if (pv.usable(c)) {
+        sum += pv.at(c);
+        ++n;
+      }
+    }
+    if (static_cast<double>(n) < min_coverage * static_cast<double>(len)) {
+      continue;
+    }
+    ranks.push_back({c, sum / static_cast<double>(n)});
+  }
+  const std::size_t take = std::min(k, ranks.size());
+  std::partial_sort(ranks.begin(), ranks.begin() + static_cast<long>(take),
+                    ranks.end(), [](const Rank& a, const Rank& b) {
+                      if (a.mean != b.mean) return a.mean > b.mean;
+                      return a.channel < b.channel;
+                    });
+  std::vector<std::size_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(ranks[i].channel);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> select_top_channels_recent(
+    const ContextTrajectory& trajectory, std::size_t window_m, std::size_t k,
+    double min_coverage) {
+  if (trajectory.size() < window_m) {
+    return select_top_channels(trajectory, 0, trajectory.size(), k,
+                               min_coverage);
+  }
+  return select_top_channels(trajectory, trajectory.size() - window_m,
+                             window_m, k, min_coverage);
+}
+
+}  // namespace rups::core

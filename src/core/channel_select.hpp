@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// Select the `k` strongest channels over a window of a trajectory —
+/// the paper's checking window is "top 45 channels wide" (Sec. VI-B).
+/// Channels are ranked by mean usable RSSI over the window; channels with
+/// coverage below `min_coverage` (fraction of window positions usable) are
+/// excluded. Returned indices are sorted ascending.
+[[nodiscard]] std::vector<std::size_t> select_top_channels(
+    const ContextTrajectory& trajectory, std::size_t window_start,
+    std::size_t window_m, std::size_t k, double min_coverage = 0.3);
+
+/// Convenience: top channels over the most recent `window_m` metres.
+[[nodiscard]] std::vector<std::size_t> select_top_channels_recent(
+    const ContextTrajectory& trajectory, std::size_t window_m, std::size_t k,
+    double min_coverage = 0.3);
+
+}  // namespace rups::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// Pearson's correlation coefficient between two power vectors over the
+/// channels usable in BOTH (paper eq. (1)). Returns 0 when fewer than
+/// `min_overlap` channels overlap or either side is constant.
+[[nodiscard]] double power_vector_correlation(const PowerVector& a,
+                                              const PowerVector& b,
+                                              std::size_t min_overlap = 3);
+
+/// Relative change of a pair of power vectors (paper eq. (3)):
+///   d = ||X - X'|| / ||X||
+/// computed on LINEAR power (mW) over channels usable in both.
+[[nodiscard]] double relative_change_linear(const PowerVector& a,
+                                            const PowerVector& b);
+
+/// One operand of the windowed trajectory correlation: trajectory +
+/// starting entry index of a `window_m`-long segment.
+struct WindowRef {
+  const ContextTrajectory* trajectory = nullptr;
+  std::size_t start = 0;
+};
+
+/// Parameters of the trajectory correlation (paper eq. (2)).
+struct TrajectoryCorrelationConfig {
+  /// Minimum number of positions where a channel is usable in both windows
+  /// for its per-channel correlation to count.
+  std::size_t min_channel_overlap = 8;
+  /// Minimum number of channels contributing for the result to be valid.
+  std::size_t min_channels = 5;
+};
+
+/// Trajectory correlation coefficient (paper eq. (2)) between two
+/// same-length windows, restricted to the given channel subset:
+///
+///   r = (1/n) * sum_i r(C1_i, C2_i)  +  r(mean-profile1, mean-profile2)
+///
+/// where C_i is channel i's along-window RSSI series and the mean profile is
+/// the per-channel average vector. Result range is [-2, 2]; the paper's
+/// coherency threshold (1.2) lives on this scale. Returns -2 (definitely
+/// unrelated) when there is not enough usable data.
+[[nodiscard]] double trajectory_correlation(
+    const WindowRef& a, const WindowRef& b, std::size_t window_m,
+    std::span<const std::size_t> channels,
+    const TrajectoryCorrelationConfig& config = {});
+
+}  // namespace rups::core

@@ -1,0 +1,63 @@
+#include "core/engine.hpp"
+
+namespace rups::core {
+
+RupsEngine::RupsEngine(RupsConfig config)
+    : config_(config),
+      reorientation_(config.reorientation),
+      heading_(config.heading_mag_gain),
+      binder_(config.channels, config.binder),
+      context_(config.channels, config.context_capacity_m) {}
+
+void RupsEngine::on_imu(const sensors::ImuSample& imu) {
+  double dt = 0.0;
+  if (have_imu_time_) {
+    dt = imu.time_s - last_imu_time_;
+    if (dt < 0.0) dt = 0.0;
+  }
+  last_imu_time_ = imu.time_s;
+  have_imu_time_ = true;
+
+  if (!config_.assume_aligned_sensors) {
+    reorientation_.add_sample(imu, speed_.trend());
+    if (!reorientation_.calibrated()) return;
+  }
+  const util::Mat3 r = config_.assume_aligned_sensors
+                           ? util::Mat3::identity()
+                           : reorientation_.rotation();
+  const util::Vec3 gyro_vehicle = r * imu.gyro_rps;
+  const util::Vec3 mag_vehicle = r * imu.mag_ut;
+  heading_.update(gyro_vehicle.z, dt, &mag_vehicle);
+  if (!heading_.initialized()) return;
+
+  const double speed = speed_.speed_at(imu.time_s);
+  const auto marks =
+      reckoner_.advance(imu.time_s, heading_.heading_rad(), speed);
+  for (const GeoSample& geo : marks) {
+    binder_.bind_metre(next_metre_++, geo, context_);
+  }
+}
+
+void RupsEngine::on_speed(const sensors::SpeedSample& sample) {
+  speed_.add_sample(sample);
+}
+
+void RupsEngine::on_rssi(const sensors::RssiMeasurement& measurement) {
+  const double distance = reckoner_.odometer_at(measurement.time_s);
+  binder_.add_measurement(measurement.channel_index, distance,
+                          static_cast<float>(measurement.rssi_dbm), context_);
+}
+
+std::vector<SynPoint> RupsEngine::find_syn_points(
+    const ContextTrajectory& neighbour, util::ThreadPool* pool) const {
+  const SynSeeker seeker(config_.syn, pool);
+  return seeker.find(context_, neighbour);
+}
+
+std::optional<RelativeDistanceEstimate> RupsEngine::estimate_distance(
+    const ContextTrajectory& neighbour, util::ThreadPool* pool) const {
+  const auto syns = find_syn_points(neighbour, pool);
+  return aggregate_estimates(context_, neighbour, syns, config_.aggregation);
+}
+
+}  // namespace rups::core

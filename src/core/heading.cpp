@@ -1,0 +1,37 @@
+#include "core/heading.hpp"
+
+#include <cmath>
+
+#include "util/angle.hpp"
+
+namespace rups::core {
+
+double heading_from_mag(const util::Vec3& mag_vehicle) noexcept {
+  // Inverse of the field projection (see sensors::ImuModel): with heading
+  // theta (0 = +x east, CCW), the horizontal geomagnetic field (pointing
+  // north, +y world) projects to m_x = -B_h cos(theta) on the vehicle's
+  // right axis and m_y = B_h sin(theta) on the forward axis.
+  return std::atan2(mag_vehicle.y, -mag_vehicle.x);
+}
+
+HeadingEstimator::HeadingEstimator(double mag_gain) noexcept
+    : mag_gain_(mag_gain) {}
+
+void HeadingEstimator::update(double gyro_z_rps, double dt,
+                              const util::Vec3* mag_vehicle) noexcept {
+  if (!initialized_) {
+    if (mag_vehicle != nullptr) {
+      heading_ = heading_from_mag(*mag_vehicle);
+      initialized_ = true;
+    }
+    return;
+  }
+  heading_ = util::wrap_pi(heading_ + gyro_z_rps * dt);
+  if (mag_vehicle != nullptr) {
+    const double mag_heading = heading_from_mag(*mag_vehicle);
+    const double err = util::angle_diff(mag_heading, heading_);
+    heading_ = util::wrap_pi(heading_ + mag_gain_ * dt * err);
+  }
+}
+
+}  // namespace rups::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "util/vec3.hpp"
+
+namespace rups::core {
+
+/// Heading from a vehicle-frame magnetometer reading (paper Sec. IV-B):
+/// the angle between the vehicle's y-axis (forward) and magnetic north,
+/// expressed in the world convention used throughout (0 = +x east, CCW
+/// positive). Pure function; see HeadingEstimator for the filtered version.
+[[nodiscard]] double heading_from_mag(const util::Vec3& mag_vehicle) noexcept;
+
+/// Complementary filter fusing gyro yaw-rate integration (smooth,
+/// drifting) with magnetometer headings (absolute, noisy).
+class HeadingEstimator {
+ public:
+  /// @param mag_gain  per-second correction gain toward the mag heading
+  explicit HeadingEstimator(double mag_gain = 0.5) noexcept;
+
+  /// Advance by dt with the vehicle-frame yaw rate; optionally correct with
+  /// a vehicle-frame magnetometer reading.
+  void update(double gyro_z_rps, double dt,
+              const util::Vec3* mag_vehicle = nullptr) noexcept;
+
+  [[nodiscard]] double heading_rad() const noexcept { return heading_; }
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+ private:
+  double mag_gain_;
+  double heading_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,69 @@
+#include "core/reorientation.hpp"
+
+#include <cmath>
+
+namespace rups::core {
+
+Reorientation::Reorientation() : Reorientation(Config{}) {}
+
+Reorientation::Reorientation(Config config) : config_(config) {}
+
+void Reorientation::add_sample(const sensors::ImuSample& imu,
+                               int speed_trend) {
+  // Gravity low-pass over quasi-static samples only: when the specific
+  // force magnitude is ~g the vehicle is neither accelerating nor braking
+  // hard, so the reading is (almost) pure gravity reaction. Without the
+  // gate, longitudinal acceleration tilts the estimate systematically.
+  constexpr double kG = 9.80665;
+  const bool quasi_static =
+      std::abs(imu.accel_mps2.norm() - kG) < config_.gravity_gate_mps2;
+  if (quasi_static) {
+    if (!gravity_init_) {
+      gravity_lp_ = imu.accel_mps2;
+      gravity_init_ = true;
+    } else {
+      gravity_lp_ = gravity_lp_ * (1.0 - config_.gravity_alpha) +
+                    imu.accel_mps2 * config_.gravity_alpha;
+    }
+  }
+  if (!gravity_init_) return;
+
+  if (speed_trend == 0) return;
+  if (imu.gyro_rps.norm() > config_.max_turn_rate_rps) return;
+
+  // Horizontal (gravity-orthogonal) component of the instantaneous
+  // specific force.
+  const util::Vec3 g_dir = gravity_lp_.normalized();
+  if (g_dir.norm() < 0.5) return;
+  const util::Vec3 linear = imu.accel_mps2 - gravity_lp_;
+  const util::Vec3 horizontal = linear - g_dir * linear.dot(g_dir);
+  if (horizontal.norm() < config_.event_threshold_mps2) return;
+
+  // During acceleration the specific force points forward (+y vehicle);
+  // during braking it points backward — flip by the trend sign.
+  forward_acc_ +=
+      horizontal.normalized() * (speed_trend > 0 ? 1.0 : -1.0);
+  ++events_;
+}
+
+bool Reorientation::calibrated() const noexcept {
+  return events_ >= config_.min_events && forward_acc_.norm() > 1e-6;
+}
+
+util::Vec3 Reorientation::gravity_sensor() const noexcept {
+  return gravity_lp_.normalized();
+}
+
+util::Mat3 Reorientation::rotation() const {
+  if (!calibrated()) return util::Mat3::identity();
+  const util::Vec3 z0 = gravity_lp_.normalized();
+  // Project the forward vote onto the horizontal plane and normalize.
+  util::Vec3 y = forward_acc_ - z0 * forward_acc_.dot(z0);
+  y = y.normalized();
+  const util::Vec3 x = y.cross(z0).normalized();
+  // Slope recalibration (paper: z = x cross y).
+  const util::Vec3 z = x.cross(y).normalized();
+  return util::Mat3::from_rows(x, y, z);
+}
+
+}  // namespace rups::core

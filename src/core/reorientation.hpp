@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sensors/types.hpp"
+#include "util/vec3.hpp"
+
+namespace rups::core {
+
+/// Coordinate reorientation (paper Sec. IV-B, following Han et al. [31]):
+/// estimates the rotation matrix R = [x; y; z] aligning SENSOR-frame
+/// readings to the VEHICLE frame (x right, y forward, z up).
+///
+///  * z comes from the gravity direction (low-passed accelerometer),
+///  * y (forward) comes from the horizontal direction of specific force
+///    during longitudinal accelerations/brakings, with the sign taken from
+///    a speed-change hint (OBD),
+///  * x = y cross z, and z is recalibrated as x cross y to cancel slope
+///    effects — exactly the paper's recipe.
+class Reorientation {
+ public:
+  struct Config {
+    /// Low-pass constant for the gravity estimate (per-sample IIR alpha).
+    double gravity_alpha = 0.01;
+    /// Gravity updates only when | |accel| - g | is below this gate
+    /// (quasi-static samples) — otherwise longitudinal acceleration would
+    /// tilt the gravity estimate systematically.
+    double gravity_gate_mps2 = 0.12;
+    /// Minimum horizontal specific force (m/s^2) for a sample to count as
+    /// a longitudinal-acceleration event.
+    double event_threshold_mps2 = 0.6;
+    /// Maximum |gyro| (rad/s) during an event — excludes turns.
+    double max_turn_rate_rps = 0.05;
+    /// Events needed before the estimate is considered calibrated.
+    std::size_t min_events = 120;
+  };
+
+  Reorientation();
+  explicit Reorientation(Config config);
+
+  /// Feed one IMU sample. `speed_trend` is the sign of the vehicle's speed
+  /// change around this instant (+1 accelerating, -1 braking, 0 unknown);
+  /// it resolves the forward/backward ambiguity of acceleration events.
+  void add_sample(const sensors::ImuSample& imu, int speed_trend);
+
+  /// True once enough events were observed to trust rotation().
+  [[nodiscard]] bool calibrated() const noexcept;
+
+  /// vehicle_from_sensor rotation: rotation() * sensor_vec = vehicle_vec.
+  /// Identity until calibrated.
+  [[nodiscard]] util::Mat3 rotation() const;
+
+  /// Gravity direction estimate in the sensor frame (unit when available).
+  [[nodiscard]] util::Vec3 gravity_sensor() const noexcept;
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+
+ private:
+  Config config_;
+  util::Vec3 gravity_lp_{};
+  bool gravity_init_ = false;
+  util::Vec3 forward_acc_{};  ///< accumulated forward votes (sensor frame)
+  std::size_t events_ = 0;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,80 @@
+#include "core/resolver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rups::core {
+
+double resolve_distance(const ContextTrajectory& a, const ContextTrajectory& b,
+                        const SynPoint& syn) {
+  // SYN location = matched window END on each trajectory.
+  const std::size_t end_a = syn.index_a + syn.window_m - 1;
+  const std::size_t end_b = syn.index_b + syn.window_m - 1;
+  const double d1 = a.end_distance_m() - a.distance_at(end_a);
+  const double d2 = b.end_distance_m() - b.distance_at(end_b);
+  return d1 - d2;
+}
+
+std::optional<RelativeDistanceEstimate> aggregate_estimates(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    const std::vector<SynPoint>& syns, Aggregation scheme) {
+  if (syns.empty()) return std::nullopt;
+
+  std::vector<double> estimates;
+  estimates.reserve(syns.size());
+  double best_corr = -2.0;
+  for (const SynPoint& s : syns) {
+    estimates.push_back(resolve_distance(a, b, s));
+    best_corr = std::max(best_corr, s.correlation);
+  }
+
+  RelativeDistanceEstimate out;
+  out.confidence = best_corr;
+  out.syn_count = estimates.size();
+
+  switch (scheme) {
+    case Aggregation::kSingleBest: {
+      // syns arrive sorted best-first from SynSeeker::find, but do not rely
+      // on it — pick the max-correlation entry explicitly.
+      std::size_t best_idx = 0;
+      for (std::size_t i = 1; i < syns.size(); ++i) {
+        if (syns[i].correlation > syns[best_idx].correlation) best_idx = i;
+      }
+      out.distance_m = estimates[best_idx];
+      out.syn_count = 1;
+      break;
+    }
+    case Aggregation::kMean: {
+      out.distance_m =
+          std::accumulate(estimates.begin(), estimates.end(), 0.0) /
+          static_cast<double>(estimates.size());
+      break;
+    }
+    case Aggregation::kSelectiveMean: {
+      if (estimates.size() <= 2) {
+        out.distance_m =
+            std::accumulate(estimates.begin(), estimates.end(), 0.0) /
+            static_cast<double>(estimates.size());
+        break;
+      }
+      std::vector<double> sorted = estimates;
+      std::sort(sorted.begin(), sorted.end());
+      const double sum =
+          std::accumulate(sorted.begin() + 1, sorted.end() - 1, 0.0);
+      out.distance_m = sum / static_cast<double>(sorted.size() - 2);
+      break;
+    }
+    case Aggregation::kMedian: {
+      std::vector<double> sorted = estimates;
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t n = sorted.size();
+      out.distance_m = (n % 2 == 1)
+                           ? sorted[n / 2]
+                           : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rups::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/syn_seeker.hpp"
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// A resolved front–rear distance between the local vehicle (A) and a
+/// neighbour (B). Positive = A is in front of B by that many metres.
+struct RelativeDistanceEstimate {
+  double distance_m = 0.0;
+  /// Best eq.(2) correlation among the SYN points that contributed.
+  double confidence = -2.0;
+  /// Number of SYN points aggregated into the value.
+  std::size_t syn_count = 0;
+};
+
+/// How multiple per-SYN estimates are combined (paper Sec. VI-C, Fig 10).
+enum class Aggregation {
+  kSingleBest,     ///< original RUPS: the highest-correlation SYN only
+  kMean,           ///< simple average of all estimates
+  kSelectiveMean,  ///< drop min & max, average the rest (paper's best)
+  kMedian,
+};
+
+/// Distance implied by one SYN point: each vehicle's travel since the SYN
+/// location (window end), differenced (paper Sec. IV-E, Fig 8):
+///   d_r = d1 - d2,  d1 = dist(current_a) - dist(syn on a), likewise d2.
+[[nodiscard]] double resolve_distance(const ContextTrajectory& a,
+                                      const ContextTrajectory& b,
+                                      const SynPoint& syn);
+
+/// Combine the per-SYN estimates under an aggregation scheme. Returns
+/// nullopt when `syns` is empty.
+[[nodiscard]] std::optional<RelativeDistanceEstimate> aggregate_estimates(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    const std::vector<SynPoint>& syns, Aggregation scheme);
+
+}  // namespace rups::core

@@ -1,0 +1,46 @@
+#include "core/speed.hpp"
+
+#include <algorithm>
+
+namespace rups::core {
+
+void SpeedEstimator::add_sample(const sensors::SpeedSample& sample) noexcept {
+  if (has_last_) {
+    prev_ = last_;
+    has_prev_ = true;
+  }
+  last_ = sample;
+  has_last_ = true;
+}
+
+double SpeedEstimator::speed_at(double time_s) const noexcept {
+  if (!has_last_) return 0.0;
+  if (!has_prev_) return std::max(0.0, last_.speed_mps);
+  const double dt = last_.time_s - prev_.time_s;
+  if (dt <= 0.0) return std::max(0.0, last_.speed_mps);
+  const double slope = (last_.speed_mps - prev_.speed_mps) / dt;
+  // Linear inter/extrapolation, but cap extrapolation at one sample period
+  // to avoid running away when OBD stalls.
+  const double t = std::clamp(time_s, prev_.time_s, last_.time_s + dt);
+  return std::max(0.0, last_.speed_mps + slope * (t - last_.time_s));
+}
+
+int SpeedEstimator::trend() const noexcept {
+  if (!has_prev_) return 0;
+  const double dv = last_.speed_mps - prev_.speed_mps;
+  if (dv > 0.3) return 1;
+  if (dv < -0.3) return -1;
+  return 0;
+}
+
+double SpeedEstimator::integrate_distance(double from_s,
+                                          double to_s) const noexcept {
+  if (!has_last_ || to_s <= from_s) return 0.0;
+  // Trapezoid on the estimated speed at the endpoints — adequate for the
+  // short intervals (sensor tick) the engine integrates over.
+  const double v0 = speed_at(from_s);
+  const double v1 = speed_at(to_s);
+  return 0.5 * (v0 + v1) * (to_s - from_s);
+}
+
+}  // namespace rups::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "sensors/types.hpp"
+
+namespace rups::core {
+
+/// Speed state from sparse OBD samples (paper: ~0.3 Hz). Holds the last two
+/// samples; speed between samples is linearly extrapolated/interpolated and
+/// the odometer integrates it trapezoidally. Also exposes the speed trend
+/// used by Reorientation to sign acceleration events.
+class SpeedEstimator {
+ public:
+  void add_sample(const sensors::SpeedSample& sample) noexcept;
+
+  /// Best estimate of the speed at time t (clamped >= 0).
+  [[nodiscard]] double speed_at(double time_s) const noexcept;
+
+  /// +1 / -1 / 0: is the vehicle accelerating, braking, or unknown/steady.
+  [[nodiscard]] int trend() const noexcept;
+
+  [[nodiscard]] bool has_data() const noexcept { return has_last_; }
+
+  /// Integrated distance (m) of the piecewise-linear speed profile from the
+  /// first sample up to time t.
+  [[nodiscard]] double integrate_distance(double from_s,
+                                          double to_s) const noexcept;
+
+ private:
+  sensors::SpeedSample last_{};
+  sensors::SpeedSample prev_{};
+  bool has_last_ = false;
+  bool has_prev_ = false;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,37 @@
+#include "core/step_counter.hpp"
+
+namespace rups::core {
+
+StepCounter::StepCounter() : StepCounter(Config{}) {}
+
+StepCounter::StepCounter(Config config) : config_(config) {}
+
+std::optional<sensors::SpeedSample> StepCounter::on_accel(
+    double time_s, double accel_norm_mps2) {
+  if (!started_) {
+    started_ = true;
+    next_report_s_ = time_s + config_.report_interval_s;
+  }
+  gravity_lp_ += config_.gravity_alpha * (accel_norm_mps2 - gravity_lp_);
+
+  // Rising-edge peak detection with a refractory interval.
+  const bool over =
+      accel_norm_mps2 > gravity_lp_ + config_.peak_threshold_mps2;
+  if (over && !above_ && time_s - last_step_s_ >= config_.min_step_interval_s) {
+    ++steps_;
+    last_step_s_ = time_s;
+  }
+  above_ = over;
+
+  if (time_s < next_report_s_) return std::nullopt;
+  const double interval = config_.report_interval_s;
+  const auto new_steps = steps_ - steps_at_report_;
+  steps_at_report_ = steps_;
+  next_report_s_ = time_s + interval;
+  sensors::SpeedSample out;
+  out.time_s = time_s;
+  out.speed_mps = static_cast<double>(new_steps) * config_.stride_m / interval;
+  return out;
+}
+
+}  // namespace rups::core

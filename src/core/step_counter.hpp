@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sensors/types.hpp"
+
+namespace rups::core {
+
+/// Pedestrian speed source (paper Sec. VII future work: "extend RUPS to
+/// users of mobile devices such as pedestrians and bicyclists"). Walkers
+/// have no OBD port; speed comes from step detection on the accelerometer:
+/// each step is a vertical-acceleration peak, and distance = steps x stride
+/// length. The produced SpeedSamples plug into the unchanged RUPS engine —
+/// the rest of the pipeline (binding, SYN search, resolution) is
+/// speed-source agnostic.
+class StepCounter {
+ public:
+  struct Config {
+    /// Peak threshold above gravity (m/s^2) for a step candidate.
+    double peak_threshold_mps2 = 1.5;
+    /// Refractory period between steps (s); caps cadence at ~4 Hz.
+    double min_step_interval_s = 0.25;
+    /// Stride length (m); calibrated per user in a real deployment.
+    double stride_m = 0.7;
+    /// Low-pass constant for the gravity magnitude estimate.
+    double gravity_alpha = 0.02;
+    /// Emit a speed sample every this many seconds.
+    double report_interval_s = 1.0;
+  };
+
+  StepCounter();
+  explicit StepCounter(Config config);
+
+  /// Feed one accelerometer sample (any frame — only |accel| is used, so
+  /// no reorientation is required). Returns a speed report when one is due.
+  std::optional<sensors::SpeedSample> on_accel(double time_s,
+                                               double accel_norm_mps2);
+
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] double distance_m() const noexcept {
+    return static_cast<double>(steps_) * config_.stride_m;
+  }
+
+ private:
+  Config config_;
+  double gravity_lp_ = 9.80665;
+  double last_step_s_ = -1e9;
+  bool above_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint64_t steps_at_report_ = 0;
+  double next_report_s_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,292 @@
+#include "core/syn_seeker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "core/channel_select.hpp"
+#include "core/turn_detector.hpp"
+
+namespace rups::core {
+
+namespace {
+
+/// Dense channel-major extraction of a trajectory stretch: values are
+/// pre-masked (0 where unusable) and the mask is carried as 0/1 floats, so
+/// the sliding correlation kernel below is branch-free and vectorizable.
+/// This packed path is what makes the O(m*w*k) search run at the paper's
+/// ~millisecond scale (Sec. V-A).
+struct Packed {
+  std::size_t metres = 0;
+  std::size_t k = 0;
+  std::vector<float> x;   // x[c*metres + i], masked
+  std::vector<float> x2;  // squares, masked
+  std::vector<float> v;   // validity 1/0
+};
+
+/// RSSI values are shifted by this at pack time so the float moment sums
+/// below centre near zero — without it, sxx - sx^2/n cancels catastrophically
+/// in single precision (values ~-90 dBm, windows of ~100 samples) and
+/// near-constant channels produce garbage correlations.
+constexpr float kPackShiftDbm = 80.0f;
+
+Packed pack(const ContextTrajectory& t, std::span<const std::size_t> channels,
+            std::size_t from, std::size_t len) {
+  Packed p;
+  p.metres = len;
+  p.k = channels.size();
+  p.x.assign(p.k * len, 0.0f);
+  p.x2.assign(p.k * len, 0.0f);
+  p.v.assign(p.k * len, 0.0f);
+  const std::size_t width = t.channels();
+  for (std::size_t i = 0; i < len; ++i) {
+    const PowerVector& pv = t.power(from + i);
+    for (std::size_t kk = 0; kk < p.k; ++kk) {
+      const std::size_t c = channels[kk];
+      if (c < width && pv.usable(c)) {
+        const float val = pv.at(c) + kPackShiftDbm;
+        p.x[kk * len + i] = val;
+        p.x2[kk * len + i] = val * val;
+        p.v[kk * len + i] = 1.0f;
+      }
+    }
+  }
+  return p;
+}
+
+/// eq.(2) between the (whole) fixed pack and the sliding pack's window
+/// starting at `pos`. Identical semantics to trajectory_correlation().
+double packed_correlation(const Packed& fixed, const Packed& sliding,
+                          std::size_t pos,
+                          const TrajectoryCorrelationConfig& config) {
+  const std::size_t w = fixed.metres;
+  double channel_corr_sum = 0.0;
+  std::size_t channels_used = 0;
+  double pn = 0, psx = 0, psy = 0, psxx = 0, psyy = 0, psxy = 0;
+
+  for (std::size_t kk = 0; kk < fixed.k; ++kk) {
+    const float* fx = &fixed.x[kk * w];
+    const float* fx2 = &fixed.x2[kk * w];
+    const float* fv = &fixed.v[kk * w];
+    const float* sx_ = &sliding.x[kk * sliding.metres + pos];
+    const float* sx2_ = &sliding.x2[kk * sliding.metres + pos];
+    const float* sv_ = &sliding.v[kk * sliding.metres + pos];
+
+    float n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const float m = fv[i] * sv_[i];
+      n += m;
+      sx += m * fx[i];
+      sy += m * sx_[i];
+      sxx += m * fx2[i];
+      syy += m * sx2_[i];
+      sxy += m * fx[i] * sx_[i];
+    }
+    if (n < static_cast<float>(config.min_channel_overlap)) continue;
+    const double dn = n;
+    const double vx = static_cast<double>(sxx) - static_cast<double>(sx) * sx / dn;
+    const double vy = static_cast<double>(syy) - static_cast<double>(sy) * sy / dn;
+    const double cov =
+        static_cast<double>(sxy) - static_cast<double>(sx) * sy / dn;
+    // Variance guard: a (near-)constant channel carries no alignment
+    // information, and float residues below ~1e-2 dB^2 are pure rounding
+    // noise — count the channel with zero correlation.
+    if (vx > 1e-2 && vy > 1e-2) {
+      channel_corr_sum += std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
+    }
+    ++channels_used;
+    const double ma = sx / dn;
+    const double mb = sy / dn;
+    pn += 1.0;
+    psx += ma;
+    psy += mb;
+    psxx += ma * ma;
+    psyy += mb * mb;
+    psxy += ma * mb;
+  }
+
+  if (channels_used < config.min_channels) return -2.0;
+  double profile_corr = 0.0;
+  if (pn >= 2.0) {
+    const double vx = psxx - psx * psx / pn;
+    const double vy = psyy - psy * psy / pn;
+    const double cov = psxy - psx * psy / pn;
+    if (vx > 0.0 && vy > 0.0) profile_corr = cov / std::sqrt(vx * vy);
+  }
+  return channel_corr_sum / static_cast<double>(channels_used) + profile_corr;
+}
+
+}  // namespace
+
+SynSeeker::SynSeeker(SynConfig config, util::ThreadPool* pool) noexcept
+    : config_(config), pool_(pool) {}
+
+std::pair<std::size_t, double> SynSeeker::effective_window(
+    std::size_t available_a, std::size_t available_b) const {
+  const std::size_t avail = std::min(available_a, available_b);
+  if (avail >= config_.window_m) {
+    return {config_.window_m, config_.coherency_threshold};
+  }
+  if (!config_.adaptive_window || avail < config_.min_window_m) {
+    return {0, config_.coherency_threshold};  // 0 = cannot search
+  }
+  // Linear threshold relaxation between min_window_m and window_m.
+  const double t =
+      static_cast<double>(avail - config_.min_window_m) /
+      static_cast<double>(config_.window_m - config_.min_window_m);
+  const double scale =
+      config_.adaptive_threshold_floor +
+      (1.0 - config_.adaptive_threshold_floor) * std::clamp(t, 0.0, 1.0);
+  return {avail, config_.coherency_threshold * scale};
+}
+
+SynSeeker::Candidate SynSeeker::slide(
+    const ContextTrajectory& fixed, std::size_t fixed_start,
+    const ContextTrajectory& sliding, std::size_t window,
+    std::span<const std::size_t> channels) const {
+  Candidate best;
+  if (sliding.size() < window) return best;
+  const std::size_t positions = (sliding.size() - window) / config_.stride_m + 1;
+
+  const Packed fixed_pack = pack(fixed, channels, fixed_start, window);
+  const Packed sliding_pack = pack(sliding, channels, 0, sliding.size());
+
+  auto eval = [&](std::size_t p) {
+    return packed_correlation(fixed_pack, sliding_pack, p * config_.stride_m,
+                              config_.correlation);
+  };
+
+  // Coarse-to-fine: scan every coarse_stride-th position, then refine the
+  // neighbourhood of the best coarse hit exhaustively.
+  if (config_.coarse_stride_m > 1 &&
+      positions > 4 * config_.coarse_stride_m) {
+    const std::size_t coarse = config_.coarse_stride_m;
+    Candidate coarse_best;
+    for (std::size_t p = 0; p < positions; p += coarse) {
+      const double r = eval(p);
+      if (!coarse_best.valid || r > coarse_best.correlation) {
+        coarse_best = {r, p, true};  // position index, not metres
+      }
+    }
+    if (!coarse_best.valid) return best;
+    const std::size_t lo =
+        coarse_best.position > coarse ? coarse_best.position - coarse : 0;
+    const std::size_t hi = std::min(positions, coarse_best.position + coarse + 1);
+    for (std::size_t p = lo; p < hi; ++p) {
+      const double r = eval(p);
+      if (!best.valid || r > best.correlation) {
+        best = {r, p * config_.stride_m, true};
+      }
+    }
+    return best;
+  }
+
+  if (pool_ == nullptr || positions < 64) {
+    for (std::size_t p = 0; p < positions; ++p) {
+      const double r = eval(p);
+      if (!best.valid || r > best.correlation) {
+        best = {r, p * config_.stride_m, true};
+      }
+    }
+    return best;
+  }
+
+  // Parallel: per-chunk maxima reduced deterministically (ties resolve to
+  // the lowest position, matching the sequential scan).
+  const std::size_t chunks = std::min<std::size_t>(pool_->size(), positions);
+  std::vector<Candidate> chunk_best(chunks);
+  const std::size_t chunk_len = (positions + chunks - 1) / chunks;
+  pool_->parallel_for(0, chunks, [&](std::size_t ci) {
+    const std::size_t lo = ci * chunk_len;
+    const std::size_t hi = std::min(positions, lo + chunk_len);
+    Candidate local;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const double r = eval(p);
+      if (!local.valid || r > local.correlation) {
+        local = {r, p * config_.stride_m, true};
+      }
+    }
+    chunk_best[ci] = local;
+  });
+  for (const Candidate& c : chunk_best) {
+    if (!c.valid) continue;
+    if (!best.valid || c.correlation > best.correlation ||
+        (c.correlation == best.correlation && c.position < best.position)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::optional<SynPoint> SynSeeker::find_one(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    std::size_t recency_offset_m) const {
+  if (a.empty() || b.empty()) return std::nullopt;
+  if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
+    return std::nullopt;
+  }
+  // Post-turn limiting (Sec. V-C): the RECENT fixed segment must not span
+  // a turn — the metres before it belong to a different road.
+  std::size_t avail_a = a.size() - recency_offset_m;
+  std::size_t avail_b = b.size() - recency_offset_m;
+  if (config_.respect_turns) {
+    const auto tail_a =
+        static_cast<std::size_t>(TurnDetector::straight_tail_metres(a));
+    const auto tail_b =
+        static_cast<std::size_t>(TurnDetector::straight_tail_metres(b));
+    if (tail_a <= recency_offset_m || tail_b <= recency_offset_m) {
+      return std::nullopt;
+    }
+    avail_a = std::min(avail_a, tail_a - recency_offset_m);
+    avail_b = std::min(avail_b, tail_b - recency_offset_m);
+  }
+  const auto [window, threshold] = effective_window(avail_a, avail_b);
+  if (window == 0) return std::nullopt;
+
+  const std::size_t a_start = a.size() - recency_offset_m - window;
+  const std::size_t b_start = b.size() - recency_offset_m - window;
+
+  // Channel selection from the fixed segments (top-k strongest).
+  const auto channels_a =
+      select_top_channels(a, a_start, window, config_.top_channels);
+  const auto channels_b =
+      select_top_channels(b, b_start, window, config_.top_channels);
+  if (channels_a.empty() || channels_b.empty()) return std::nullopt;
+
+  // Pass 1 (Fig 7 left): recent segment of A slides over B.
+  const Candidate on_b = slide(a, a_start, b, window, channels_a);
+  // Pass 2 (Fig 7 right): recent segment of B slides over A.
+  const Candidate on_a = slide(b, b_start, a, window, channels_b);
+
+  SynPoint best;
+  bool found = false;
+  if (on_b.valid && on_b.correlation >= threshold) {
+    best = {a_start, on_b.position, window, on_b.correlation};
+    found = true;
+  }
+  if (on_a.valid && on_a.correlation >= threshold &&
+      (!found || on_a.correlation > best.correlation)) {
+    best = {on_a.position, b_start, window, on_a.correlation};
+    found = true;
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
+                                      const ContextTrajectory& b) const {
+  std::vector<SynPoint> out;
+  for (std::size_t k = 0; k < std::max<std::size_t>(1, config_.syn_points);
+       ++k) {
+    const std::size_t offset = k * config_.syn_segment_spacing_m;
+    const auto syn = find_one(a, b, offset);
+    if (syn.has_value()) out.push_back(*syn);
+  }
+  std::sort(out.begin(), out.end(), [](const SynPoint& x, const SynPoint& y) {
+    return x.correlation > y.correlation;
+  });
+  return out;
+}
+
+}  // namespace rups::core

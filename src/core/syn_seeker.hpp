@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/correlation.hpp"
+#include "core/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rups::core {
+
+/// Parameters of the SYN-point search (paper Secs. IV-D, V-C, VI-B).
+struct SynConfig {
+  /// Checking-window length in metres (paper evaluates with 85 m and the
+  /// complexity analysis uses 100 m).
+  std::size_t window_m = 85;
+  /// Checking-window width: number of strongest channels used (paper: 45).
+  std::size_t top_channels = 45;
+  /// Coherency threshold on the eq.(2) scale [-2, 2] (paper: 1.2).
+  double coherency_threshold = 1.2;
+  /// Slide stride in metres (1 = exhaustive, the paper's search).
+  std::size_t stride_m = 1;
+  /// Number of SYN points sought from successively older recent segments
+  /// (Sec. VI-C: multiple SYN points tame passing-vehicle outliers).
+  std::size_t syn_points = 1;
+  /// Spacing between the recent segments used for multi-SYN (m).
+  std::size_t syn_segment_spacing_m = 25;
+  /// Adaptive window (Sec. V-C): when a context is shorter than window_m,
+  /// shrink the window down to min_window_m and scale the threshold.
+  bool adaptive_window = true;
+  std::size_t min_window_m = 10;
+  /// Treat only the post-turn straight tail of each context as usable for
+  /// the RECENT fixed segment (Sec. V-C: after turning onto a new road the
+  /// older context belongs to a different segment). Uses TurnDetector;
+  /// combines with adaptive_window to answer fast right after a turn.
+  bool respect_turns = false;
+  /// Coarse-to-fine search: scan positions at coarse_stride_m, then refine
+  /// exhaustively around the best coarse hit. Cuts the O(m*w*k) sweep by
+  /// ~coarse_stride while finding the same peak when the correlation
+  /// surface is unimodal near the optimum (it is: the field decorrelates
+  /// within metres). 0/1 disables.
+  std::size_t coarse_stride_m = 0;
+  /// Threshold multiplier applied at min_window_m (linear in window size up
+  /// to 1.0 at window_m). "Combined with a smaller threshold" — Sec. V-C.
+  double adaptive_threshold_floor = 0.75;
+  TrajectoryCorrelationConfig correlation{};
+};
+
+/// One matched overlap between two context trajectories. Indices are the
+/// START entries of the matched windows; the SYN location is the window
+/// end. `correlation` is on the eq.(2) scale.
+struct SynPoint {
+  std::size_t index_a = 0;
+  std::size_t index_b = 0;
+  std::size_t window_m = 0;
+  double correlation = -2.0;
+};
+
+/// Double-sliding cross-correlation search for SYN points (paper Fig 7):
+/// the most recent window of trajectory A slides over all of B, then the
+/// most recent window of B slides over all of A; the best position at or
+/// above the coherency threshold wins. Complexity O(m * w * k) per recent
+/// segment; optionally parallelized over slide positions with a ThreadPool.
+class SynSeeker {
+ public:
+  explicit SynSeeker(SynConfig config = {},
+                     util::ThreadPool* pool = nullptr) noexcept;
+
+  /// Find up to config.syn_points SYN points between two trajectories,
+  /// best-correlation first. Empty if the trajectories are unrelated.
+  [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
+                                           const ContextTrajectory& b) const;
+
+  /// One double-sliding pass where the fixed recent segments END
+  /// `recency_offset_m` metres before the newest entry.
+  [[nodiscard]] std::optional<SynPoint> find_one(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      std::size_t recency_offset_m = 0) const;
+
+  [[nodiscard]] const SynConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Candidate {
+    double correlation = -2.0;
+    std::size_t position = 0;
+    bool valid = false;
+  };
+
+  /// Slide a fixed window of `fixed` (starting at fixed_start) across all
+  /// of `sliding`; returns the best position.
+  [[nodiscard]] Candidate slide(const ContextTrajectory& fixed,
+                                std::size_t fixed_start,
+                                const ContextTrajectory& sliding,
+                                std::size_t window,
+                                std::span<const std::size_t> channels) const;
+
+  /// Effective window and threshold after the adaptive-window rule.
+  [[nodiscard]] std::pair<std::size_t, double> effective_window(
+      std::size_t available_a, std::size_t available_b) const;
+
+  SynConfig config_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,168 @@
+#include "core/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/channel_select.hpp"
+#include "core/correlation.hpp"
+
+namespace rups::core {
+
+NeighbourTracker::NeighbourTracker() : NeighbourTracker(Config{}) {}
+
+NeighbourTracker::NeighbourTracker(Config config) : config_(config) {}
+
+void NeighbourTracker::lock_from_syn(const ContextTrajectory& local,
+                                     const SynPoint& syn) {
+  const double local_syn =
+      local.distance_at(syn.index_a + syn.window_m - 1);
+  const double neigh_syn =
+      neighbour_->distance_at(syn.index_b + syn.window_m - 1);
+  offset_m_ = local_syn - neigh_syn;
+  local_end_at_lock_m_ = local.end_distance_m();
+  local_end_at_verify_m_ = local.end_distance_m();
+  drift_estimate_m_ = 0.0;
+  lock_correlation_ = syn.correlation;
+  locked_ = true;
+  needs_refresh_ = false;
+}
+
+bool NeighbourTracker::initialize(const ContextTrajectory& local,
+                                  const ContextTrajectory& neighbour_full) {
+  neighbour_.emplace(neighbour_full);
+  // Consensus lock: several independent recent segments must agree on the
+  // alignment; a single ambiguous match must not become a confident lock.
+  SynConfig syn_cfg = config_.syn;
+  syn_cfg.syn_points =
+      std::max<std::size_t>(syn_cfg.syn_points, config_.init_syn_candidates);
+  const SynSeeker seeker(syn_cfg);
+  const auto syns = seeker.find(local, *neighbour_);
+  if (syns.empty()) {
+    locked_ = false;
+    needs_refresh_ = true;
+    return false;
+  }
+  if (syns.size() >= 2) {
+    double lo = 1e18, hi = -1e18;
+    for (const SynPoint& s : syns) {
+      const double d = resolve_distance(local, *neighbour_, s);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    if (hi - lo > config_.consensus_tolerance_m) {
+      locked_ = false;
+      needs_refresh_ = true;
+      return false;
+    }
+  }
+  lock_from_syn(local, syns.front());
+  return true;
+}
+
+bool NeighbourTracker::ingest_tail(const ContextTrajectory& tail) {
+  if (!neighbour_.has_value()) return false;
+  const std::uint64_t cached_next =
+      neighbour_->first_metre() + neighbour_->size();
+  if (tail.first_metre() > cached_next) {
+    needs_refresh_ = true;  // gap — we missed updates
+    return false;
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const std::uint64_t metre = tail.first_metre() + i;
+    if (metre < cached_next) continue;  // duplicate overlap
+    neighbour_->append(tail.geo(i), tail.power(i));
+  }
+  return true;
+}
+
+std::optional<RelativeDistanceEstimate> NeighbourTracker::estimate(
+    const ContextTrajectory& local) const {
+  if (!locked_ || !neighbour_.has_value()) return std::nullopt;
+  // d_r = (local travel since SYN) - (neighbour travel since SYN)
+  //     = local_end - neighbour_end - offset.
+  RelativeDistanceEstimate out;
+  out.distance_m =
+      local.end_distance_m() - neighbour_->end_distance_m() - offset_m_;
+  out.confidence = lock_correlation_;
+  out.syn_count = 1;
+  return out;
+}
+
+bool NeighbourTracker::maintain(const ContextTrajectory& local) {
+  if (!locked_ || !neighbour_.has_value()) return false;
+
+  // Drift model: both odometers drift as the cars move.
+  const double travelled = local.end_distance_m() - local_end_at_verify_m_;
+  if (travelled < config_.verify_interval_m) {
+    drift_estimate_m_ =
+        config_.drift_per_metre *
+        (local.end_distance_m() - local_end_at_lock_m_);
+    if (drift_estimate_m_ > config_.refresh_threshold_m) {
+      needs_refresh_ = true;
+    }
+    return !needs_refresh_;
+  }
+
+  // Narrow re-verification: slide the most recent local window over the
+  // cached neighbour context only around the PREDICTED position.
+  const std::size_t window = config_.syn.window_m;
+  if (local.size() < window || neighbour_->size() < window) {
+    return !needs_refresh_;
+  }
+  const std::size_t local_start = local.size() - window;
+  const double predicted_neigh_end_metre =
+      local.distance_at(local_start + window - 1) - offset_m_;
+  const double predicted_index =
+      predicted_neigh_end_metre - static_cast<double>(neighbour_->first_metre()) -
+      static_cast<double>(window - 1);
+
+  const auto channels =
+      select_top_channels(local, local_start, window, config_.syn.top_channels);
+  if (channels.empty()) return !needs_refresh_;
+
+  double best_corr = -2.0;
+  std::size_t best_pos = 0;
+  const auto radius = static_cast<std::ptrdiff_t>(config_.verify_radius_m);
+  const auto centre = static_cast<std::ptrdiff_t>(std::llround(predicted_index));
+  for (std::ptrdiff_t p = centre - radius; p <= centre + radius; ++p) {
+    if (p < 0 ||
+        static_cast<std::size_t>(p) + window > neighbour_->size()) {
+      continue;
+    }
+    const double r = trajectory_correlation(
+        WindowRef{&local, local_start},
+        WindowRef{&*neighbour_, static_cast<std::size_t>(p)}, window, channels,
+        config_.syn.correlation);
+    if (r > best_corr) {
+      best_corr = r;
+      best_pos = static_cast<std::size_t>(p);
+    }
+  }
+
+  if (best_corr < config_.syn.coherency_threshold) {
+    needs_refresh_ = true;
+    locked_ = false;
+    return false;
+  }
+  // A verification that wants to move the alignment far from the predicted
+  // position means the narrow search latched onto ambiguity — escalate to
+  // a full refresh rather than silently jumping the lock.
+  const double new_offset =
+      local.distance_at(local_start + window - 1) -
+      neighbour_->distance_at(best_pos + window - 1);
+  if (std::abs(new_offset - offset_m_) >
+      config_.max_verify_jump_m + drift_estimate_m_) {
+    needs_refresh_ = true;
+    return false;
+  }
+  // Re-lock on the refined match.
+  SynPoint refined;
+  refined.index_a = local_start;
+  refined.index_b = best_pos;
+  refined.window_m = window;
+  refined.correlation = best_corr;
+  lock_from_syn(local, refined);
+  return true;
+}
+
+}  // namespace rups::core

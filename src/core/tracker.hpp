@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/resolver.hpp"
+#include "core/syn_seeker.hpp"
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// Continuous relative-distance tracking of one neighbour (paper Sec. V-B:
+/// "only transfer trajectory information after a SYN point has been
+/// identified and transfer the complete journey context when the estimated
+/// accumulative error is beyond a threshold").
+///
+/// After an initial full-context exchange locks the odometer OFFSET between
+/// the two vehicles (their odometer frames are arbitrary but the SYN point
+/// aligns them), subsequent high-rate estimates only need each side's
+/// current odometer plus cheap tail updates of the neighbour's trajectory.
+/// The tracker:
+///   * splices incoming tail updates onto its cached neighbour context,
+///   * re-verifies the lock with a NARROW window search around the
+///     predicted offset (O(r*w*k), r = search radius, instead of the full
+///     O(m*w*k) sweep),
+///   * models odometry drift and requests a full re-exchange + full search
+///     when the estimated accumulated error exceeds the threshold.
+class NeighbourTracker {
+ public:
+  struct Config {
+    SynConfig syn{};
+    Aggregation aggregation = Aggregation::kSelectiveMean;
+    /// Odometry drift model: accumulated error grows by this fraction of
+    /// the distance both cars travel past the lock.
+    double drift_per_metre = 0.01;
+    /// Estimated accumulated error that triggers a full refresh (m).
+    double refresh_threshold_m = 6.0;
+    /// Half-width of the narrow re-verification search (m).
+    std::size_t verify_radius_m = 12;
+    /// Re-verify after this much local travel since the last verify (m).
+    double verify_interval_m = 50.0;
+    /// Number of SYN candidates required to agree at initialization; their
+    /// implied offsets must fall within consensus_tolerance_m or the lock
+    /// is refused (prevents confidently-wrong single-SYN locks).
+    std::size_t init_syn_candidates = 3;
+    double consensus_tolerance_m = 8.0;
+    /// A re-verification that moves the offset by more than this is
+    /// treated as ambiguity -> full refresh instead of a silent jump.
+    double max_verify_jump_m = 6.0;
+  };
+
+  NeighbourTracker();
+  explicit NeighbourTracker(Config config);
+
+  /// Seed the tracker with a full neighbour context; runs the full SYN
+  /// search. Returns false if no SYN point clears the threshold.
+  bool initialize(const ContextTrajectory& local,
+                  const ContextTrajectory& neighbour_full);
+
+  /// Splice a tail update (metres at/after the cached end) onto the cached
+  /// neighbour context. Returns false on a gap (a full refresh is needed).
+  bool ingest_tail(const ContextTrajectory& tail);
+
+  /// Current estimate from the locked offset (cheap; no search).
+  [[nodiscard]] std::optional<RelativeDistanceEstimate> estimate(
+      const ContextTrajectory& local) const;
+
+  /// Maintenance step: narrow re-verification around the predicted offset
+  /// when due; updates the lock and resets the drift model. Returns true if
+  /// the lock is still healthy, false if a full refresh is required.
+  bool maintain(const ContextTrajectory& local);
+
+  /// True when drift exceeded the refresh threshold or the lock was lost.
+  [[nodiscard]] bool needs_full_refresh() const noexcept {
+    return needs_refresh_;
+  }
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+  /// Estimated accumulated error of the current lock (m).
+  [[nodiscard]] double estimated_drift_m() const noexcept {
+    return drift_estimate_m_;
+  }
+
+  /// Neighbour metres cached so far.
+  [[nodiscard]] const ContextTrajectory* neighbour() const noexcept {
+    return neighbour_ ? &*neighbour_ : nullptr;
+  }
+
+ private:
+  void lock_from_syn(const ContextTrajectory& local, const SynPoint& syn);
+
+  Config config_;
+  std::optional<ContextTrajectory> neighbour_;
+  bool locked_ = false;
+  bool needs_refresh_ = false;
+  /// Locked alignment: local odometer metre - neighbour odometer metre at
+  /// the SYN location.
+  double offset_m_ = 0.0;
+  double local_end_at_lock_m_ = 0.0;
+  double local_end_at_verify_m_ = 0.0;
+  double drift_estimate_m_ = 0.0;
+  double lock_correlation_ = -2.0;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,59 @@
+#include "core/turn_detector.hpp"
+
+#include <cmath>
+
+#include "util/angle.hpp"
+
+namespace rups::core {
+
+TurnDetector::TurnDetector() : TurnDetector(Config{}) {}
+
+TurnDetector::TurnDetector(Config config) : config_(config) {
+  recent_.resize(config_.turn_window_m, 0.0);
+}
+
+void TurnDetector::on_metre(double heading_rad) {
+  const std::size_t w = recent_.size();
+  if (!full_) {
+    recent_[next_] = heading_rad;
+    ++next_;
+    ++metres_since_turn_;
+    if (next_ == w) {
+      full_ = true;
+      next_ = 0;
+    }
+    return;
+  }
+  // Oldest retained heading is at next_ (about to be overwritten).
+  const double oldest = recent_[next_];
+  recent_[next_] = heading_rad;
+  next_ = (next_ + 1) % w;
+  ++metres_since_turn_;
+
+  if (std::abs(util::angle_diff(heading_rad, oldest)) >=
+      config_.turn_threshold_rad) {
+    ++turns_;
+    metres_since_turn_ = 0;
+    // Reset the window so the same turn does not retrigger while it
+    // drains out of the ring.
+    full_ = false;
+    next_ = 0;
+  }
+}
+
+std::uint64_t TurnDetector::straight_tail_metres(
+    const ContextTrajectory& trajectory) {
+  return straight_tail_metres(trajectory, Config{});
+}
+
+std::uint64_t TurnDetector::straight_tail_metres(
+    const ContextTrajectory& trajectory, Config config) {
+  TurnDetector detector(config);
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    detector.on_metre(trajectory.geo(i).heading_rad);
+  }
+  return std::min<std::uint64_t>(detector.metres_since_turn(),
+                                 trajectory.size());
+}
+
+}  // namespace rups::core

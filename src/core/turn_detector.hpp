@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace rups::core {
+
+/// Detects turns onto new road segments from the per-metre heading stream
+/// (paper Sec. V-C: after a turn the vehicle has "insufficient context
+/// about the newly-entered road segment", so the SYN search should use the
+/// adaptive short window until enough post-turn context accumulates).
+///
+/// A turn is a cumulative heading change above `turn_threshold_rad` within
+/// a `turn_window_m` stretch of travel. The detector exposes the distance
+/// travelled since the last turn — the amount of context that actually
+/// belongs to the current road segment.
+class TurnDetector {
+ public:
+  struct Config {
+    double turn_threshold_rad = 0.6;  ///< ~35 degrees
+    std::size_t turn_window_m = 15;   ///< stretch the change accumulates over
+  };
+
+  TurnDetector();
+  explicit TurnDetector(Config config);
+
+  /// Feed the heading of the next metre mark.
+  void on_metre(double heading_rad);
+
+  /// Metres travelled since the most recent detected turn (equals total
+  /// metres fed if no turn was ever detected).
+  [[nodiscard]] std::uint64_t metres_since_turn() const noexcept {
+    return metres_since_turn_;
+  }
+
+  /// Total turns detected.
+  [[nodiscard]] std::size_t turn_count() const noexcept { return turns_; }
+
+  /// Convenience: scan an existing trajectory's most recent metres and
+  /// report how much tail context is post-turn (bounded by traj size).
+  [[nodiscard]] static std::uint64_t straight_tail_metres(
+      const ContextTrajectory& trajectory);
+  [[nodiscard]] static std::uint64_t straight_tail_metres(
+      const ContextTrajectory& trajectory, Config config);
+
+ private:
+  Config config_;
+  std::vector<double> recent_;  ///< ring of last turn_window_m headings
+  std::size_t next_ = 0;
+  bool full_ = false;
+  std::uint64_t metres_since_turn_ = 0;
+  std::size_t turns_ = 0;
+};
+
+}  // namespace rups::core

@@ -1,0 +1,76 @@
+#include "core/types.hpp"
+
+#include <stdexcept>
+
+namespace rups::core {
+
+PowerVector::PowerVector(std::size_t channels)
+    : rssi_(channels, 0.0f),
+      state_(channels, static_cast<std::uint8_t>(ChannelState::kMissing)) {}
+
+void PowerVector::set(std::size_t channel, float dbm, ChannelState state) {
+  if (channel >= rssi_.size()) throw std::out_of_range("PowerVector::set");
+  rssi_[channel] = dbm;
+  state_[channel] = static_cast<std::uint8_t>(state);
+}
+
+std::size_t PowerVector::usable_count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t s : state_) {
+    if (s != static_cast<std::uint8_t>(ChannelState::kMissing)) ++n;
+  }
+  return n;
+}
+
+std::size_t PowerVector::measured_count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t s : state_) {
+    if (s == static_cast<std::uint8_t>(ChannelState::kMeasured)) ++n;
+  }
+  return n;
+}
+
+double PowerVector::mean_usable() const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < rssi_.size(); ++c) {
+    if (usable(c)) {
+      sum += rssi_[c];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+ContextTrajectory::ContextTrajectory(std::size_t channels,
+                                     std::size_t capacity_m)
+    : channels_(channels), capacity_(capacity_m) {
+  if (channels == 0 || capacity_m == 0) {
+    throw std::invalid_argument("ContextTrajectory: zero channels/capacity");
+  }
+  geo_.reserve(capacity_m);
+  power_.reserve(capacity_m);
+}
+
+void ContextTrajectory::append(GeoSample geo, PowerVector power) {
+  if (power.channels() != channels_) {
+    throw std::invalid_argument("ContextTrajectory::append: width mismatch");
+  }
+  if (geo_.size() == capacity_) {
+    geo_.erase(geo_.begin());
+    power_.erase(power_.begin());
+    ++first_seq_;
+  }
+  geo_.push_back(geo);
+  power_.push_back(std::move(power));
+}
+
+double ContextTrajectory::measured_fraction() const noexcept {
+  if (empty()) return 0.0;
+  std::size_t measured = 0;
+  for (const auto& pv : power_) measured += pv.measured_count();
+  return static_cast<double>(measured) /
+         (static_cast<double>(size()) * static_cast<double>(channels_));
+}
+
+}  // namespace rups::core

@@ -1,0 +1,83 @@
+#include "gsm/channel_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rups::gsm {
+
+ChannelPlan::ChannelPlan(std::vector<Arfcn> arfcns)
+    : arfcns_(std::move(arfcns)) {
+  if (arfcns_.empty()) {
+    throw std::invalid_argument("ChannelPlan: empty channel list");
+  }
+  freqs_.reserve(arfcns_.size());
+  bands_.assign(arfcns_.size(), Band::kRGsm900);
+  for (Arfcn a : arfcns_) freqs_.push_back(downlink_mhz(a));
+}
+
+ChannelPlan ChannelPlan::full_r_gsm_900() {
+  std::vector<Arfcn> chans;
+  chans.reserve(194);
+  for (Arfcn a = 0; a <= 124; ++a) chans.push_back(a);       // P-GSM
+  for (Arfcn a = 955; a <= 1023; ++a) chans.push_back(a);    // R-GSM ext
+  return ChannelPlan(std::move(chans));
+}
+
+ChannelPlan ChannelPlan::evaluation_subset(std::uint64_t seed,
+                                           std::size_t count) {
+  const ChannelPlan full = full_r_gsm_900();
+  if (count >= full.size()) return full;
+  // Deterministic Fisher–Yates prefix selection, then restore band order.
+  std::vector<Arfcn> pool = full.arfcns();
+  util::Rng rng(util::hash_combine(seed, 0x4348414eULL));  // "CHAN"
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return ChannelPlan(std::move(pool));
+}
+
+ChannelPlan ChannelPlan::fm_broadcast() {
+  ChannelPlan plan;
+  constexpr int kChannels = 206;  // 87.5 .. 108.0 MHz inclusive, 100 kHz
+  plan.arfcns_.reserve(kChannels);
+  plan.freqs_.reserve(kChannels);
+  plan.bands_.assign(kChannels, Band::kFmBroadcast);
+  for (int i = 0; i < kChannels; ++i) {
+    plan.arfcns_.push_back(i);
+    plan.freqs_.push_back(87.5 + 0.1 * i);
+  }
+  return plan;
+}
+
+ChannelPlan ChannelPlan::combined(const ChannelPlan& a, const ChannelPlan& b) {
+  ChannelPlan out;
+  out.arfcns_ = a.arfcns_;
+  out.arfcns_.insert(out.arfcns_.end(), b.arfcns_.begin(), b.arfcns_.end());
+  out.freqs_ = a.freqs_;
+  out.freqs_.insert(out.freqs_.end(), b.freqs_.begin(), b.freqs_.end());
+  out.bands_ = a.bands_;
+  out.bands_.insert(out.bands_.end(), b.bands_.begin(), b.bands_.end());
+  if (out.arfcns_.empty()) {
+    throw std::invalid_argument("ChannelPlan::combined: empty");
+  }
+  return out;
+}
+
+double ChannelPlan::downlink_mhz(Arfcn arfcn) {
+  if (arfcn >= 0 && arfcn <= 124) {
+    return 935.0 + 0.2 * arfcn;
+  }
+  if (arfcn >= 955 && arfcn <= 1023) {
+    return 935.0 + 0.2 * (arfcn - 1024);
+  }
+  throw std::out_of_range("ARFCN outside R-GSM-900");
+}
+
+}  // namespace rups::gsm

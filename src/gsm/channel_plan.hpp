@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rups::gsm {
+
+/// Absolute Radio Frequency Channel Number (GSM) or, for other bands, a
+/// band-specific channel identifier.
+using Arfcn = int;
+
+/// Radio band a channel belongs to. The paper's system scans R-GSM-900;
+/// its future-work section proposes adding other ambient bands (3G/4G, FM,
+/// TV) — the FM broadcast band is implemented here as that extension.
+enum class Band { kRGsm900, kFmBroadcast };
+
+/// The set of channels a scanner sweeps, with per-channel carrier
+/// frequencies. The paper uses the R-GSM-900 band: 194 channels (P-GSM
+/// ARFCN 0–124 plus the R-GSM extension ARFCN 955–1023), scanned in 2.85 s
+/// by one OsmocomBB radio; the Sec. VI evaluation uses a selected subset
+/// of 115 channels.
+class ChannelPlan {
+ public:
+  ChannelPlan() = default;
+  /// GSM-900 plan from explicit ARFCNs.
+  explicit ChannelPlan(std::vector<Arfcn> arfcns);
+
+  /// Full R-GSM-900 band: 194 channels.
+  [[nodiscard]] static ChannelPlan full_r_gsm_900();
+
+  /// Deterministic subset of `count` channels from the full band
+  /// (paper: 115 channels for the evaluation).
+  [[nodiscard]] static ChannelPlan evaluation_subset(std::uint64_t seed,
+                                                     std::size_t count = 115);
+
+  /// FM broadcast band, 87.5–108.0 MHz in 100 kHz steps: 206 channels
+  /// (the paper's future-work multi-band extension).
+  [[nodiscard]] static ChannelPlan fm_broadcast();
+
+  /// Concatenation of two plans (multi-band scanning).
+  [[nodiscard]] static ChannelPlan combined(const ChannelPlan& a,
+                                            const ChannelPlan& b);
+
+  [[nodiscard]] std::size_t size() const noexcept { return arfcns_.size(); }
+  [[nodiscard]] Arfcn arfcn(std::size_t index) const {
+    return arfcns_.at(index);
+  }
+  [[nodiscard]] const std::vector<Arfcn>& arfcns() const noexcept {
+    return arfcns_;
+  }
+  [[nodiscard]] Band band_of(std::size_t index) const {
+    return bands_.at(index);
+  }
+
+  /// Carrier frequency (MHz) of channel `index` (band-aware).
+  [[nodiscard]] double frequency_mhz(std::size_t index) const {
+    return freqs_.at(index);
+  }
+
+  /// GSM-900 downlink carrier frequency in MHz for an ARFCN.
+  [[nodiscard]] static double downlink_mhz(Arfcn arfcn);
+
+  /// Per-channel scan dwell used by the paper's scanners: ~15 ms/channel,
+  /// i.e. 194 channels in ~2.9 s.
+  static constexpr double kChannelDwellSeconds = 0.015;
+
+  /// Full-band sweep time for one radio.
+  [[nodiscard]] double sweep_seconds() const noexcept {
+    return static_cast<double>(size()) * kChannelDwellSeconds;
+  }
+
+ private:
+  std::vector<Arfcn> arfcns_;
+  std::vector<double> freqs_;
+  std::vector<Band> bands_;
+};
+
+}  // namespace rups::gsm

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "road/environment.hpp"
+
+namespace rups::gsm {
+
+/// Radio-environment parameters per road class. Calibrated (see
+/// EXPERIMENTS.md) so the synthetic field reproduces the paper's empirical
+/// statistics: Fig 2 (temporal stability), Fig 3 (geographical uniqueness),
+/// Fig 4 (fine resolution: relative change >= ~0.4 at 1 m separation).
+struct GsmEnvProfile {
+  /// Mean spacing between serving towers along the road (m).
+  double tower_spacing_m = 600.0;
+  /// Typical lateral offset of towers from the road (m).
+  double tower_lateral_m = 150.0;
+  /// Log-distance path loss exponent.
+  double path_loss_exponent = 3.2;
+  /// Large-scale shadowing stddev (dB) and decorrelation length (m).
+  double shadow_long_sigma_db = 6.0;
+  double shadow_long_corr_m = 45.0;
+  /// Small-scale multipath structure stddev (dB) and decorrelation length (m)
+  /// — this short component is what gives the field its fine resolution.
+  double shadow_short_sigma_db = 5.0;
+  double shadow_short_corr_m = 1.6;
+  /// Fraction of the short-scale VARIANCE that is ephemeral: fine multipath
+  /// structure re-drawn continuously over ephemeral_corr_s (parked cars,
+  /// overhead traffic). Two passes Delta-t apart see partially different
+  /// fine structure, which is what limits SYN matching accuracy — largest
+  /// under elevated decks.
+  double shadow_ephemeral_fraction = 0.2;
+  double ephemeral_corr_s = 40.0;
+  /// Extra per-lane decorrelation (dB): distinct lanes see slightly
+  /// different multipath (paper Fig 11, "8-lane, distinct lanes").
+  double lane_sigma_db = 3.0;
+  /// Stationary stddev (dB) of the slow temporal fading on stable channels.
+  double temporal_sigma_db = 1.8;
+  /// Temporal decorrelation time (s) of the slow fading.
+  double temporal_corr_s = 600.0;
+  /// Fraction of channels that are "volatile" (interference / reassignment)
+  /// and their extra temporal stddev (dB).
+  double volatile_fraction = 0.15;
+  double volatile_sigma_db = 8.0;
+  double volatile_corr_s = 180.0;
+  /// Flat extra attenuation of the whole band (dB): concrete above the road
+  /// (under-elevated) or canyon absorption.
+  double bulk_attenuation_db = 0.0;
+};
+
+/// Profile lookup for a road environment.
+[[nodiscard]] const GsmEnvProfile& env_profile(road::EnvironmentType env) noexcept;
+
+}  // namespace rups::gsm

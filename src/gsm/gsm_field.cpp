@@ -1,0 +1,169 @@
+#include "gsm/gsm_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numbers>
+
+#include "gsm/path_loss.hpp"
+#include "util/hash_noise.hpp"
+#include "util/rng.hpp"
+
+namespace rups::gsm {
+
+namespace {
+constexpr std::uint64_t kShadowLongTag = 0x53484c4fULL;   // "SHLO"
+constexpr std::uint64_t kShadowShortTag = 0x53485348ULL;  // "SHSH"
+constexpr std::uint64_t kLaneTag = 0x4c414e45ULL;         // "LANE"
+constexpr std::uint64_t kBackgroundTag = 0x42414348ULL;   // "BACH"
+constexpr std::uint64_t kLocalityTag = 0x4c4f4341ULL;     // "LOCA"
+constexpr std::uint64_t kTemporalTag = 0x54464144ULL;     // "TFAD"
+constexpr std::uint64_t kEphemeralTag = 0x45504845ULL;    // "EPHE"
+}  // namespace
+
+double dbm_to_mw(double dbm) noexcept { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(std::max(mw, 1e-30));
+}
+
+GsmField::GsmField(std::uint64_t seed, ChannelPlan plan)
+    : seed_(seed), plan_(std::move(plan)) {}
+
+void GsmField::set_profile_override(const GsmEnvProfile& profile) {
+  std::unique_lock lock(mutex_);
+  profile_override_ = profile;
+  contexts_.clear();
+}
+
+GsmField::SegmentContext::SegmentContext(std::uint64_t seed,
+                                         const road::RoadSegment& segment,
+                                         const ChannelPlan& plan,
+                                         const GsmEnvProfile* override_profile)
+    : profile(override_profile != nullptr ? *override_profile
+                                          : env_profile(segment.env)),
+      temporal(util::hash_combine(seed, kTemporalTag), profile) {
+  towers = TowerLayout::for_segment(seed, segment, plan, profile);
+  towers_by_channel.assign(plan.size(), {});
+  for (std::size_t t = 0; t < towers.size(); ++t) {
+    for (std::size_t c : towers[t].channel_indices) {
+      if (c < plan.size()) towers_by_channel[c].push_back(t);
+    }
+  }
+}
+
+const GsmField::SegmentContext& GsmField::context_for(
+    const road::RoadSegment& segment) const {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = contexts_.find(segment.id);
+    if (it != contexts_.end()) return *it->second;
+  }
+  auto ctx = std::make_unique<SegmentContext>(
+      seed_, segment, plan_,
+      profile_override_.has_value() ? &*profile_override_ : nullptr);
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = contexts_.try_emplace(segment.id, std::move(ctx));
+  return *it->second;
+}
+
+double GsmField::rssi_dbm(const road::RoadSegment& segment, double offset_m,
+                          int lane, std::size_t channel_index,
+                          double time_s) const {
+  const SegmentContext& ctx = context_for(segment);
+  const GsmEnvProfile& prof = ctx.profile;
+  const road::Point2 here = segment.point_at(offset_m);
+  const double carrier = plan_.frequency_mhz(channel_index);
+  const PathLoss pl(prof.path_loss_exponent, carrier);
+
+  // Tower contributions, power-summed in the linear domain.
+  double mw = 0.0;
+  if (channel_index < ctx.towers_by_channel.size()) {
+    for (std::size_t ti : ctx.towers_by_channel[channel_index]) {
+      const CellTower& tower = ctx.towers[ti];
+      const double dx = here.x - tower.position.x;
+      const double dy = here.y - tower.position.y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      mw += dbm_to_mw(tower.tx_power_dbm - pl.loss_db(dist));
+    }
+  }
+
+  // Diffuse background from distant co-channel cells: a city-wide activity
+  // level per channel plus a per-road locality offset.
+  const util::HashNoise activity(util::hash_combine(seed_, kBackgroundTag));
+  const util::HashNoise locality(
+      util::hash_combine(seed_, util::hash_combine(kLocalityTag, segment.id)));
+  const auto ch = static_cast<std::int64_t>(channel_index);
+  const double bg_dbm = -102.0 + 22.0 * activity.uniform(ch) +
+                        6.0 * (locality.uniform(ch) - 0.5);
+  mw += dbm_to_mw(bg_dbm);
+
+  double dbm = mw_to_dbm(mw) - prof.bulk_attenuation_db;
+
+  // Spatial shadowing / multipath structure along the road.
+  const std::uint64_t seg_ch =
+      util::hash_combine(segment.id, static_cast<std::uint64_t>(channel_index));
+  const util::LatticeField1D shadow_long(
+      util::hash_combine(seed_, util::hash_combine(kShadowLongTag, seg_ch)),
+      prof.shadow_long_corr_m, /*octaves=*/2);
+  const util::LatticeField1D shadow_short(
+      util::hash_combine(seed_, util::hash_combine(kShadowShortTag, seg_ch)),
+      prof.shadow_short_corr_m, /*octaves=*/2);
+  dbm += prof.shadow_long_sigma_db * shadow_long.value(offset_m);
+
+  // Short-scale structure: a persistent part plus an ephemeral part whose
+  // spatial pattern is re-drawn continuously over ephemeral_corr_s (epochs
+  // cosine-blended so the field stays smooth in time).
+  const double f = std::clamp(prof.shadow_ephemeral_fraction, 0.0, 1.0);
+  double short_value = std::sqrt(1.0 - f) * shadow_short.value(offset_m);
+  if (f > 0.0) {
+    const double u = time_s / prof.ephemeral_corr_s;
+    const auto epoch = static_cast<std::int64_t>(std::floor(u));
+    const double phase = u - std::floor(u);
+    const double w1 = std::sin(0.5 * std::numbers::pi * phase);
+    const double w0 = std::cos(0.5 * std::numbers::pi * phase);
+    const util::LatticeField1D eph0(
+        util::hash_combine(
+            seed_, util::hash_combine(
+                       kEphemeralTag,
+                       util::hash_combine(seg_ch,
+                                          static_cast<std::uint64_t>(epoch)))),
+        prof.shadow_short_corr_m, /*octaves=*/2);
+    const util::LatticeField1D eph1(
+        util::hash_combine(
+            seed_, util::hash_combine(
+                       kEphemeralTag,
+                       util::hash_combine(
+                           seg_ch, static_cast<std::uint64_t>(epoch + 1)))),
+        prof.shadow_short_corr_m, /*octaves=*/2);
+    short_value += std::sqrt(f) * (w0 * eph0.value(offset_m) +
+                                   w1 * eph1.value(offset_m));
+  }
+  dbm += prof.shadow_short_sigma_db * short_value;
+
+  // Per-lane multipath perturbation: lanes share the long-scale world but
+  // differ in fine structure.
+  const util::LatticeField1D lane_field(
+      util::hash_combine(
+          seed_, util::hash_combine(
+                     kLaneTag, util::hash_combine(
+                                   seg_ch, static_cast<std::uint64_t>(lane)))),
+      /*correlation_length=*/2.5, /*octaves=*/1);
+  dbm += prof.lane_sigma_db * lane_field.value(offset_m);
+
+  // Slow temporal fading (+ volatile-channel tail).
+  dbm += ctx.temporal.offset_db(channel_index, time_s);
+
+  return std::clamp(dbm, kNoiseFloorDbm, kSaturationDbm);
+}
+
+std::vector<double> GsmField::power_vector(const road::RoadSegment& segment,
+                                           double offset_m, int lane,
+                                           double time_s) const {
+  std::vector<double> out(plan_.size());
+  for (std::size_t c = 0; c < plan_.size(); ++c) {
+    out[c] = rssi_dbm(segment, offset_m, lane, c, time_s);
+  }
+  return out;
+}
+
+}  // namespace rups::gsm

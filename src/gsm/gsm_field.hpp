@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gsm/channel_plan.hpp"
+#include "gsm/env_profile.hpp"
+#include "gsm/temporal.hpp"
+#include "gsm/towers.hpp"
+#include "road/route.hpp"
+
+namespace rups::gsm {
+
+/// The simulated GSM radio environment of one city.
+///
+/// For a query point (road segment, along-road offset, lane, channel, time)
+/// the field composes, in dB:
+///   * tower contributions — log-distance path loss from the deterministic
+///     cell layout around the segment, co-channel cells power-summed,
+///   * a diffuse per-channel background (distant cells),
+///   * two spatially correlated shadowing processes over along-road
+///     distance: a long-scale (~45 m) building/terrain component and a
+///     short-scale (~1.6 m) multipath component — the two-scale structure
+///     that gives the field both geographical uniqueness (Fig 3) and fine
+///     resolution (Fig 4),
+///   * a per-lane multipath perturbation (distinct lanes decorrelate),
+///   * slow temporal fading with a volatile-channel tail (Fig 2),
+///   * the environment's bulk attenuation (e.g. under-elevated decks).
+///
+/// Everything is a pure deterministic function of (field seed, query), so
+/// the field is replayable: both vehicles, and any re-entry of a road at any
+/// time, observe one consistent world.
+class GsmField {
+ public:
+  GsmField(std::uint64_t seed, ChannelPlan plan);
+
+  GsmField(const GsmField&) = delete;
+  GsmField& operator=(const GsmField&) = delete;
+
+  /// Replace every segment's environment profile with a custom one
+  /// (ablation studies). Must be called before the first query; segment
+  /// contexts built earlier keep their original profile.
+  void set_profile_override(const GsmEnvProfile& profile);
+
+  /// Ground-truth RSSI (dBm, unquantized, before receiver effects).
+  [[nodiscard]] double rssi_dbm(const road::RoadSegment& segment,
+                                double offset_m, int lane,
+                                std::size_t channel_index,
+                                double time_s) const;
+
+  /// All channels at once (size == plan().size()).
+  [[nodiscard]] std::vector<double> power_vector(
+      const road::RoadSegment& segment, double offset_m, int lane,
+      double time_s) const;
+
+  [[nodiscard]] const ChannelPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Receiver noise floor; levels are clamped to
+  /// [kNoiseFloorDbm, kSaturationDbm].
+  static constexpr double kNoiseFloorDbm = -110.0;
+  static constexpr double kSaturationDbm = -45.0;
+
+ private:
+  struct SegmentContext {
+    std::vector<CellTower> towers;
+    /// towers_by_channel[c] = indices into `towers` radiating plan channel c.
+    std::vector<std::vector<std::size_t>> towers_by_channel;
+    GsmEnvProfile profile;
+    TemporalFading temporal;
+
+    SegmentContext(std::uint64_t seed, const road::RoadSegment& segment,
+                   const ChannelPlan& plan,
+                   const GsmEnvProfile* override_profile);
+  };
+
+  const SegmentContext& context_for(const road::RoadSegment& segment) const;
+
+  std::uint64_t seed_;
+  ChannelPlan plan_;
+  std::optional<GsmEnvProfile> profile_override_;
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<road::SegmentId, std::unique_ptr<SegmentContext>>
+      contexts_;
+};
+
+/// Convert dBm to milliwatts (linear power). The paper's relative-change
+/// metric (eq. 3) is computed on linear power.
+[[nodiscard]] double dbm_to_mw(double dbm) noexcept;
+/// Convert milliwatts to dBm.
+[[nodiscard]] double mw_to_dbm(double mw) noexcept;
+
+}  // namespace rups::gsm

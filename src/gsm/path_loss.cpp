@@ -1,0 +1,23 @@
+#include "gsm/path_loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rups::gsm {
+
+PathLoss::PathLoss(double exponent, double carrier_mhz, double d0_m) noexcept
+    : exponent_(exponent),
+      d0_m_(std::max(1.0, d0_m)),
+      pl0_db_(free_space_db(d0_m_, carrier_mhz)) {}
+
+double PathLoss::free_space_db(double distance_m, double carrier_mhz) noexcept {
+  const double d_km = std::max(distance_m, 1.0) / 1000.0;
+  return 20.0 * std::log10(d_km) + 20.0 * std::log10(carrier_mhz) + 32.44;
+}
+
+double PathLoss::loss_db(double distance_m) const noexcept {
+  const double d = std::max(distance_m, d0_m_);
+  return pl0_db_ + 10.0 * exponent_ * std::log10(d / d0_m_);
+}
+
+}  // namespace rups::gsm

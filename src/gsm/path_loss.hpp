@@ -1,0 +1,32 @@
+#pragma once
+
+namespace rups::gsm {
+
+/// Log-distance path loss model:
+///   PL(d) = PL(d0) + 10 * n * log10(d / d0)
+/// with PL(d0) derived from free-space loss at the reference distance and
+/// the carrier frequency. Distances below d0 clamp to d0.
+class PathLoss {
+ public:
+  /// @param exponent   environment path loss exponent n (2..4)
+  /// @param carrier_mhz carrier frequency (reference loss depends on it)
+  /// @param d0_m       reference distance, default 100 m
+  PathLoss(double exponent, double carrier_mhz, double d0_m = 100.0) noexcept;
+
+  /// Path loss in dB at distance d (m).
+  [[nodiscard]] double loss_db(double distance_m) const noexcept;
+
+  /// Free-space path loss at distance d (m) and frequency f (MHz):
+  /// 20 log10(d_km) + 20 log10(f_MHz) + 32.44.
+  [[nodiscard]] static double free_space_db(double distance_m,
+                                            double carrier_mhz) noexcept;
+
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  double exponent_;
+  double d0_m_;
+  double pl0_db_;
+};
+
+}  // namespace rups::gsm

@@ -1,0 +1,23 @@
+#include "gsm/rxlev.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rups::gsm {
+
+std::uint8_t RxLev::from_dbm(double dbm) noexcept {
+  if (dbm < kFloorDbm) return 0;
+  if (dbm >= kCeilDbm) return kMax;
+  const double steps = std::floor(dbm - kFloorDbm) + 1.0;
+  return static_cast<std::uint8_t>(std::clamp(steps, 0.0, 63.0));
+}
+
+double RxLev::to_dbm(std::uint8_t rxlev) noexcept {
+  if (rxlev == 0) return kFloorDbm;
+  if (rxlev >= kMax) return kCeilDbm;
+  return kFloorDbm + static_cast<double>(rxlev) - 0.5;
+}
+
+double RxLev::quantize_dbm(double dbm) noexcept { return to_dbm(from_dbm(dbm)); }
+
+}  // namespace rups::gsm

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rups::gsm {
+
+/// GSM RXLEV reporting scale (3GPP TS 45.008): received level is quantized
+/// to integer dB steps, RXLEV 0 = below -110 dBm, RXLEV 63 = above -48 dBm.
+/// The simulated scanner reports through this quantizer, so downstream code
+/// sees exactly what a real GSM baseband would report.
+struct RxLev {
+  static constexpr double kFloorDbm = -110.0;
+  static constexpr double kCeilDbm = -48.0;
+  static constexpr std::uint8_t kMax = 63;
+
+  /// dBm → RXLEV (clamped).
+  [[nodiscard]] static std::uint8_t from_dbm(double dbm) noexcept;
+
+  /// RXLEV → representative dBm (bin lower edge + 0.5 dB, endpoints exact).
+  [[nodiscard]] static double to_dbm(std::uint8_t rxlev) noexcept;
+
+  /// Quantize a dBm value through the RXLEV scale (round trip).
+  [[nodiscard]] static double quantize_dbm(double dbm) noexcept;
+};
+
+}  // namespace rups::gsm

@@ -1,0 +1,40 @@
+#include "gsm/temporal.hpp"
+
+#include "util/hash_noise.hpp"
+#include "util/rng.hpp"
+
+namespace rups::gsm {
+
+namespace {
+constexpr std::uint64_t kStableTag = 0x54454d50ULL;    // "TEMP"
+constexpr std::uint64_t kVolatileTag = 0x564f4c41ULL;  // "VOLA"
+constexpr std::uint64_t kCoinTag = 0x434f494eULL;      // "COIN"
+}  // namespace
+
+TemporalFading::TemporalFading(std::uint64_t seed,
+                               const GsmEnvProfile& profile) noexcept
+    : seed_(seed), profile_(profile) {}
+
+bool TemporalFading::is_volatile(std::size_t channel_index) const noexcept {
+  const util::HashNoise coin(util::hash_combine(seed_, kCoinTag));
+  return coin.uniform(static_cast<std::int64_t>(channel_index)) <
+         profile_.volatile_fraction;
+}
+
+double TemporalFading::offset_db(std::size_t channel_index,
+                                 double time_s) const noexcept {
+  const auto ch = static_cast<std::uint64_t>(channel_index);
+  const util::LatticeField1D stable(
+      util::hash_combine(seed_, util::hash_combine(kStableTag, ch)),
+      profile_.temporal_corr_s, /*octaves=*/2);
+  double out = profile_.temporal_sigma_db * stable.value(time_s);
+  if (is_volatile(channel_index)) {
+    const util::LatticeField1D vol(
+        util::hash_combine(seed_, util::hash_combine(kVolatileTag, ch)),
+        profile_.volatile_corr_s, /*octaves=*/2);
+    out += profile_.volatile_sigma_db * vol.value(time_s);
+  }
+  return out;
+}
+
+}  // namespace rups::gsm

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gsm/env_profile.hpp"
+
+namespace rups::gsm {
+
+/// Slow temporal variation of each channel's received level: a smooth
+/// zero-mean process per channel plus, for a hashed subset of "volatile"
+/// channels, a stronger and faster component (interference, carrier
+/// reassignment, traffic load). Deterministic in (seed, channel, time).
+///
+/// This is the mechanism behind Fig 2: per-channel levels drift over
+/// minutes, but because drifts are independent across channels, the
+/// ACROSS-CHANNEL power-vector correlation stays high — and higher when
+/// more channels are compared.
+class TemporalFading {
+ public:
+  TemporalFading(std::uint64_t seed, const GsmEnvProfile& profile) noexcept;
+
+  /// Offset (dB) to add to channel `channel_index` at absolute time t (s).
+  [[nodiscard]] double offset_db(std::size_t channel_index,
+                                 double time_s) const noexcept;
+
+  /// Whether the hashed volatility coin marked this channel volatile.
+  [[nodiscard]] bool is_volatile(std::size_t channel_index) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+  GsmEnvProfile profile_;
+};
+
+}  // namespace rups::gsm

@@ -1,0 +1,57 @@
+#include "gsm/towers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rups::gsm {
+
+std::vector<CellTower> TowerLayout::for_segment(
+    std::uint64_t field_seed, const road::RoadSegment& segment,
+    const ChannelPlan& plan, const GsmEnvProfile& profile) {
+  // Tower identity depends on the global field and the segment only, NOT on
+  // who is asking or when — both vehicles and every re-entry of the road see
+  // the same cells.
+  util::Rng rng(util::hash_combine(field_seed,
+                                   util::hash_combine(segment.id, 0x544f57ULL)));
+
+  // Enough towers to cover the segment plus shoulder coverage on both ends.
+  const double covered = segment.length_m + 2.0 * profile.tower_spacing_m;
+  const auto count = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::ceil(covered / profile.tower_spacing_m)));
+
+  const double cos_h = std::cos(segment.heading_rad);
+  const double sin_h = std::sin(segment.heading_rad);
+
+  std::vector<CellTower> towers;
+  towers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CellTower t;
+    // Along-road placement with jitter; lateral offset alternating sides.
+    const double along = -profile.tower_spacing_m +
+                         static_cast<double>(i) * profile.tower_spacing_m +
+                         rng.uniform(-0.3, 0.3) * profile.tower_spacing_m;
+    const double side = (i % 2 == 0) ? 1.0 : -1.0;
+    const double lateral =
+        side * profile.tower_lateral_m * rng.uniform(0.5, 1.5);
+    t.position = {segment.start.x + along * cos_h - lateral * sin_h,
+                  segment.start.y + along * sin_h + lateral * cos_h};
+    t.tx_power_dbm = rng.uniform(40.0, 46.0);
+
+    // Each cell radiates a BCCH plus a handful of TCH carriers.
+    const auto carriers = static_cast<std::size_t>(rng.uniform_int(4, 10));
+    for (std::size_t c = 0; c < carriers; ++c) {
+      t.channel_indices.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(plan.size()) - 1)));
+    }
+    std::sort(t.channel_indices.begin(), t.channel_indices.end());
+    t.channel_indices.erase(
+        std::unique(t.channel_indices.begin(), t.channel_indices.end()),
+        t.channel_indices.end());
+    towers.push_back(std::move(t));
+  }
+  return towers;
+}
+
+}  // namespace rups::gsm

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gsm/channel_plan.hpp"
+#include "gsm/env_profile.hpp"
+#include "road/route.hpp"
+
+namespace rups::gsm {
+
+/// One GSM base-transceiver station: a world position, a transmit power,
+/// and the set of channel-plan indices it radiates on.
+struct CellTower {
+  road::Point2 position{};
+  double tx_power_dbm = 43.0;  // typical GSM macro EIRP per carrier
+  std::vector<std::size_t> channel_indices;
+};
+
+/// Deterministic tower layout around one road segment. Towers are hashed
+/// from the segment id, so the same physical road always has the same
+/// serving cells — the basis of geographical uniqueness and of replay
+/// consistency between the two experiment vehicles.
+class TowerLayout {
+ public:
+  /// Generate the towers covering a segment.
+  /// @param field_seed  global field identity (one city = one seed)
+  /// @param plan        channels the scanner knows about; towers are
+  ///                    assigned indices into this plan
+  static std::vector<CellTower> for_segment(std::uint64_t field_seed,
+                                            const road::RoadSegment& segment,
+                                            const ChannelPlan& plan,
+                                            const GsmEnvProfile& profile);
+};
+
+}  // namespace rups::gsm

@@ -1,0 +1,75 @@
+#include "road/environment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rups::road {
+
+int lane_count(EnvironmentType env) noexcept {
+  switch (env) {
+    case EnvironmentType::kTwoLaneSuburb:
+      return 2;
+    case EnvironmentType::kFourLaneUrban:
+      return 4;
+    case EnvironmentType::kEightLaneUrban:
+      return 8;
+    case EnvironmentType::kUnderElevated:
+      return 4;
+    case EnvironmentType::kDowntown:
+      return 4;
+  }
+  return 2;
+}
+
+Openness openness(EnvironmentType env) noexcept {
+  switch (env) {
+    case EnvironmentType::kTwoLaneSuburb:
+      return Openness::kOpen;
+    case EnvironmentType::kEightLaneUrban:
+      return Openness::kOpen;
+    case EnvironmentType::kFourLaneUrban:
+      return Openness::kSemiOpen;
+    case EnvironmentType::kDowntown:
+      return Openness::kSemiOpen;
+    case EnvironmentType::kUnderElevated:
+      return Openness::kClose;
+  }
+  return Openness::kOpen;
+}
+
+std::string_view to_string(EnvironmentType env) noexcept {
+  switch (env) {
+    case EnvironmentType::kTwoLaneSuburb:
+      return "2-lane-suburb";
+    case EnvironmentType::kFourLaneUrban:
+      return "4-lane-urban";
+    case EnvironmentType::kEightLaneUrban:
+      return "8-lane-urban";
+    case EnvironmentType::kUnderElevated:
+      return "under-elevated";
+    case EnvironmentType::kDowntown:
+      return "downtown";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Openness o) noexcept {
+  switch (o) {
+    case Openness::kOpen:
+      return "open";
+    case Openness::kSemiOpen:
+      return "semi-open";
+    case Openness::kClose:
+      return "close";
+  }
+  return "unknown";
+}
+
+EnvironmentType environment_from_string(std::string_view name) {
+  for (EnvironmentType env : kAllEnvironments) {
+    if (to_string(env) == name) return env;
+  }
+  throw std::invalid_argument("unknown environment: " + std::string(name));
+}
+
+}  // namespace rups::road

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string_view>
+
+namespace rups::road {
+
+/// Road environment classes used throughout the paper's evaluation
+/// (Sec. VI): 2-lane suburb surface roads, 4-lane urban surface roads,
+/// 8-lane urban surface roads (major roads), and roads running under
+/// elevated highways. Downtown is the densest variant used in the Sec. III
+/// empirical study.
+enum class EnvironmentType {
+  kTwoLaneSuburb,
+  kFourLaneUrban,
+  kEightLaneUrban,
+  kUnderElevated,
+  kDowntown,
+};
+
+/// The paper's coarse openness classes (Sec. VI-A): open (8-lane major /
+/// elevated / 2-lane suburban), semi-open (4-lane with buildings & trees),
+/// close (under elevated roads).
+enum class Openness { kOpen, kSemiOpen, kClose };
+
+/// Number of lanes for each environment class.
+[[nodiscard]] int lane_count(EnvironmentType env) noexcept;
+
+/// Openness class for each environment.
+[[nodiscard]] Openness openness(EnvironmentType env) noexcept;
+
+/// Human-readable name (stable; used in CSV output and bench tables).
+[[nodiscard]] std::string_view to_string(EnvironmentType env) noexcept;
+[[nodiscard]] std::string_view to_string(Openness o) noexcept;
+
+/// Parse the string produced by to_string; throws std::invalid_argument on
+/// unknown names (trace CSV round-trip).
+[[nodiscard]] EnvironmentType environment_from_string(std::string_view name);
+
+/// All evaluation environments, in the order the paper reports them.
+inline constexpr EnvironmentType kAllEnvironments[] = {
+    EnvironmentType::kTwoLaneSuburb, EnvironmentType::kFourLaneUrban,
+    EnvironmentType::kEightLaneUrban, EnvironmentType::kUnderElevated,
+    EnvironmentType::kDowntown};
+
+}  // namespace rups::road

@@ -1,0 +1,30 @@
+#include "road/road_network.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rups::road {
+
+RoadNetwork RoadNetwork::generate(std::uint64_t seed, std::size_t count,
+                                  double length_m,
+                                  const std::vector<EnvironmentType>& mix) {
+  if (mix.empty()) throw std::invalid_argument("RoadNetwork: empty mix");
+  RoadNetwork net;
+  net.segments_.reserve(count);
+  util::Rng rng(util::hash_combine(seed, 0x4e4554ULL));  // "NET"
+  for (std::size_t i = 0; i < count; ++i) {
+    RoadSegment seg;
+    seg.id = util::hash_combine(seed, 1000 + i);
+    seg.env = mix[i % mix.size()];
+    seg.length_m = length_m;
+    // Scatter segments around a city-sized area so tower geometry differs.
+    seg.start = {rng.uniform(-20'000.0, 20'000.0),
+                 rng.uniform(-20'000.0, 20'000.0)};
+    seg.heading_rad = rng.uniform(-3.141592653589793, 3.141592653589793);
+    net.segments_.push_back(seg);
+  }
+  return net;
+}
+
+}  // namespace rups::road

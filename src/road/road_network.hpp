@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "road/route.hpp"
+
+namespace rups::road {
+
+/// A flat collection of independent road segments, used by the Sec. III
+/// empirical-study reproduction: the paper samples 200 surface road segments
+/// across downtown / urban / suburban Shanghai and measures GSM power vectors
+/// along each.
+class RoadNetwork {
+ public:
+  /// Generate `count` independent segments of `length_m`, cycling through
+  /// the given environment mix deterministically from the seed.
+  static RoadNetwork generate(std::uint64_t seed, std::size_t count,
+                              double length_m,
+                              const std::vector<EnvironmentType>& mix);
+
+  [[nodiscard]] const std::vector<RoadSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return segments_.size(); }
+  [[nodiscard]] const RoadSegment& segment(std::size_t i) const {
+    return segments_.at(i);
+  }
+
+ private:
+  std::vector<RoadSegment> segments_;
+};
+
+}  // namespace rups::road

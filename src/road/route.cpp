@@ -1,0 +1,58 @@
+#include "road/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rups::road {
+
+Point2 RoadSegment::point_at(double offset_m) const noexcept {
+  return {start.x + offset_m * std::cos(heading_rad),
+          start.y + offset_m * std::sin(heading_rad)};
+}
+
+Route::Route(std::vector<RoadSegment> segments)
+    : segments_(std::move(segments)) {
+  cumulative_.reserve(segments_.size());
+  double s = 0.0;
+  for (const auto& seg : segments_) {
+    if (seg.length_m <= 0.0) {
+      throw std::invalid_argument("Route: segment with non-positive length");
+    }
+    cumulative_.push_back(s);
+    s += seg.length_m;
+  }
+  total_ = s;
+}
+
+double Route::segment_start(std::size_t i) const { return cumulative_.at(i); }
+
+std::size_t Route::segment_index_at(double s) const {
+  if (segments_.empty()) throw std::out_of_range("empty route");
+  s = std::clamp(s, 0.0, total_);
+  // upper_bound gives first cumulative start > s; the segment is before it.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx > 0) --idx;
+  // s == total falls into the last segment.
+  if (idx >= segments_.size()) idx = segments_.size() - 1;
+  return idx;
+}
+
+RoutePose Route::pose_at(double s) const {
+  if (segments_.empty()) throw std::out_of_range("empty route");
+  s = std::clamp(s, 0.0, total_);
+  const std::size_t idx = segment_index_at(s);
+  const RoadSegment& seg = segments_[idx];
+  const double offset = std::min(s - cumulative_[idx], seg.length_m);
+  RoutePose pose;
+  pose.position = seg.point_at(offset);
+  pose.heading_rad = seg.heading_rad;
+  pose.segment = seg.id;
+  pose.segment_index = idx;
+  pose.segment_offset_m = offset;
+  pose.env = seg.env;
+  return pose;
+}
+
+}  // namespace rups::road

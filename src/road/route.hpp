@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "road/environment.hpp"
+
+namespace rups::road {
+
+/// Identity of a physical road segment. Segments with the same id share the
+/// same radio environment — the GSM field is keyed by (segment id, offset),
+/// so re-driving a segment observes the same spatial fingerprint.
+using SegmentId = std::uint64_t;
+
+/// 2-D world point (metres, local tangent plane).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One straight road piece.
+struct RoadSegment {
+  SegmentId id = 0;
+  EnvironmentType env = EnvironmentType::kFourLaneUrban;
+  double length_m = 0.0;
+  /// World position of the segment start and driving heading (radians,
+  /// mathematical convention: 0 = +x, counter-clockwise positive).
+  Point2 start{};
+  double heading_rad = 0.0;
+
+  [[nodiscard]] int lanes() const noexcept { return lane_count(env); }
+  [[nodiscard]] Point2 point_at(double offset_m) const noexcept;
+};
+
+/// Pose of a point along a route, resolved from a route distance.
+struct RoutePose {
+  Point2 position{};
+  double heading_rad = 0.0;
+  SegmentId segment = 0;
+  std::size_t segment_index = 0;
+  double segment_offset_m = 0.0;
+  EnvironmentType env = EnvironmentType::kFourLaneUrban;
+};
+
+/// An ordered chain of road segments. Segment geometry is laid out
+/// end-to-end by the builder; the route answers distance → pose queries.
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<RoadSegment> segments);
+
+  [[nodiscard]] double total_length_m() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<RoadSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+
+  /// Pose at route distance s (clamped to [0, total]).
+  [[nodiscard]] RoutePose pose_at(double s) const;
+
+  /// Route distance at which segment i begins.
+  [[nodiscard]] double segment_start(std::size_t i) const;
+
+  /// Index of the segment containing route distance s.
+  [[nodiscard]] std::size_t segment_index_at(double s) const;
+
+ private:
+  std::vector<RoadSegment> segments_;
+  std::vector<double> cumulative_;  // cumulative_[i] = start distance of seg i
+  double total_ = 0.0;
+};
+
+}  // namespace rups::road

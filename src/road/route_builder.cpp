@@ -1,0 +1,99 @@
+#include "road/route_builder.hpp"
+
+#include <cmath>
+
+#include "util/angle.hpp"
+
+namespace rups::road {
+
+RouteBuilder::RouteBuilder(std::uint64_t seed) noexcept : seed_(seed) {}
+
+RouteBuilder& RouteBuilder::add_segment(EnvironmentType env, double length_m) {
+  RoadSegment seg;
+  seg.id = util::hash_combine(seed_, next_index_++);
+  seg.env = env;
+  seg.length_m = length_m;
+  seg.start = cursor_;
+  seg.heading_rad = heading_;
+  cursor_ = seg.point_at(length_m);
+  segments_.push_back(seg);
+  return *this;
+}
+
+RouteBuilder& RouteBuilder::turn(double angle_rad) noexcept {
+  heading_ = util::wrap_pi(heading_ + angle_rad);
+  return *this;
+}
+
+Route RouteBuilder::build() {
+  Route r(std::move(segments_));
+  segments_.clear();
+  cursor_ = {};
+  heading_ = 0.0;
+  return r;
+}
+
+Route make_evaluation_route(std::uint64_t seed, double total_length_m) {
+  // Environment mix roughly matching the paper's route description: mostly
+  // urban surface roads, some suburb stretches and short under-elevated
+  // passages.
+  struct MixEntry {
+    EnvironmentType env;
+    double weight;
+    double min_len, max_len;
+  };
+  static constexpr MixEntry kMix[] = {
+      {EnvironmentType::kTwoLaneSuburb, 0.20, 800.0, 2500.0},
+      {EnvironmentType::kFourLaneUrban, 0.35, 500.0, 1500.0},
+      {EnvironmentType::kEightLaneUrban, 0.30, 600.0, 2000.0},
+      {EnvironmentType::kUnderElevated, 0.10, 300.0, 900.0},
+      {EnvironmentType::kDowntown, 0.05, 300.0, 800.0},
+  };
+
+  util::Rng rng(util::hash_combine(seed, 0x524f555445ULL));  // "ROUTE"
+  RouteBuilder builder(seed);
+  double built = 0.0;
+  while (built < total_length_m) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    const MixEntry* chosen = &kMix[0];
+    for (const auto& e : kMix) {
+      acc += e.weight;
+      if (u < acc) {
+        chosen = &e;
+        break;
+      }
+    }
+    double len = rng.uniform(chosen->min_len, chosen->max_len);
+    len = std::min(len, total_length_m - built);
+    if (len < 50.0) len = total_length_m - built;  // absorb the remainder
+    builder.add_segment(chosen->env, len);
+    built += len;
+    if (built < total_length_m) {
+      // Urban grid: most transitions are straight-through or 90-degree turns.
+      const double r = rng.uniform();
+      if (r < 0.25) {
+        builder.turn(util::deg2rad(90.0));
+      } else if (r < 0.5) {
+        builder.turn(util::deg2rad(-90.0));
+      } else if (r < 0.6) {
+        builder.turn(util::deg2rad(rng.uniform(-30.0, 30.0)));
+      }
+    }
+  }
+  return builder.build();
+}
+
+Route make_uniform_route(std::uint64_t seed, EnvironmentType env,
+                         double length_m, double segment_length_m) {
+  RouteBuilder builder(seed);
+  double built = 0.0;
+  while (built < length_m) {
+    const double len = std::min(segment_length_m, length_m - built);
+    builder.add_segment(env, len);
+    built += len;
+  }
+  return builder.build();
+}
+
+}  // namespace rups::road

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "road/route.hpp"
+#include "util/rng.hpp"
+
+namespace rups::road {
+
+/// Incrementally constructs a Route: segments are chained end-to-end, each
+/// new segment starting where the previous one ended, optionally with a turn.
+/// Segment ids are derived deterministically from (builder seed, index) so a
+/// route built twice from the same seed is the SAME physical road — the
+/// property trace-driven replay depends on.
+class RouteBuilder {
+ public:
+  explicit RouteBuilder(std::uint64_t seed) noexcept;
+
+  /// Append a straight segment of the given environment and length.
+  RouteBuilder& add_segment(EnvironmentType env, double length_m);
+
+  /// Turn by `angle_rad` before the next segment (positive = left).
+  RouteBuilder& turn(double angle_rad) noexcept;
+
+  /// Finish; the builder can be reused afterwards (it resets).
+  [[nodiscard]] Route build();
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t next_index_ = 0;
+  Point2 cursor_{};
+  double heading_ = 0.0;
+  std::vector<RoadSegment> segments_;
+};
+
+/// Builds the paper's 97 km evaluation route (Sec. VI-A): a seeded mix of
+/// open, semi-open and close roads — 2-lane suburb, 4-lane urban, 8-lane
+/// urban and under-elevated stretches with turns between them.
+[[nodiscard]] Route make_evaluation_route(std::uint64_t seed,
+                                          double total_length_m = 97'000.0);
+
+/// A single-environment route (used by per-environment experiments).
+[[nodiscard]] Route make_uniform_route(std::uint64_t seed, EnvironmentType env,
+                                       double length_m,
+                                       double segment_length_m = 1'000.0);
+
+}  // namespace rups::road

@@ -1,0 +1,75 @@
+#include "sensors/gps.hpp"
+
+#include "util/hash_noise.hpp"
+
+namespace rups::sensors {
+
+GpsEnvErrorModel GpsEnvErrorModel::for_environment(
+    road::EnvironmentType env) noexcept {
+  GpsEnvErrorModel m;
+  switch (env) {
+    case road::EnvironmentType::kTwoLaneSuburb:
+      // Open sky: nominal behaviour.
+      m.bias_sigma_m = 2.4;
+      m.white_sigma_m = 1.0;
+      m.outage_probability = 0.0;
+      break;
+    case road::EnvironmentType::kFourLaneUrban:
+      // Buildings and trees: strong multipath bias.
+      m.bias_sigma_m = 6.2;
+      m.white_sigma_m = 1.6;
+      m.outage_probability = 0.03;
+      break;
+    case road::EnvironmentType::kEightLaneUrban:
+      // Wide road but tall towers alongside.
+      m.bias_sigma_m = 6.0;
+      m.white_sigma_m = 1.6;
+      m.outage_probability = 0.02;
+      break;
+    case road::EnvironmentType::kUnderElevated:
+      // Concrete deck overhead: huge errors and frequent loss.
+      m.bias_sigma_m = 13.0;
+      m.white_sigma_m = 3.5;
+      m.outage_probability = 0.35;
+      break;
+    case road::EnvironmentType::kDowntown:
+      m.bias_sigma_m = 8.0;
+      m.white_sigma_m = 2.0;
+      m.outage_probability = 0.10;
+      break;
+  }
+  return m;
+}
+
+GpsModel::GpsModel(std::uint64_t seed, double rate_hz)
+    : rng_(util::hash_combine(seed, 0x475053ULL)),  // "GPS"
+      seed_(seed),
+      rate_hz_(rate_hz) {}
+
+std::optional<GpsFix> GpsModel::maybe_fix(const vehicle::VehicleState& state) {
+  if (state.time_s < next_fix_s_) return std::nullopt;
+  next_fix_s_ = state.time_s + 1.0 / rate_hz_;
+
+  const auto model = GpsEnvErrorModel::for_environment(state.pose.env);
+  GpsFix fix;
+  fix.time_s = state.time_s;
+  if (rng_.bernoulli(model.outage_probability)) {
+    fix.valid = false;
+    return fix;
+  }
+  // Wandering multipath bias: a smooth temporal field per receiver/axis so
+  // consecutive fixes share the same bias (the realistic failure mode —
+  // averaging does NOT remove it).
+  const util::LatticeField1D bias_x(util::hash_combine(seed_, 0x4258ULL),
+                                    model.bias_corr_s, 2);
+  const util::LatticeField1D bias_y(util::hash_combine(seed_, 0x4259ULL),
+                                    model.bias_corr_s, 2);
+  fix.x_m = state.pose.position.x + model.bias_sigma_m * bias_x.value(state.time_s) +
+            rng_.gaussian(0.0, model.white_sigma_m);
+  fix.y_m = state.pose.position.y + model.bias_sigma_m * bias_y.value(state.time_s) +
+            rng_.gaussian(0.0, model.white_sigma_m);
+  fix.valid = true;
+  return fix;
+}
+
+}  // namespace rups::sensors

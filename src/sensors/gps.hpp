@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "road/environment.hpp"
+#include "sensors/types.hpp"
+#include "util/rng.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace rups::sensors {
+
+/// Per-environment GPS error parameters. Calibrated so the GPS baseline's
+/// relative-distance errors land near the paper's measured values
+/// (Fig 12: 4.2 / 9.9 / 9.8 / 21.1 m mean RDE across the four evaluation
+/// environments): position error = slowly-wandering multipath bias
+/// (dominant in canyons) + white noise, plus outages where the sky is
+/// blocked.
+struct GpsEnvErrorModel {
+  double bias_sigma_m = 3.0;     ///< stationary stddev of the wandering bias
+  double bias_corr_s = 45.0;     ///< correlation time of the bias walk
+  double white_sigma_m = 1.2;    ///< per-fix white noise
+  double outage_probability = 0.0;  ///< chance a 1 Hz fix is lost
+
+  [[nodiscard]] static GpsEnvErrorModel for_environment(
+      road::EnvironmentType env) noexcept;
+};
+
+/// GPS receiver model producing 1 Hz world-frame fixes with urban-canyon
+/// dependent errors. Each receiver has its own seed: the two cars' errors
+/// are independent, which is exactly why GPS relative distances are poor.
+class GpsModel {
+ public:
+  GpsModel(std::uint64_t seed, double rate_hz = 1.0);
+
+  /// Poll: returns a fix (possibly invalid during outage) once per period.
+  [[nodiscard]] std::optional<GpsFix> maybe_fix(
+      const vehicle::VehicleState& state);
+
+ private:
+  util::Rng rng_;
+  std::uint64_t seed_;
+  double rate_hz_;
+  double next_fix_s_ = 0.0;
+};
+
+}  // namespace rups::sensors

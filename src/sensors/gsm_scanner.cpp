@@ -1,0 +1,112 @@
+#include "sensors/gsm_scanner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gsm/rxlev.hpp"
+#include "util/hash_noise.hpp"
+
+namespace rups::sensors {
+
+GsmScanner::GsmScanner(const gsm::ChannelPlan* plan, std::uint64_t seed)
+    : GsmScanner(plan, seed, Config{}) {}
+
+GsmScanner::GsmScanner(const gsm::ChannelPlan* plan, std::uint64_t seed,
+                       Config config)
+    : plan_(plan),
+      config_(config),
+      seed_(seed),
+      rng_(util::hash_combine(seed, 0x5343414eULL)) {  // "SCAN"
+  if (plan_ == nullptr || config_.radios < 1) {
+    throw std::invalid_argument("GsmScanner: need a plan and >= 1 radio");
+  }
+  const std::size_t n = plan_->size();
+  const auto r = static_cast<std::size_t>(config_.radios);
+  radios_.resize(r);
+  // Contiguous, nearly equal slices; any remainder spreads over the first
+  // radios (mirrors the paper's "divide channels according to the number of
+  // phones").
+  const std::size_t base = n / r;
+  const std::size_t extra = n % r;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    radios_[i].first_channel = start;
+    radios_[i].count = base + (i < extra ? 1 : 0);
+    start += radios_[i].count;
+  }
+}
+
+double GsmScanner::sweep_seconds() const noexcept {
+  std::size_t widest = 0;
+  for (const auto& radio : radios_) widest = std::max(widest, radio.count);
+  return static_cast<double>(widest) * config_.dwell_s;
+}
+
+void GsmScanner::advance(double now, const RssiProvider& truth,
+                         std::vector<RssiMeasurement>& out) {
+  if (!started_) {
+    // Stagger radio start offsets so dwell completions interleave.
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+      radios_[i].next_done_s =
+          config_.dwell_s * (1.0 + static_cast<double>(i) /
+                                       static_cast<double>(radios_.size()));
+    }
+    started_ = true;
+  }
+
+  const bool center = config_.placement == RadioPlacement::kCenter;
+  const double attenuation = center ? config_.center_attenuation_db : 0.0;
+  const double noise =
+      center ? config_.center_noise_db : config_.front_noise_db;
+  const double structured =
+      center ? config_.center_structured_db : config_.front_structured_db;
+
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    RadioState& radio = radios_[i];
+    if (radio.count == 0) continue;
+    while (radio.next_done_s <= now) {
+      const std::size_t channel = radio.first_channel + radio.cursor;
+      const double t = radio.next_done_s;
+      const double true_dbm = truth(channel, t);
+      const util::LatticeField1D gain_error(
+          util::hash_combine(seed_, channel), config_.structured_corr_s, 2);
+      const double blockage = gain_error.value(t);
+      // Burst dropout: the blockage process exceeding its upper quantile
+      // wipes the dwell entirely (centre placement only by default).
+      if (center && config_.center_dropout_fraction > 0.0 &&
+          blockage > util::inverse_normal_cdf(
+                         1.0 - config_.center_dropout_fraction)) {
+        radio.cursor = (radio.cursor + 1) % radio.count;
+        radio.next_done_s += config_.dwell_s;
+        continue;
+      }
+      const double observed = true_dbm - attenuation -
+                              structured * (1.0 + blockage) +
+                              rng_.gaussian(0.0, noise);
+      if (observed >= config_.sensitivity_dbm) {
+        RssiMeasurement m;
+        m.time_s = t;
+        m.channel_index = channel;
+        m.rssi_dbm = gsm::RxLev::quantize_dbm(observed);
+        m.radio = static_cast<int>(i);
+        if (config_.batch_report) {
+          radio.pending.push_back(m);
+        } else {
+          out.push_back(m);
+        }
+      }
+      radio.cursor = (radio.cursor + 1) % radio.count;
+      radio.next_done_s += config_.dwell_s;
+      if (config_.batch_report && radio.cursor == 0) {
+        // Sweep complete: flush the batch, re-stamped at the report time.
+        for (RssiMeasurement& pm : radio.pending) {
+          pm.time_s = t;
+          out.push_back(pm);
+        }
+        radio.pending.clear();
+      }
+    }
+  }
+}
+
+}  // namespace rups::sensors

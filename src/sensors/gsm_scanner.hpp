@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gsm/channel_plan.hpp"
+#include "sensors/types.hpp"
+#include "util/rng.hpp"
+
+namespace rups::sensors {
+
+/// Where the scanning radios sit in the car. The paper shows placement
+/// matters (Fig 9): radios on the front instrument panel see the sky well;
+/// radios at the centre of the cabin are attenuated by the body and noisier.
+enum class RadioPlacement { kFrontPanel, kCenter };
+
+/// Multi-radio GSM band scanner (OsmocomBB C118 array). Each of the R
+/// radios owns a contiguous slice of the channel plan and sweeps it
+/// round-robin at ~15 ms per channel, so a full band sweep takes
+/// size/R * 15 ms. While the vehicle moves, each channel is therefore
+/// measured at a *different position* — the origin of missing channels
+/// (Sec. IV-C): with 1 radio at 80 km/h one sweep spans dozens of metres.
+class GsmScanner {
+ public:
+  struct Config {
+    int radios = 4;
+    RadioPlacement placement = RadioPlacement::kFrontPanel;
+    double dwell_s = gsm::ChannelPlan::kChannelDwellSeconds;
+    /// Extra attenuation / measurement noise by placement.
+    double front_noise_db = 0.8;
+    double center_attenuation_db = 8.0;
+    double center_noise_db = 3.5;
+    /// Dwells whose observed level falls below this report nothing — weak
+    /// channels simply go missing.
+    double sensitivity_dbm = -104.0;
+    /// Slowly varying per-channel gain error (dB): the cabin/body blockage
+    /// pattern changes with vehicle orientation and load, so it cannot be
+    /// averaged out by the windowed correlation — the dominant accuracy
+    /// cost of centre placement (paper Fig 9).
+    double front_structured_db = 0.5;
+    double center_structured_db = 8.0;
+    double structured_corr_s = 2.5;
+    /// Fraction of dwells lost to body-blockage BURSTS at centre placement
+    /// (losses are correlated over structured_corr_s, so they wipe out
+    /// whole stretches of road, not isolated dwells).
+    double center_dropout_fraction = 0.5;
+    /// OsmocomBB-style batch reporting: the baseband delivers one power
+    /// measurement report per sweep, so every dwell in a sweep carries the
+    /// sweep-completion timestamp. Binding error then scales with sweep
+    /// time — the physical origin of the radio-count accuracy gradient
+    /// (Fig 9): 1 radio = 1.7 s sweep = up to ~15 m of smear at speed.
+    bool batch_report = true;
+  };
+
+  /// The callback answering "what is the true RSSI of plan channel c right
+  /// now" — the simulation binds this to the GsmField at the vehicle's
+  /// instantaneous position and adds passing-vehicle blockage.
+  using RssiProvider = std::function<double(std::size_t channel, double time)>;
+
+  GsmScanner(const gsm::ChannelPlan* plan, std::uint64_t seed);
+  GsmScanner(const gsm::ChannelPlan* plan, std::uint64_t seed,
+             Config config);
+
+  /// Advance simulated time to `now`; every dwell completed in the interval
+  /// emits one RXLEV-quantized measurement into `out`.
+  void advance(double now, const RssiProvider& truth,
+               std::vector<RssiMeasurement>& out);
+
+  /// Seconds for one full band sweep with this radio count.
+  [[nodiscard]] double sweep_seconds() const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const gsm::ChannelPlan& plan() const noexcept { return *plan_; }
+
+ private:
+  struct RadioState {
+    std::size_t first_channel = 0;  ///< slice start in the plan
+    std::size_t count = 0;          ///< slice length
+    std::size_t cursor = 0;         ///< next channel offset within slice
+    double next_done_s = 0.0;       ///< completion time of the current dwell
+    std::vector<RssiMeasurement> pending;  ///< batch awaiting sweep end
+  };
+
+  const gsm::ChannelPlan* plan_;
+  Config config_;
+  std::uint64_t seed_ = 0;
+  util::Rng rng_;
+  std::vector<RadioState> radios_;
+  bool started_ = false;
+};
+
+}  // namespace rups::sensors

@@ -1,0 +1,28 @@
+#include "sensors/hall.hpp"
+
+#include <cmath>
+
+namespace rups::sensors {
+
+HallWheelSensor::HallWheelSensor(std::uint64_t seed)
+    : HallWheelSensor(seed, Config{}) {}
+
+HallWheelSensor::HallWheelSensor(std::uint64_t seed, Config config)
+    : config_(config) {
+  util::Rng rng(util::hash_combine(seed, 0x48414c4cULL));  // "HALL"
+  const double err = rng.uniform(-config_.calibration_error,
+                                 config_.calibration_error);
+  assumed_circumference_m_ = config_.true_circumference_m * (1.0 + err);
+}
+
+void HallWheelSensor::advance(double true_distance_m) noexcept {
+  const auto revs = static_cast<std::uint64_t>(
+      std::floor(true_distance_m / config_.true_circumference_m));
+  if (revs > pulses_) pulses_ = revs;
+}
+
+double HallWheelSensor::distance_m() const noexcept {
+  return static_cast<double>(pulses_) * assumed_circumference_m_;
+}
+
+}  // namespace rups::sensors

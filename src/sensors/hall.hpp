@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace rups::sensors {
+
+/// Wheel-revolution odometer: a magnet on the rear-left wheel and a Hall
+/// sensor on the body (the paper's ground-truth travel-distance instrument,
+/// Sec. VI-A). Distance resolution is one wheel circumference; the assumed
+/// circumference carries a small calibration error relative to the true one
+/// (tyre pressure, wear).
+class HallWheelSensor {
+ public:
+  struct Config {
+    double true_circumference_m = 1.94;
+    /// Calibration error of the circumference the *software* assumes.
+    double calibration_error = 0.002;
+  };
+
+  explicit HallWheelSensor(std::uint64_t seed);
+  HallWheelSensor(std::uint64_t seed, Config config);
+
+  /// Feed the true travelled distance; pulses fire as the wheel turns.
+  void advance(double true_distance_m) noexcept;
+
+  /// Pulses seen so far.
+  [[nodiscard]] std::uint64_t pulses() const noexcept { return pulses_; }
+
+  /// Distance the sensor believes was travelled (pulses x assumed
+  /// circumference).
+  [[nodiscard]] double distance_m() const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  double assumed_circumference_m_;
+  std::uint64_t pulses_ = 0;
+};
+
+}  // namespace rups::sensors

@@ -1,0 +1,73 @@
+#include "sensors/imu.hpp"
+
+#include <cmath>
+
+#include "util/hash_noise.hpp"
+
+namespace rups::sensors {
+
+ImuModel::ImuModel(std::uint64_t seed) : ImuModel(seed, Config{}) {}
+
+ImuModel::ImuModel(std::uint64_t seed, Config config)
+    : config_(config),
+      rng_(util::hash_combine(seed, 0x494d55ULL)),  // "IMU"
+      seed_(seed) {
+  // Random but fixed mounting rotation: a phone on the dashboard, tilted.
+  util::Rng mount_rng(util::hash_combine(seed, 0x4d4f554eULL));  // "MOUN"
+  const double yaw = mount_rng.uniform(-3.14159, 3.14159);
+  const double pitch = mount_rng.uniform(-0.6, 0.6);
+  const double roll = mount_rng.uniform(-0.6, 0.6);
+  // sensor_from_vehicle: transpose of the vehicle_from_sensor rotation.
+  mount_ = util::Mat3::from_euler(yaw, pitch, roll).transpose();
+}
+
+ImuSample ImuModel::sample(const vehicle::VehicleState& state,
+                           double heading_rate_rps) {
+  ImuSample out;
+  out.time_s = state.time_s;
+
+  // --- Vehicle-frame ground truth ---
+  // Specific force: longitudinal accel on +y (forward), centripetal on x
+  // (left turn => acceleration toward the left => -x with x pointing right),
+  // gravity reaction +g on z.
+  const util::Vec3 accel_vehicle{
+      -state.speed_mps * heading_rate_rps,
+      state.accel_mps2,
+      kGravity,
+  };
+  const util::Vec3 gyro_vehicle{0.0, 0.0, heading_rate_rps};
+
+  // Geomagnetic field in the world frame (x east, y north, z up); heading
+  // is measured from +x CCW, so north component mixes with cos/sin below.
+  const double th = state.heading_rad;
+  // Vehicle axes in world coordinates.
+  const util::Vec3 fwd{std::cos(th), std::sin(th), 0.0};
+  const util::Vec3 right{std::sin(th), -std::cos(th), 0.0};
+  const util::Vec3 up{0.0, 0.0, 1.0};
+  // World B-field: horizontal points north (+y), vertical points down.
+  util::Vec3 b_world{0.0, config_.mag_horizontal_ut, -config_.mag_vertical_ut};
+  // Slowly varying urban disturbance (bridges, power lines) along the road.
+  const util::LatticeField1D disturb(
+      util::hash_combine(seed_, 0x4d414744ULL) /* "MAGD" */, 80.0, 2);
+  b_world.x += config_.mag_disturbance_ut * disturb.value(state.position_m);
+  b_world.y +=
+      config_.mag_disturbance_ut * disturb.value(state.position_m + 1.0e6);
+  const util::Vec3 mag_vehicle{b_world.dot(right), b_world.dot(fwd),
+                               b_world.dot(up)};
+
+  // --- Rotate into the sensor frame, add bias and noise ---
+  const auto noisy = [this](const util::Vec3& v, const util::Vec3& bias,
+                            double sigma) {
+    return util::Vec3{v.x + bias.x + rng_.gaussian(0.0, sigma),
+                      v.y + bias.y + rng_.gaussian(0.0, sigma),
+                      v.z + bias.z + rng_.gaussian(0.0, sigma)};
+  };
+  out.accel_mps2 = noisy(mount_ * accel_vehicle, config_.accel_bias,
+                         config_.accel_noise_mps2);
+  out.gyro_rps = noisy(mount_ * gyro_vehicle, config_.gyro_bias,
+                       config_.gyro_noise_rps);
+  out.mag_ut = noisy(mount_ * mag_vehicle, util::Vec3{}, config_.mag_noise_ut);
+  return out;
+}
+
+}  // namespace rups::sensors

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sensors/types.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace rups::sensors {
+
+/// Smartphone-grade IMU + magnetometer model, sampled at ~200 Hz (the rate
+/// the paper quotes for motion sensors).
+///
+/// Vehicle frame convention (Han et al. [31], which the paper adopts):
+/// x = right, y = forward, z = up. The sensor is mounted with an arbitrary
+/// fixed rotation relative to the vehicle; samples are reported in the
+/// SENSOR frame, and it is the job of core::Reorientation to undo this.
+class ImuModel {
+ public:
+  struct Config {
+    double sample_rate_hz = 200.0;
+    double accel_noise_mps2 = 0.03;
+    double gyro_noise_rps = 0.002;
+    double mag_noise_ut = 0.4;
+    util::Vec3 accel_bias{0.02, -0.015, 0.01};
+    util::Vec3 gyro_bias{0.001, -0.0005, 0.0008};
+    /// Horizontal / vertical components of the geomagnetic field (uT).
+    double mag_horizontal_ut = 30.0;
+    double mag_vertical_ut = 35.0;
+    /// Slowly varying urban magnetic disturbance amplitude (uT).
+    double mag_disturbance_ut = 1.5;
+  };
+
+  /// @param seed  per-vehicle identity: mounting rotation and bias draws
+  explicit ImuModel(std::uint64_t seed);
+  ImuModel(std::uint64_t seed, Config config);
+
+  /// Sample the IMU given the true vehicle state and heading rate (rad/s).
+  [[nodiscard]] ImuSample sample(const vehicle::VehicleState& state,
+                                 double heading_rate_rps);
+
+  /// The true sensor-from-vehicle rotation (tests / calibration oracle):
+  /// sensor_vector = mount() * vehicle_vector.
+  [[nodiscard]] const util::Mat3& mount() const noexcept { return mount_; }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  static constexpr double kGravity = 9.80665;
+
+ private:
+  Config config_;
+  util::Mat3 mount_;
+  util::Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rups::sensors

@@ -1,0 +1,33 @@
+#include "sensors/obd.hpp"
+
+#include <cmath>
+
+namespace rups::sensors {
+
+ObdSpeedSensor::ObdSpeedSensor(std::uint64_t seed)
+    : ObdSpeedSensor(seed, Config{}) {}
+
+ObdSpeedSensor::ObdSpeedSensor(std::uint64_t seed, Config config)
+    : config_(config), rng_(util::hash_combine(seed, 0x4f4244ULL)) {  // "OBD"
+  // Small per-vehicle speedometer bias if none was configured explicitly.
+  if (config_.scale_error == 0.0) {
+    config_.scale_error = rng_.uniform(-0.008, 0.008);
+  }
+}
+
+std::optional<SpeedSample> ObdSpeedSensor::maybe_sample(
+    const vehicle::VehicleState& state) {
+  if (state.time_s < next_sample_s_) return std::nullopt;
+  next_sample_s_ = state.time_s + 1.0 / config_.rate_hz;
+
+  const double true_kmh = state.speed_mps * 3.6;
+  const double scaled = true_kmh * (1.0 + config_.scale_error);
+  const double quantized =
+      std::round(scaled / config_.quantum_kmh) * config_.quantum_kmh;
+  SpeedSample s;
+  s.time_s = state.time_s;
+  s.speed_mps = std::max(0.0, quantized) / 3.6;
+  return s;
+}
+
+}  // namespace rups::sensors

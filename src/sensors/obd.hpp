@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sensors/types.hpp"
+#include "util/rng.hpp"
+#include "vehicle/kinematics.hpp"
+
+namespace rups::sensors {
+
+/// OBD-II vehicle-speed sensor (PID 0x0D): integer km/h readings at a low
+/// polling rate. The paper quotes ~0.3 Hz for the OBD channel (Sec. V-A).
+class ObdSpeedSensor {
+ public:
+  struct Config {
+    double rate_hz = 0.35;
+    /// OBD speed is reported in whole km/h.
+    double quantum_kmh = 1.0;
+    /// Speedometer calibration scale error (fraction, e.g. 0.01 = +1%).
+    double scale_error = 0.0;
+  };
+
+  explicit ObdSpeedSensor(std::uint64_t seed);
+  ObdSpeedSensor(std::uint64_t seed, Config config);
+
+  /// Poll: returns a sample when the polling period has elapsed.
+  [[nodiscard]] std::optional<SpeedSample> maybe_sample(
+      const vehicle::VehicleState& state);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  double next_sample_s_ = 0.0;
+};
+
+}  // namespace rups::sensors

@@ -1,0 +1,19 @@
+#include "sensors/rangefinder.hpp"
+
+namespace rups::sensors {
+
+LaserRangefinder::LaserRangefinder(std::uint64_t seed)
+    : LaserRangefinder(seed, Config{}) {}
+
+LaserRangefinder::LaserRangefinder(std::uint64_t seed, Config config)
+    : config_(config),
+      rng_(util::hash_combine(seed, 0x4c415345ULL)) {}  // "LASE"
+
+std::optional<double> LaserRangefinder::measure(double true_distance_m) {
+  if (true_distance_m < 0.0 || true_distance_m > config_.max_range_m) {
+    return std::nullopt;
+  }
+  return true_distance_m + rng_.gaussian(0.0, config_.noise_m);
+}
+
+}  // namespace rups::sensors

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace rups::sensors {
+
+/// SF02-style laser rangefinder with a 50 m effective range — the paper's
+/// ground-truth verification instrument mounted on the rear car (Sec. VI-A).
+class LaserRangefinder {
+ public:
+  struct Config {
+    double max_range_m = 50.0;
+    double noise_m = 0.03;
+  };
+
+  explicit LaserRangefinder(std::uint64_t seed);
+  LaserRangefinder(std::uint64_t seed, Config config);
+
+  /// Measure a true distance; nullopt when the target is out of range
+  /// (or not in the beam).
+  [[nodiscard]] std::optional<double> measure(double true_distance_m);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace rups::sensors

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/vec3.hpp"
+
+namespace rups::sensors {
+
+/// One inertial sample in the SENSOR frame (the phone's mounting frame,
+/// generally misaligned with the vehicle — RUPS reorients it, Sec. IV-B).
+struct ImuSample {
+  double time_s = 0.0;
+  util::Vec3 accel_mps2{};  ///< specific force (includes gravity reaction)
+  util::Vec3 gyro_rps{};    ///< angular rate
+  util::Vec3 mag_ut{};      ///< magnetic field, microtesla
+};
+
+/// One speed report (OBD-II PID 0x0D style).
+struct SpeedSample {
+  double time_s = 0.0;
+  double speed_mps = 0.0;
+};
+
+/// One GPS fix in world coordinates; `valid` is false during outages
+/// (urban canyon / under elevated roads).
+struct GpsFix {
+  double time_s = 0.0;
+  double x_m = 0.0;
+  double y_m = 0.0;
+  bool valid = false;
+};
+
+/// One completed GSM channel dwell.
+struct RssiMeasurement {
+  double time_s = 0.0;
+  std::size_t channel_index = 0;  ///< index into the scanner's ChannelPlan
+  double rssi_dbm = 0.0;          ///< RXLEV-quantized received level
+  int radio = 0;                  ///< which physical radio measured it
+};
+
+}  // namespace rups::sensors

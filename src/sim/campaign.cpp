@@ -1,0 +1,56 @@
+#include "sim/campaign.hpp"
+
+#include <cmath>
+
+namespace rups::sim {
+
+std::vector<double> CampaignResult::rups_errors() const {
+  std::vector<double> out;
+  for (const auto& q : queries) {
+    if (const auto e = q.rups_error()) out.push_back(*e);
+  }
+  return out;
+}
+
+std::vector<double> CampaignResult::gps_errors() const {
+  std::vector<double> out;
+  for (const auto& q : queries) {
+    if (const auto e = q.gps_error()) out.push_back(*e);
+  }
+  return out;
+}
+
+std::vector<double> CampaignResult::syn_errors() const {
+  std::vector<double> out;
+  for (const auto& q : queries) {
+    if (!std::isnan(q.syn_error_m)) out.push_back(q.syn_error_m);
+  }
+  return out;
+}
+
+double CampaignResult::rups_availability() const {
+  if (queries.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& q : queries) {
+    if (q.rups.has_value()) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries.size());
+}
+
+CampaignResult run_campaign(ConvoySimulation& sim,
+                            const CampaignConfig& config,
+                            util::ThreadPool* pool) {
+  CampaignResult result;
+  sim.run_until(config.warmup_s);
+  double t = config.warmup_s;
+  while (result.queries.size() < config.max_queries && !sim.finished() &&
+         (config.time_limit_s <= 0.0 || t < config.time_limit_s)) {
+    t += config.interval_s;
+    sim.run_until(t);
+    if (sim.finished()) break;
+    result.queries.push_back(sim.query(1, 0, pool));
+  }
+  return result;
+}
+
+}  // namespace rups::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/convoy_sim.hpp"
+
+namespace rups::sim {
+
+/// A query campaign mirrors the paper's evaluation recipe: drive the
+/// convoy, then "randomly select N points on the trajectory of the first
+/// car and estimate the relative distance" (Secs. VI-B/C/D) — here, queries
+/// are issued at a fixed interval after a warm-up that covers sensor
+/// calibration and context build-up.
+struct CampaignConfig {
+  double warmup_s = 350.0;
+  double interval_s = 3.0;
+  std::size_t max_queries = 500;
+  /// Hard stop (s); 0 = run until a vehicle finishes the route.
+  double time_limit_s = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<ConvoySimulation::QueryResult> queries;
+
+  /// Absolute RUPS errors over queries that produced an estimate.
+  [[nodiscard]] std::vector<double> rups_errors() const;
+  /// Absolute GPS errors over queries with a GPS estimate.
+  [[nodiscard]] std::vector<double> gps_errors() const;
+  /// SYN position errors over queries that found SYN points.
+  [[nodiscard]] std::vector<double> syn_errors() const;
+  /// Fraction of queries that produced a RUPS estimate.
+  [[nodiscard]] double rups_availability() const;
+};
+
+/// Run the campaign: rear vehicle (index 1) queries the front (index 0).
+[[nodiscard]] CampaignResult run_campaign(ConvoySimulation& sim,
+                                          const CampaignConfig& config,
+                                          util::ThreadPool* pool = nullptr);
+
+}  // namespace rups::sim

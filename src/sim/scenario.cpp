@@ -1,0 +1,20 @@
+#include "sim/scenario.hpp"
+
+namespace rups::sim {
+
+Scenario Scenario::two_car(std::uint64_t seed, road::EnvironmentType env,
+                           double gap_m) {
+  Scenario s;
+  s.seed = seed;
+  s.env = env;
+  VehicleSetup front;
+  front.seed = seed * 2 + 1;
+  front.start_offset_m = gap_m;
+  VehicleSetup rear;
+  rear.seed = seed * 2 + 2;
+  rear.start_offset_m = 0.0;
+  s.vehicles = {front, rear};
+  return s;
+}
+
+}  // namespace rups::sim

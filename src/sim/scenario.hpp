@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "gsm/env_profile.hpp"
+#include "road/environment.hpp"
+#include "sensors/gsm_scanner.hpp"
+#include "vehicle/traffic.hpp"
+
+namespace rups::sim {
+
+/// Per-vehicle experiment setup: where it drives and what hardware it
+/// carries (the paper varies radios, placement and lane — Figs. 9/11).
+struct VehicleSetup {
+  std::uint64_t seed = 1;
+  int lane = 1;
+  /// Start offset along the route (m); the front car leads by the gap.
+  double start_offset_m = 0.0;
+  int radios = 4;
+  sensors::RadioPlacement placement = sensors::RadioPlacement::kFrontPanel;
+  /// Mean seconds between lane changes to an adjacent lane (0 = stay put);
+  /// drivers drift between lanes in real traffic, perturbing the fine
+  /// multipath their scanner sees.
+  double lane_change_mean_s = 0.0;
+};
+
+/// Full experiment description. Defaults reproduce the paper's common
+/// setup: 4 front radios per car, 115 channels, moderate traffic.
+struct Scenario {
+  std::uint64_t seed = 1;
+
+  /// Route: a single-environment road of `route_length_m` (most
+  /// experiments) or the paper's mixed 97 km evaluation route.
+  road::EnvironmentType env = road::EnvironmentType::kFourLaneUrban;
+  double route_length_m = 12'000.0;
+  bool mixed_route = false;
+
+  vehicle::TrafficDensity traffic = vehicle::TrafficDensity::kModerate;
+  /// Scales the passing-big-vehicle blockage rate (0 disables).
+  double passing_rate_scale = 1.0;
+
+  std::size_t channels = 115;
+  /// Also scan the FM broadcast band (the paper's future-work multi-band
+  /// extension); the effective channel count grows accordingly.
+  bool include_fm_band = false;
+  core::RupsConfig rups{};
+  /// Base scanner configuration; per-vehicle radios/placement override it.
+  sensors::GsmScanner::Config scanner_base{};
+  /// Replace every road's radio-environment profile (ablation studies).
+  std::optional<gsm::GsmEnvProfile> field_override;
+
+  /// Vehicle 0 is the FRONT car, vehicle 1 the REAR car (paper layout).
+  std::vector<VehicleSetup> vehicles;
+
+  /// Simulation tick (s); 0.005 = the 200 Hz IMU rate.
+  double tick_s = 0.005;
+
+  /// Two-car scenario with the given initial front-rear gap.
+  [[nodiscard]] static Scenario two_car(std::uint64_t seed,
+                                        road::EnvironmentType env,
+                                        double gap_m = 40.0);
+};
+
+}  // namespace rups::sim

@@ -1,0 +1,123 @@
+#include "sim/survey.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/correlation.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rups::sim {
+
+core::PowerVector GsmSurvey::power_vector(const road::RoadSegment& segment,
+                                          double offset_m, int lane,
+                                          double time_s) const {
+  const auto raw = field_->power_vector(segment, offset_m, lane, time_s);
+  core::PowerVector pv(raw.size());
+  for (std::size_t c = 0; c < raw.size(); ++c) {
+    pv.set(c, static_cast<float>(raw[c]));
+  }
+  return pv;
+}
+
+core::ContextTrajectory GsmSurvey::collect_trajectory(
+    const road::RoadSegment& segment, double start_offset_m, double length_m,
+    int lane, double time0_s, double survey_speed_mps) const {
+  const auto metres = static_cast<std::size_t>(length_m);
+  core::ContextTrajectory traj(field_->plan().size(),
+                               std::max<std::size_t>(1, metres));
+  for (std::size_t i = 0; i < metres; ++i) {
+    const double offset = start_offset_m + static_cast<double>(i);
+    const double t = time0_s + static_cast<double>(i) / survey_speed_mps;
+    traj.append(core::GeoSample{segment.heading_rad, t},
+                power_vector(segment, offset, lane, t));
+  }
+  return traj;
+}
+
+double GsmSurvey::temporal_stability_probability(
+    const road::RoadNetwork& net, double dt_s, double threshold,
+    std::size_t channel_count, std::size_t trials, std::uint64_t seed) const {
+  util::Rng rng(util::hash_combine(seed, 0x53544142ULL));  // "STAB"
+  const std::size_t all = field_->plan().size();
+  channel_count = std::min(channel_count, all);
+
+  std::size_t stable = 0;
+  std::vector<double> xs(channel_count), ys(channel_count);
+  std::vector<std::size_t> channels(all);
+  std::iota(channels.begin(), channels.end(), 0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto& seg = net.segment(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1)));
+    const double offset = rng.uniform(0.0, seg.length_m);
+    const double t0 = rng.uniform(0.0, 1800.0);
+    // Random channel subset (prefix of a partial shuffle).
+    for (std::size_t i = 0; i < channel_count; ++i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(all) - 1));
+      std::swap(channels[i], channels[j]);
+    }
+    for (std::size_t i = 0; i < channel_count; ++i) {
+      xs[i] = field_->rssi_dbm(seg, offset, 1, channels[i], t0);
+      ys[i] = field_->rssi_dbm(seg, offset, 1, channels[i], t0 + dt_s);
+    }
+    if (util::pearson(xs, ys) >= threshold) ++stable;
+  }
+  return trials ? static_cast<double>(stable) / static_cast<double>(trials)
+                : 0.0;
+}
+
+std::vector<double> GsmSurvey::uniqueness_correlations(
+    const road::RoadNetwork& net, bool same_road, double entry_gap_s,
+    double length_m, std::size_t pairs, std::uint64_t seed) const {
+  util::Rng rng(util::hash_combine(seed, 0x554e4951ULL));  // "UNIQ"
+  std::vector<double> out;
+  out.reserve(pairs);
+
+  // Use every plan channel for the eq.(2) comparison (the paper compares
+  // full trajectories in Sec. III).
+  std::vector<std::size_t> channels(field_->plan().size());
+  std::iota(channels.begin(), channels.end(), 0);
+
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto i1 = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+    std::size_t i2 = i1;
+    if (!same_road) {
+      while (i2 == i1) {
+        i2 = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1));
+      }
+    }
+    const double t0 = rng.uniform(0.0, 1800.0);
+    const auto ta =
+        collect_trajectory(net.segment(i1), 0.0, length_m, 1, t0);
+    const auto tb = collect_trajectory(net.segment(i2), 0.0, length_m, 1,
+                                       t0 + entry_gap_s);
+    out.push_back(core::trajectory_correlation(
+        {&ta, 0}, {&tb, 0}, static_cast<std::size_t>(length_m), channels));
+  }
+  return out;
+}
+
+double GsmSurvey::mean_relative_change(const road::RoadNetwork& net,
+                                       double distance_m, std::size_t samples,
+                                       std::uint64_t seed) const {
+  util::Rng rng(util::hash_combine(seed, 0x52454c43ULL));  // "RELC"
+  util::RunningStats stats;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto& seg = net.segment(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.size()) - 1)));
+    const double max_start = seg.length_m - distance_m;
+    if (max_start <= 0.0) continue;
+    const double offset = rng.uniform(0.0, max_start);
+    const double t = rng.uniform(0.0, 1800.0);
+    const auto a = power_vector(seg, offset, 1, t);
+    const auto b = power_vector(seg, offset + distance_m, 1, t);
+    stats.add(core::relative_change_linear(a, b));
+  }
+  return stats.mean();
+}
+
+}  // namespace rups::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "gsm/gsm_field.hpp"
+#include "road/road_network.hpp"
+
+namespace rups::sim {
+
+/// Reproduction of the paper's Sec. III empirical methodology on the
+/// synthetic field: collect GSM-aware trajectories over road segments and
+/// compute the temporal/spatial statistics behind Figs. 1-4.
+class GsmSurvey {
+ public:
+  GsmSurvey(const gsm::GsmField* field) : field_(field) {}
+
+  /// A fully-measured trajectory over `length_m` metres of a segment,
+  /// sampled as a slow survey drive starting at absolute time `time0_s`
+  /// (the paper measured every metre over 150 m).
+  [[nodiscard]] core::ContextTrajectory collect_trajectory(
+      const road::RoadSegment& segment, double start_offset_m,
+      double length_m, int lane, double time0_s,
+      double survey_speed_mps = 5.0) const;
+
+  /// One power vector at a point.
+  [[nodiscard]] core::PowerVector power_vector(
+      const road::RoadSegment& segment, double offset_m, int lane,
+      double time_s) const;
+
+  /// Fig 2 point: probability that a pair of power vectors measured
+  /// `dt_s` apart at the same spot correlates >= `threshold`, using
+  /// `channel_count` randomly selected channels, over `trials` location
+  /// draws across the network.
+  [[nodiscard]] double temporal_stability_probability(
+      const road::RoadNetwork& net, double dt_s, double threshold,
+      std::size_t channel_count, std::size_t trials,
+      std::uint64_t seed) const;
+
+  /// Fig 3 samples: trajectory correlation coefficients for pairs of
+  /// trajectories — same road different entries (dt apart), or two
+  /// different roads.
+  [[nodiscard]] std::vector<double> uniqueness_correlations(
+      const road::RoadNetwork& net, bool same_road, double entry_gap_s,
+      double length_m, std::size_t pairs, std::uint64_t seed) const;
+
+  /// Fig 4 points: mean relative change (linear power) of power-vector
+  /// pairs separated by `distance_m` on the same road.
+  [[nodiscard]] double mean_relative_change(const road::RoadNetwork& net,
+                                            double distance_m,
+                                            std::size_t samples,
+                                            std::uint64_t seed) const;
+
+ private:
+  const gsm::GsmField* field_;
+};
+
+}  // namespace rups::sim

@@ -1,0 +1,115 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace rups::sim {
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+void VehicleTrace::save_csv(const std::filesystem::path& path) const {
+  util::CsvWriter w(path);
+  for (const auto& s : imu) {
+    w.row(std::vector<std::string>{
+        "imu", fmt(s.time_s), fmt(s.accel_mps2.x), fmt(s.accel_mps2.y),
+        fmt(s.accel_mps2.z), fmt(s.gyro_rps.x), fmt(s.gyro_rps.y),
+        fmt(s.gyro_rps.z), fmt(s.mag_ut.x), fmt(s.mag_ut.y), fmt(s.mag_ut.z)});
+  }
+  for (const auto& s : obd) {
+    w.row(std::vector<std::string>{"obd", fmt(s.time_s), fmt(s.speed_mps)});
+  }
+  for (const auto& s : rssi) {
+    w.row(std::vector<std::string>{"rssi", fmt(s.time_s),
+                                   std::to_string(s.channel_index),
+                                   fmt(s.rssi_dbm), std::to_string(s.radio)});
+  }
+  for (const auto& s : gps) {
+    w.row(std::vector<std::string>{"gps", fmt(s.time_s), fmt(s.x_m),
+                                   fmt(s.y_m), s.valid ? "1" : "0"});
+  }
+  for (std::size_t i = 0; i < true_pos_of_metre.size(); ++i) {
+    w.row(std::vector<std::string>{"truth", std::to_string(i),
+                                   fmt(true_pos_of_metre[i])});
+  }
+}
+
+VehicleTrace VehicleTrace::load_csv(const std::filesystem::path& path) {
+  const util::CsvReader reader(path);
+  VehicleTrace trace;
+  for (const auto& row : reader.rows()) {
+    if (row.empty()) continue;
+    const std::string& tag = row[0];
+    if (tag == "imu") {
+      if (row.size() != 11) throw std::invalid_argument("bad imu row");
+      sensors::ImuSample s;
+      s.time_s = std::stod(row[1]);
+      s.accel_mps2 = {std::stod(row[2]), std::stod(row[3]), std::stod(row[4])};
+      s.gyro_rps = {std::stod(row[5]), std::stod(row[6]), std::stod(row[7])};
+      s.mag_ut = {std::stod(row[8]), std::stod(row[9]), std::stod(row[10])};
+      trace.imu.push_back(s);
+    } else if (tag == "obd") {
+      if (row.size() != 3) throw std::invalid_argument("bad obd row");
+      trace.obd.push_back({std::stod(row[1]), std::stod(row[2])});
+    } else if (tag == "rssi") {
+      if (row.size() != 5) throw std::invalid_argument("bad rssi row");
+      sensors::RssiMeasurement m;
+      m.time_s = std::stod(row[1]);
+      m.channel_index = static_cast<std::size_t>(std::stoul(row[2]));
+      m.rssi_dbm = std::stod(row[3]);
+      m.radio = std::stoi(row[4]);
+      trace.rssi.push_back(m);
+    } else if (tag == "gps") {
+      if (row.size() != 5) throw std::invalid_argument("bad gps row");
+      sensors::GpsFix f;
+      f.time_s = std::stod(row[1]);
+      f.x_m = std::stod(row[2]);
+      f.y_m = std::stod(row[3]);
+      f.valid = row[4] == "1";
+      trace.gps.push_back(f);
+    } else if (tag == "truth") {
+      if (row.size() != 3) throw std::invalid_argument("bad truth row");
+      const auto idx = static_cast<std::size_t>(std::stoul(row[1]));
+      if (trace.true_pos_of_metre.size() <= idx) {
+        trace.true_pos_of_metre.resize(idx + 1, 0.0);
+      }
+      trace.true_pos_of_metre[idx] = std::stod(row[2]);
+    } else {
+      throw std::invalid_argument("unknown trace row tag: " + tag);
+    }
+  }
+  return trace;
+}
+
+void replay_trace(const VehicleTrace& trace, core::RupsEngine& engine) {
+  // Merge the three engine-facing streams by timestamp. On ties, deliver
+  // speed before IMU (matching the live rig, which polls OBD first).
+  std::size_t ii = 0, oi = 0, ri = 0;
+  const auto next_time = [&](std::size_t idx, const auto& v) {
+    return idx < v.size() ? v[idx].time_s
+                          : std::numeric_limits<double>::infinity();
+  };
+  for (;;) {
+    const double ti = next_time(ii, trace.imu);
+    const double to = next_time(oi, trace.obd);
+    const double tr = next_time(ri, trace.rssi);
+    if (std::isinf(ti) && std::isinf(to) && std::isinf(tr)) break;
+    if (to <= ti && to <= tr) {
+      engine.on_speed(trace.obd[oi++]);
+    } else if (tr < ti) {
+      engine.on_rssi(trace.rssi[ri++]);
+    } else {
+      engine.on_imu(trace.imu[ii++]);
+    }
+  }
+}
+
+}  // namespace rups::sim

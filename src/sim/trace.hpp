@@ -1,0 +1,69 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sensors/types.hpp"
+
+namespace rups::sim {
+
+/// Recorded sensor streams of one instrumented drive — the unit of the
+/// paper's trace-driven methodology: record once in the field (here: in the
+/// simulator), then replay through the RUPS pipeline as many times as the
+/// evaluation needs.
+struct VehicleTrace {
+  std::vector<sensors::ImuSample> imu;
+  std::vector<sensors::SpeedSample> obd;
+  std::vector<sensors::RssiMeasurement> rssi;
+  std::vector<sensors::GpsFix> gps;
+  /// True route position at each emitted odometer metre (ground truth).
+  std::vector<double> true_pos_of_metre;
+
+  /// CSV round trip (one file; streams are tagged rows).
+  void save_csv(const std::filesystem::path& path) const;
+  [[nodiscard]] static VehicleTrace load_csv(const std::filesystem::path& path);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return imu.empty() && obd.empty() && rssi.empty() && gps.empty();
+  }
+};
+
+/// Event sink a VehicleRig can publish its sensor streams to.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_imu(const sensors::ImuSample& sample) = 0;
+  virtual void on_obd(const sensors::SpeedSample& sample) = 0;
+  virtual void on_rssi(const sensors::RssiMeasurement& sample) = 0;
+  virtual void on_gps(const sensors::GpsFix& fix) = 0;
+};
+
+/// TraceSink that accumulates a VehicleTrace in memory.
+class TraceRecorder final : public TraceSink {
+ public:
+  void on_imu(const sensors::ImuSample& sample) override {
+    trace_.imu.push_back(sample);
+  }
+  void on_obd(const sensors::SpeedSample& sample) override {
+    trace_.obd.push_back(sample);
+  }
+  void on_rssi(const sensors::RssiMeasurement& sample) override {
+    trace_.rssi.push_back(sample);
+  }
+  void on_gps(const sensors::GpsFix& fix) override {
+    trace_.gps.push_back(fix);
+  }
+
+  [[nodiscard]] VehicleTrace& trace() noexcept { return trace_; }
+  [[nodiscard]] const VehicleTrace& trace() const noexcept { return trace_; }
+
+ private:
+  VehicleTrace trace_;
+};
+
+/// Replay a recorded trace through a fresh RUPS engine, merging the streams
+/// in timestamp order exactly as they arrived live.
+void replay_trace(const VehicleTrace& trace, core::RupsEngine& engine);
+
+}  // namespace rups::sim

@@ -1,0 +1,34 @@
+#include "util/angle.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rups::util {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+double deg2rad(double deg) noexcept { return deg * kPi / 180.0; }
+double rad2deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+double wrap_2pi(double rad) noexcept {
+  double r = std::fmod(rad, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r;
+}
+
+double wrap_pi(double rad) noexcept {
+  double r = wrap_2pi(rad);
+  if (r > kPi) r -= kTwoPi;
+  return r;
+}
+
+double angle_diff(double a, double b) noexcept { return wrap_pi(a - b); }
+
+double angle_lerp(double a, double b, double t) noexcept {
+  return wrap_pi(a + angle_diff(b, a) * t);
+}
+
+}  // namespace rups::util

@@ -1,0 +1,21 @@
+#pragma once
+
+namespace rups::util {
+
+/// Degrees → radians.
+[[nodiscard]] double deg2rad(double deg) noexcept;
+/// Radians → degrees.
+[[nodiscard]] double rad2deg(double rad) noexcept;
+
+/// Wrap an angle (radians) into (-pi, pi].
+[[nodiscard]] double wrap_pi(double rad) noexcept;
+/// Wrap an angle (radians) into [0, 2*pi).
+[[nodiscard]] double wrap_2pi(double rad) noexcept;
+
+/// Signed smallest difference a - b, wrapped into (-pi, pi].
+[[nodiscard]] double angle_diff(double a, double b) noexcept;
+
+/// Linear interpolation of angles along the shortest arc.
+[[nodiscard]] double angle_lerp(double a, double b, double t) noexcept;
+
+}  // namespace rups::util

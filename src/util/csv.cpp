@@ -1,0 +1,122 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace rups::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<double>& cells) {
+  out_.precision(17);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  return *this;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+CsvReader::CsvReader(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("CsvReader: cannot open " + path.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  parse(ss.str());
+}
+
+CsvReader CsvReader::from_string(std::string_view text) {
+  CsvReader r;
+  r.parse(text);
+  return r;
+}
+
+void CsvReader::parse(std::string_view text) {
+  std::vector<std::string> current;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_cell = [&] {
+    current.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows_.push_back(std::move(current));
+    current.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !cell.empty() || !current.empty()) end_row();
+        break;
+      default:
+        cell.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !cell.empty() || !current.empty()) end_row();
+}
+
+}  // namespace rups::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rups::util {
+
+/// Streaming CSV writer. Values are escaped per RFC 4180 when needed
+/// (commas, quotes, newlines). Used by the trace recorder and the figure
+/// benches to emit plot-ready series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Write one row; strings are escaped, doubles printed with enough
+  /// precision to round-trip.
+  CsvWriter& row(const std::vector<std::string>& cells);
+  CsvWriter& row(const std::vector<double>& cells);
+
+  void flush();
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  /// RFC-4180 escape helper (exposed for tests).
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Whole-file CSV reader (small files: traces, fixtures).
+class CsvReader {
+ public:
+  /// Parses the file; throws std::runtime_error if it cannot be opened.
+  explicit CsvReader(const std::filesystem::path& path);
+  /// Parses in-memory text (tests).
+  static CsvReader from_string(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  CsvReader() = default;
+  void parse(std::string_view text);
+
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace rups::util {
+
+/// Stateless, replayable noise: maps integer keys to deterministic
+/// pseudo-random values. Used by the GSM field so that two passes over the
+/// same road position (possibly minutes apart, possibly from different
+/// vehicles) observe the SAME spatial component — the property the paper
+/// calls "temporary stability" relies on this.
+class HashNoise {
+ public:
+  explicit HashNoise(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Uniform in [0, 1) for an integer key.
+  [[nodiscard]] double uniform(std::int64_t key) const noexcept;
+  /// Uniform in [0, 1) for a pair of integer keys.
+  [[nodiscard]] double uniform2(std::int64_t k1, std::int64_t k2) const noexcept;
+  /// Standard normal for an integer key (inverse-CDF approximation).
+  [[nodiscard]] double gaussian(std::int64_t key) const noexcept;
+  /// Standard normal for a pair of integer keys.
+  [[nodiscard]] double gaussian2(std::int64_t k1, std::int64_t k2) const noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// max relative error ~1.15e-9). Exposed for tests.
+[[nodiscard]] double inverse_normal_cdf(double p) noexcept;
+
+/// Smooth 1-D Gaussian-process-like field over a continuous coordinate,
+/// built from hashed lattice values with cosine interpolation and summed
+/// octaves. Deterministic in (seed, x): evaluating the same coordinate
+/// twice yields the same value, which makes the simulated radio field
+/// replayable across vehicles and across time.
+///
+/// The result is approximately N(0,1); correlation between two points decays
+/// with |x1-x2| on the scale of `correlation_length`.
+class LatticeField1D {
+ public:
+  /// @param seed                field identity
+  /// @param correlation_length  distance (same unit as x) over which values
+  ///                            decorrelate; must be > 0
+  /// @param octaves             number of frequency octaves (>= 1); more
+  ///                            octaves add fine detail below the base scale
+  LatticeField1D(std::uint64_t seed, double correlation_length,
+                 int octaves = 1) noexcept;
+
+  /// Field value at coordinate x, approximately standard normal.
+  [[nodiscard]] double value(double x) const noexcept;
+
+  [[nodiscard]] double correlation_length() const noexcept {
+    return correlation_length_;
+  }
+
+ private:
+  [[nodiscard]] double octave_value(double x, int octave) const noexcept;
+
+  HashNoise noise_;
+  double correlation_length_;
+  int octaves_;
+  double amplitude_norm_;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rups::util {
+
+/// Fixed-capacity ring buffer keeping the most recent `capacity` elements.
+/// Index 0 is the OLDEST retained element; back() is the newest. RUPS keeps
+/// only a bounded most-recent journey context per vehicle (Sec. V-A), which
+/// this models.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : data_(capacity), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  void push(T value) {
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Oldest-first access; i in [0, size).
+  const T& operator[](std::size_t i) const {
+    return data_[(head_ + capacity_ - size_ + i) % capacity_];
+  }
+  T& operator[](std::size_t i) {
+    return data_[(head_ + capacity_ - size_ + i) % capacity_];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+  }
+
+  /// Copy out oldest-first into a vector (for serialization).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rups::util

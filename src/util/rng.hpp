@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rups::util {
+
+/// SplitMix64 — used for seeding and as a cheap stateless mixer.
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot stateless mix of a 64-bit key (SplitMix64 finalizer).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Combine two 64-bit keys into one (order-sensitive).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Xoshiro256** — fast, high-quality general-purpose PRNG.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// streams from one seed.
+  void jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience wrapper: a seeded Xoshiro256 plus the distributions the
+/// simulator needs. All methods are deterministic given the seed and the
+/// call sequence.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box–Muller (cached pair).
+  double gaussian() noexcept;
+  /// Normal with the given mean / stddev.
+  double gaussian(double mean, double stddev) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) noexcept;
+
+  /// Derive an independent child generator (stable, order-sensitive).
+  Rng fork() noexcept;
+
+  Xoshiro256& generator() noexcept { return gen_; }
+
+ private:
+  Xoshiro256 gen_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace rups::util

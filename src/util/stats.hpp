@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rups::util {
+
+/// Welford-style online accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the 95% confidence interval of the mean
+  /// (normal approximation: 1.96 * stddev / sqrt(n)).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample (0 for an empty span).
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample standard deviation (0 for fewer than two samples).
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// q-th percentile (q in [0,1]) with linear interpolation between order
+/// statistics. The input need not be sorted. Returns 0 for an empty span.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Plain Pearson correlation between two equal-length samples.
+/// Returns 0 when either side has zero variance or fewer than 2 points.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b) noexcept;
+
+/// Empirical CDF of a sample: sorted values paired with cumulative
+/// probability F(x) = rank/n. Suitable for printing figure series.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Inverse CDF (quantile).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Evaluate the CDF on an evenly spaced grid [lo, hi] with `points`
+  /// samples; used by the figure benches to print comparable series.
+  [[nodiscard]] std::vector<std::pair<double, double>> grid(
+      double lo, double hi, std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rups::util {
+
+/// Minimal fixed-size thread pool. Used to parallelize the SYN-point
+/// double-sliding search across window positions (the O(mwk) hot path from
+/// Sec. V-A of the paper) and for embarrassingly parallel experiment sweeps.
+class ThreadPool {
+ public:
+  /// @param threads worker count; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes its completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations complete. Iterations are chunked contiguously. Exceptions
+  /// propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,51 @@
+#include "util/vec3.hpp"
+
+namespace rups::util {
+
+Mat3 Mat3::rotation(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double t = 1.0 - c;
+  Mat3 r;
+  r.m = {c + u.x * u.x * t,       u.x * u.y * t - u.z * s, u.x * u.z * t + u.y * s,
+         u.y * u.x * t + u.z * s, c + u.y * u.y * t,       u.y * u.z * t - u.x * s,
+         u.z * u.x * t - u.y * s, u.z * u.y * t + u.x * s, c + u.z * u.z * t};
+  return r;
+}
+
+Mat3 Mat3::from_euler(double yaw, double pitch, double roll) {
+  const Mat3 rz = rotation({0, 0, 1}, yaw);
+  const Mat3 ry = rotation({0, 1, 0}, pitch);
+  const Mat3 rx = rotation({1, 0, 0}, roll);
+  return rz * ry * rx;
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 out;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      out.at(r, c) = row(r).dot(o.col(c));
+    }
+  }
+  return out;
+}
+
+Mat3 Mat3::transpose() const {
+  Mat3 out;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) out.at(r, c) = at(c, r);
+  }
+  return out;
+}
+
+double Mat3::distance(const Mat3& o) const {
+  double s = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    const double d = m[i] - o.m[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace rups::util

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace rups::util {
+
+/// Plain 3-vector (double). Used for IMU samples, magnetic field, and
+/// vehicle-frame geometry.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  /// Unit vector; returns zero vector unchanged if the norm is ~0.
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 1e-12 ? *this / n : *this;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Row-major 3x3 matrix; enough linear algebra for coordinate reorientation
+/// (rotation estimation and application).
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 identity() { return Mat3{}; }
+
+  /// Build from three ROW vectors; Mat3::from_rows(x,y,z) * v expresses v
+  /// (sensor frame) in the frame whose axes are x,y,z.
+  static Mat3 from_rows(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+    Mat3 out;
+    out.m = {r0.x, r0.y, r0.z, r1.x, r1.y, r1.z, r2.x, r2.y, r2.z};
+    return out;
+  }
+
+  /// Rotation about an arbitrary unit axis by `angle` radians (Rodrigues).
+  static Mat3 rotation(const Vec3& axis, double angle);
+  /// Intrinsic Z-Y-X Euler rotation (yaw, pitch, roll), radians.
+  static Mat3 from_euler(double yaw, double pitch, double roll);
+
+  [[nodiscard]] double at(int r, int c) const { return m[3 * r + c]; }
+  double& at(int r, int c) { return m[3 * r + c]; }
+
+  [[nodiscard]] Vec3 row(int r) const {
+    return {at(r, 0), at(r, 1), at(r, 2)};
+  }
+  [[nodiscard]] Vec3 col(int c) const {
+    return {at(0, c), at(1, c), at(2, c)};
+  }
+
+  [[nodiscard]] Vec3 operator*(const Vec3& v) const {
+    return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+  }
+  [[nodiscard]] Mat3 operator*(const Mat3& o) const;
+  [[nodiscard]] Mat3 transpose() const;
+
+  /// Frobenius distance to another matrix (test helper).
+  [[nodiscard]] double distance(const Mat3& o) const;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,185 @@
+#include "v2v/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/angle.hpp"
+
+namespace rups::v2v {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    check(1);
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    check(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[pos_] | (bytes_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    check(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    check(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void check(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::invalid_argument("TrajectoryCodec: truncated input");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t state_bytes(std::size_t channels) { return (channels + 3) / 4; }
+
+}  // namespace
+
+std::size_t TrajectoryCodec::encoded_size(std::size_t metres,
+                                          std::size_t channels) noexcept {
+  constexpr std::size_t header = 4 + 2 + 4 + 8;
+  const std::size_t per_metre = 2 + 4 + state_bytes(channels) + channels;
+  return header + metres * per_metre;
+}
+
+std::vector<std::uint8_t> TrajectoryCodec::encode(
+    const core::ContextTrajectory& trajectory) {
+  return encode_tail(trajectory, trajectory.first_metre());
+}
+
+std::vector<std::uint8_t> TrajectoryCodec::encode_tail(
+    const core::ContextTrajectory& trajectory, std::uint64_t since_metre) {
+  const std::size_t channels = trajectory.channels();
+  std::size_t start_index = 0;
+  if (since_metre > trajectory.first_metre()) {
+    start_index = std::min<std::size_t>(
+        trajectory.size(),
+        static_cast<std::size_t>(since_metre - trajectory.first_metre()));
+  }
+  const std::size_t metres = trajectory.size() - start_index;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(metres, channels));
+  put_u32(out, kMagic);
+  put_u16(out, static_cast<std::uint16_t>(channels));
+  put_u32(out, static_cast<std::uint32_t>(metres));
+  put_u64(out, trajectory.first_metre() + start_index);
+
+  for (std::size_t i = start_index; i < trajectory.size(); ++i) {
+    const core::GeoSample& geo = trajectory.geo(i);
+    const core::PowerVector& pv = trajectory.power(i);
+    const double wrapped = util::wrap_pi(geo.heading_rad);
+    const auto heading =
+        static_cast<std::int16_t>(std::lround(wrapped * kHeadingScale));
+    put_u16(out, static_cast<std::uint16_t>(heading));
+    put_u32(out, static_cast<std::uint32_t>(
+                     std::lround(std::max(0.0, geo.time_s) * 100.0)));
+
+    // 2-bit channel states, 4 per byte.
+    for (std::size_t base = 0; base < channels; base += 4) {
+      std::uint8_t packed = 0;
+      for (std::size_t k = 0; k < 4 && base + k < channels; ++k) {
+        packed |= static_cast<std::uint8_t>(
+                      static_cast<std::uint8_t>(pv.state(base + k)) & 0x3)
+                  << (2 * k);
+      }
+      out.push_back(packed);
+    }
+    // RSSI bytes: dBm + 128, clamped into [0, 255].
+    for (std::size_t c = 0; c < channels; ++c) {
+      if (pv.usable(c)) {
+        const double shifted = std::clamp(
+            std::round(static_cast<double>(pv.at(c)) + 128.0), 0.0, 255.0);
+        out.push_back(static_cast<std::uint8_t>(shifted));
+      } else {
+        out.push_back(0);
+      }
+    }
+  }
+  return out;
+}
+
+core::ContextTrajectory TrajectoryCodec::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.u32() != kMagic) {
+    throw std::invalid_argument("TrajectoryCodec: bad magic");
+  }
+  const std::size_t channels = r.u16();
+  const std::size_t metres = r.u32();
+  const std::uint64_t first_metre = r.u64();
+  if (channels == 0) {
+    throw std::invalid_argument("TrajectoryCodec: zero channels");
+  }
+  // Validate BEFORE allocating: a corrupted header must not drive a huge
+  // reservation (found by fuzzing: std::bad_alloc on mutated inputs).
+  if (bytes.size() != encoded_size(metres, channels)) {
+    throw std::invalid_argument("TrajectoryCodec: size mismatch");
+  }
+
+  core::ContextTrajectory out(channels, std::max<std::size_t>(1, metres));
+  // Reproduce the sender's odometer indexing: pre-roll first_metre appends
+  // is wasteful, so the capacity-bounded trajectory simply starts at the
+  // sender's first metre via dummy eviction-free bookkeeping — we rebuild by
+  // appending `metres` entries and rely on first_metre alignment below.
+  std::vector<std::uint8_t> states(state_bytes(channels));
+  for (std::size_t i = 0; i < metres; ++i) {
+    core::GeoSample geo;
+    const auto heading_raw = static_cast<std::int16_t>(r.u16());
+    geo.heading_rad = static_cast<double>(heading_raw) / kHeadingScale;
+    geo.time_s = static_cast<double>(r.u32()) / 100.0;
+
+    for (auto& b : states) b = r.u8();
+    core::PowerVector pv(channels);
+    std::vector<std::uint8_t> rssi(channels);
+    for (std::size_t c = 0; c < channels; ++c) rssi[c] = r.u8();
+    for (std::size_t c = 0; c < channels; ++c) {
+      const auto state = static_cast<core::ChannelState>(
+          (states[c / 4] >> (2 * (c % 4))) & 0x3);
+      if (state != core::ChannelState::kMissing) {
+        pv.set(c, static_cast<float>(static_cast<double>(rssi[c]) - 128.0),
+               state);
+      }
+    }
+    out.append(geo, std::move(pv));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("TrajectoryCodec: trailing bytes");
+  }
+  // Align odometer indexing with the sender's.
+  out.rebase(first_metre);
+  return out;
+}
+
+}  // namespace rups::v2v

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rups::v2v {
+
+/// Wire format for context-aware trajectories exchanged over DSRC.
+///
+/// Layout (little-endian):
+///   header: magic u32, channels u16, metres u32, first_metre u64
+///   per metre:
+///     heading  i16   (rad * 10430.378..., full circle in 16 bits)
+///     time     u32   (centiseconds)
+///     states   ceil(channels/4) bytes (2 bits per channel)
+///     rssi     channels bytes (RXLEV-style: dBm + 128 clamped to u8;
+///              missing channels carry 0)
+///
+/// With the paper's 115 evaluation channels one metre costs
+/// 2 + 4 + 29 + 115 = 150 bytes, i.e. ~150 KB per km of journey context —
+/// the same order as the paper's 182 KB/km figure (Sec. V-B).
+class TrajectoryCodec {
+ public:
+  /// Serialize the whole trajectory.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(
+      const core::ContextTrajectory& trajectory);
+
+  /// Serialize only metres with odometer index >= since_metre — the
+  /// incremental update used after a SYN lock (Sec. V-B scalability).
+  [[nodiscard]] static std::vector<std::uint8_t> encode_tail(
+      const core::ContextTrajectory& trajectory, std::uint64_t since_metre);
+
+  /// Reconstruct a trajectory (capacity = received length). Throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static core::ContextTrajectory decode(
+      const std::vector<std::uint8_t>& bytes);
+
+  /// Exact encoded size for a trajectory of `metres` x `channels`.
+  [[nodiscard]] static std::size_t encoded_size(std::size_t metres,
+                                                std::size_t channels) noexcept;
+
+  static constexpr std::uint32_t kMagic = 0x52555053;  // "RUPS"
+
+ private:
+  static constexpr double kHeadingScale = 32767.0 / 3.14159265358979;
+};
+
+}  // namespace rups::v2v

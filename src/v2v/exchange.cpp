@@ -1,0 +1,41 @@
+#include "v2v/exchange.hpp"
+
+#include <stdexcept>
+
+namespace rups::v2v {
+
+ExchangeSession::ExchangeSession(DsrcLink* link, std::uint32_t next_message_id)
+    : link_(link), next_message_id_(next_message_id) {
+  if (link_ == nullptr) {
+    throw std::invalid_argument("ExchangeSession: null link");
+  }
+}
+
+ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded) {
+  // Frame, "transmit" (timing model), reassemble, decode. Framing and
+  // reassembly run for real so the byte path is exercised end to end.
+  const auto packets =
+      WsmFraming::fragment(encoded, next_message_id_++,
+                           link_->config().max_payload);
+  const auto stats = link_->transfer(encoded.size());
+  const auto reassembled = WsmFraming::reassemble(packets);
+  if (!reassembled.has_value()) {
+    throw std::runtime_error("ExchangeSession: reassembly failed");
+  }
+  ExchangeResult result{TrajectoryCodec::decode(*reassembled), stats};
+  bytes_ += stats.payload_bytes;
+  seconds_ += stats.duration_s;
+  return result;
+}
+
+ExchangeResult ExchangeSession::exchange_full(
+    const core::ContextTrajectory& sender) {
+  return run(TrajectoryCodec::encode(sender));
+}
+
+ExchangeResult ExchangeSession::exchange_tail(
+    const core::ContextTrajectory& sender, std::uint64_t since_metre) {
+  return run(TrajectoryCodec::encode_tail(sender, since_metre));
+}
+
+}  // namespace rups::v2v

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/types.hpp"
+#include "v2v/codec.hpp"
+#include "v2v/link.hpp"
+#include "v2v/wsm.hpp"
+
+namespace rups::v2v {
+
+/// One completed trajectory exchange: the decoded neighbour context plus
+/// the communication cost that delivered it.
+struct ExchangeResult {
+  core::ContextTrajectory trajectory;
+  DsrcLink::TransferStats stats;
+};
+
+/// Orchestrates trajectory exchange between two vehicles over a DsrcLink:
+/// full-context transfers for initial queries, incremental tail updates
+/// once a SYN point is locked (the Sec. V-B scalability strategy).
+class ExchangeSession {
+ public:
+  ExchangeSession(DsrcLink* link, std::uint32_t next_message_id = 1);
+
+  /// Send a full journey context across the link.
+  [[nodiscard]] ExchangeResult exchange_full(
+      const core::ContextTrajectory& sender);
+
+  /// Send only metres at or beyond `since_metre`; the receiver is expected
+  /// to splice them onto its cached copy (returned trajectory holds just
+  /// the tail).
+  [[nodiscard]] ExchangeResult exchange_tail(
+      const core::ContextTrajectory& sender, std::uint64_t since_metre);
+
+  /// Total bytes and seconds spent in this session so far.
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] double total_seconds() const noexcept { return seconds_; }
+
+ private:
+  ExchangeResult run(std::vector<std::uint8_t> encoded);
+
+  DsrcLink* link_;
+  std::uint32_t next_message_id_;
+  std::size_t bytes_ = 0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace rups::v2v

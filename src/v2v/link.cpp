@@ -1,0 +1,33 @@
+#include "v2v/link.hpp"
+
+#include <algorithm>
+
+namespace rups::v2v {
+
+DsrcLink::DsrcLink(std::uint64_t seed) : DsrcLink(seed, Config{}) {}
+
+DsrcLink::DsrcLink(std::uint64_t seed, Config config)
+    : config_(config), rng_(util::hash_combine(seed, 0x4453524bULL)) {}
+
+DsrcLink::TransferStats DsrcLink::transfer(std::size_t payload_bytes) {
+  TransferStats stats;
+  stats.payload_bytes = payload_bytes;
+  if (payload_bytes == 0 || config_.max_payload == 0) return stats;
+  stats.packets =
+      (payload_bytes + config_.max_payload - 1) / config_.max_payload;
+  for (std::size_t p = 0; p < stats.packets; ++p) {
+    for (;;) {
+      ++stats.transmissions;
+      if (!rng_.bernoulli(config_.loss_rate)) {
+        stats.duration_s +=
+            std::max(0.0, config_.rtt_s +
+                              rng_.gaussian(0.0, config_.rtt_jitter_s));
+        break;
+      }
+      stats.duration_s += config_.retransmit_timeout_s;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rups::v2v

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace rups::v2v {
+
+/// Timing/reliability model of a DSRC (802.11p) unicast exchange. The paper
+/// measured an average WSM round-trip of ~4 ms, giving 130 packets / 1 km
+/// context ~= 0.52 s (Sec. V-B). Each packet is delivered with probability
+/// (1 - loss_rate); a lost packet is retransmitted after a timeout.
+class DsrcLink {
+ public:
+  struct Config {
+    double rtt_s = 0.004;
+    double rtt_jitter_s = 0.0005;
+    double loss_rate = 0.0;
+    double retransmit_timeout_s = 0.02;
+    std::size_t max_payload = 1400;
+  };
+
+  explicit DsrcLink(std::uint64_t seed);
+  DsrcLink(std::uint64_t seed, Config config);
+
+  struct TransferStats {
+    std::size_t payload_bytes = 0;
+    std::size_t packets = 0;          ///< unique packets
+    std::size_t transmissions = 0;    ///< including retransmissions
+    double duration_s = 0.0;
+  };
+
+  /// Simulate transferring `payload_bytes` as a stop-and-wait sequence of
+  /// WSM packets (the paper's accounting).
+  [[nodiscard]] TransferStats transfer(std::size_t payload_bytes);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace rups::v2v

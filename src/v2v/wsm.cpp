@@ -1,0 +1,55 @@
+#include "v2v/wsm.hpp"
+
+#include <algorithm>
+
+namespace rups::v2v {
+
+std::size_t WsmFraming::packet_count(std::size_t payload_bytes,
+                                     std::size_t max_payload) {
+  if (max_payload == 0) return 0;
+  return (payload_bytes + max_payload - 1) / max_payload;
+}
+
+std::vector<WsmPacket> WsmFraming::fragment(
+    const std::vector<std::uint8_t>& payload, std::uint32_t message_id,
+    std::size_t max_payload) {
+  std::vector<WsmPacket> out;
+  if (payload.empty() || max_payload == 0) return out;
+  const std::size_t total = packet_count(payload.size(), max_payload);
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    WsmPacket p;
+    p.message_id = message_id;
+    p.seq = static_cast<std::uint16_t>(i);
+    p.total = static_cast<std::uint16_t>(total);
+    const std::size_t lo = i * max_payload;
+    const std::size_t hi = std::min(payload.size(), lo + max_payload);
+    p.payload.assign(payload.begin() + static_cast<long>(lo),
+                     payload.begin() + static_cast<long>(hi));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> WsmFraming::reassemble(
+    const std::vector<WsmPacket>& packets) {
+  if (packets.empty()) return std::nullopt;
+  const std::uint32_t id = packets.front().message_id;
+  const std::uint16_t total = packets.front().total;
+  if (total == 0) return std::nullopt;
+
+  std::vector<const WsmPacket*> slots(total, nullptr);
+  for (const WsmPacket& p : packets) {
+    if (p.message_id != id || p.total != total) return std::nullopt;
+    if (p.seq >= total) return std::nullopt;
+    if (slots[p.seq] == nullptr) slots[p.seq] = &p;
+  }
+  std::vector<std::uint8_t> out;
+  for (std::uint16_t i = 0; i < total; ++i) {
+    if (slots[i] == nullptr) return std::nullopt;  // missing fragment
+    out.insert(out.end(), slots[i]->payload.begin(), slots[i]->payload.end());
+  }
+  return out;
+}
+
+}  // namespace rups::v2v

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rups::v2v {
+
+/// One WAVE Short Message fragment. The paper's implementation uses
+/// 802.11p WSM packets with a maximum payload of 1400 bytes (Sec. V-B).
+struct WsmPacket {
+  std::uint32_t message_id = 0;  ///< groups fragments of one payload
+  std::uint16_t seq = 0;         ///< fragment index
+  std::uint16_t total = 0;       ///< fragment count
+  std::vector<std::uint8_t> payload;
+};
+
+/// Splits an application payload into WSM fragments and reassembles them.
+class WsmFraming {
+ public:
+  static constexpr std::size_t kMaxPayload = 1400;
+
+  /// Fragment a payload; `message_id` tags all fragments.
+  [[nodiscard]] static std::vector<WsmPacket> fragment(
+      const std::vector<std::uint8_t>& payload, std::uint32_t message_id,
+      std::size_t max_payload = kMaxPayload);
+
+  /// Number of packets a payload needs.
+  [[nodiscard]] static std::size_t packet_count(
+      std::size_t payload_bytes, std::size_t max_payload = kMaxPayload);
+
+  /// Reassemble fragments (any order, duplicates tolerated). Returns
+  /// nullopt when fragments are missing or inconsistent.
+  [[nodiscard]] static std::optional<std::vector<std::uint8_t>> reassemble(
+      const std::vector<WsmPacket>& packets);
+};
+
+}  // namespace rups::v2v

@@ -1,0 +1,34 @@
+#include "vehicle/kinematics.hpp"
+
+#include <algorithm>
+
+namespace rups::vehicle {
+
+Kinematics::Kinematics(const road::Route* route,
+                       const SpeedController* controller, int lane,
+                       double start_position_m, double start_time_s)
+    : route_(route), controller_(controller) {
+  state_.time_s = start_time_s;
+  state_.position_m = start_position_m;
+  state_.lane = lane;
+  state_.pose = route_->pose_at(start_position_m);
+  state_.heading_rad = state_.pose.heading_rad;
+}
+
+const VehicleState& Kinematics::step(double dt, double accel_adjust_mps2) {
+  state_.accel_mps2 = std::clamp(
+      controller_->acceleration(state_.position_m, state_.speed_mps,
+                                state_.time_s) +
+          accel_adjust_mps2,
+      -4.0, 2.5);
+  state_.speed_mps = std::max(0.0, state_.speed_mps + state_.accel_mps2 * dt);
+  state_.position_m =
+      std::min(state_.position_m + state_.speed_mps * dt,
+               route_->total_length_m());
+  state_.time_s += dt;
+  state_.pose = route_->pose_at(state_.position_m);
+  state_.heading_rad = state_.pose.heading_rad;
+  return state_;
+}
+
+}  // namespace rups::vehicle

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "road/route.hpp"
+#include "vehicle/speed_controller.hpp"
+
+namespace rups::vehicle {
+
+/// Full dynamic state of a vehicle on a route at one instant.
+struct VehicleState {
+  double time_s = 0.0;
+  double position_m = 0.0;  ///< route distance travelled (true odometer)
+  double speed_mps = 0.0;
+  double accel_mps2 = 0.0;
+  double heading_rad = 0.0;  ///< true heading from route geometry
+  int lane = 1;
+  road::RoutePose pose{};  ///< resolved world pose
+};
+
+/// Forward-Euler longitudinal integrator driving a vehicle along a route
+/// under a SpeedController. Produces ground-truth state; sensors observe it
+/// with their own noise.
+class Kinematics {
+ public:
+  Kinematics(const road::Route* route, const SpeedController* controller,
+             int lane, double start_position_m = 0.0,
+             double start_time_s = 0.0);
+
+  /// Advance by dt seconds; returns the new state. `accel_adjust_mps2` is
+  /// added to the controller's command (car-following correction) before
+  /// hard acceleration limits apply.
+  const VehicleState& step(double dt, double accel_adjust_mps2 = 0.0);
+
+  [[nodiscard]] const VehicleState& state() const noexcept { return state_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return state_.position_m >= route_->total_length_m();
+  }
+
+ private:
+  const road::Route* route_;
+  const SpeedController* controller_;
+  VehicleState state_;
+};
+
+}  // namespace rups::vehicle

@@ -1,0 +1,65 @@
+#include "vehicle/passing.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace rups::vehicle {
+
+double PassingVehicleProcess::base_rate_hz(road::EnvironmentType env) noexcept {
+  switch (env) {
+    case road::EnvironmentType::kEightLaneUrban:
+      return 1.0 / 45.0;  // a big vehicle alongside every ~45 s
+    case road::EnvironmentType::kFourLaneUrban:
+      return 1.0 / 90.0;
+    case road::EnvironmentType::kDowntown:
+      return 1.0 / 70.0;
+    case road::EnvironmentType::kUnderElevated:
+      return 1.0 / 80.0;
+    case road::EnvironmentType::kTwoLaneSuburb:
+      return 1.0 / 300.0;
+  }
+  return 1.0 / 120.0;
+}
+
+PassingVehicleProcess::PassingVehicleProcess(std::uint64_t seed,
+                                             road::EnvironmentType env,
+                                             double horizon_s,
+                                             double rate_scale) {
+  util::Rng rng(util::hash_combine(seed, 0x5041535353ULL));  // "PASSS"
+  const double rate = base_rate_hz(env) * std::max(0.0, rate_scale);
+  if (rate <= 0.0) return;
+  double t = rng.exponential(rate);
+  while (t < horizon_s) {
+    Event e;
+    e.start_s = t;
+    e.duration_s = rng.uniform(2.0, 7.0);  // overtaking truck dwell
+    e.attenuation_db = rng.uniform(4.0, 12.0);
+    e.extra_noise_db = rng.uniform(1.5, 4.0);
+    events_.push_back(e);
+    t += e.duration_s + rng.exponential(rate);
+  }
+}
+
+const PassingVehicleProcess::Event* PassingVehicleProcess::active_event(
+    double time_s) const noexcept {
+  // Events are sorted and non-overlapping by construction.
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), time_s,
+      [](double t, const Event& e) { return t < e.start_s; });
+  if (it == events_.begin()) return nullptr;
+  --it;
+  return (time_s < it->start_s + it->duration_s) ? &*it : nullptr;
+}
+
+double PassingVehicleProcess::attenuation_db(double time_s) const noexcept {
+  const Event* e = active_event(time_s);
+  return e != nullptr ? e->attenuation_db : 0.0;
+}
+
+double PassingVehicleProcess::extra_noise_db(double time_s) const noexcept {
+  const Event* e = active_event(time_s);
+  return e != nullptr ? e->extra_noise_db : 0.0;
+}
+
+}  // namespace rups::vehicle

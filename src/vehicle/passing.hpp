@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "road/environment.hpp"
+
+namespace rups::vehicle {
+
+/// Transient RF blockage from large vehicles passing close by (Sec. VI-C:
+/// "most large errors occur when there is a big vehicle passing by").
+/// Events are a seeded Poisson process in time; while one is active the
+/// affected vehicle's received GSM levels drop and get noisier.
+class PassingVehicleProcess {
+ public:
+  struct Event {
+    double start_s = 0.0;
+    double duration_s = 0.0;
+    double attenuation_db = 0.0;
+    double extra_noise_db = 0.0;
+  };
+
+  /// @param seed           per-vehicle seed (each car meets its own trucks)
+  /// @param env            road class; 8-lane majors see the most traffic
+  /// @param horizon_s      length of the drive to pre-generate events for
+  /// @param rate_scale     multiplies the base event rate (1.0 = nominal)
+  PassingVehicleProcess(std::uint64_t seed, road::EnvironmentType env,
+                        double horizon_s, double rate_scale = 1.0);
+
+  /// Attenuation (dB, >= 0) the blocker causes at time t; 0 when clear.
+  [[nodiscard]] double attenuation_db(double time_s) const noexcept;
+
+  /// Extra measurement-noise stddev (dB) at time t; 0 when clear.
+  [[nodiscard]] double extra_noise_db(double time_s) const noexcept;
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// Mean events per second for an environment.
+  [[nodiscard]] static double base_rate_hz(road::EnvironmentType env) noexcept;
+
+ private:
+  [[nodiscard]] const Event* active_event(double time_s) const noexcept;
+  std::vector<Event> events_;
+};
+
+}  // namespace rups::vehicle

@@ -1,0 +1,71 @@
+#include "vehicle/speed_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash_noise.hpp"
+#include "util/rng.hpp"
+
+namespace rups::vehicle {
+
+SpeedController::SpeedController(std::uint64_t vehicle_seed,
+                                 const road::Route* route,
+                                 const TrafficLightPlan* lights,
+                                 TrafficDensity density)
+    : SpeedController(vehicle_seed, route, lights, density, Limits{}) {}
+
+SpeedController::SpeedController(std::uint64_t vehicle_seed,
+                                 const road::Route* route,
+                                 const TrafficLightPlan* lights,
+                                 TrafficDensity density, Limits limits)
+    : seed_(vehicle_seed),
+      route_(route),
+      lights_(lights),
+      density_(density),
+      limits_(limits) {}
+
+double SpeedController::target_speed(double position_m, double time_s) const {
+  const auto pose = route_->pose_at(position_m);
+  double v = cruise_speed_mps(pose.env, density_);
+  // Smooth per-driver speed variation (+-15%) over a ~60 s horizon.
+  const util::LatticeField1D style(
+      util::hash_combine(seed_, 0x5354594cULL) /* "STYL" */, 60.0, 2);
+  v *= 1.0 + 0.15 * std::clamp(style.value(time_s), -2.0, 2.0) / 2.0;
+  return std::max(v, 1.0);
+}
+
+double SpeedController::acceleration(double position_m, double speed_mps,
+                                     double time_s) const {
+  const double target = target_speed(position_m, time_s);
+  double accel = std::clamp((target - speed_mps) * 0.5, -limits_.max_decel_mps2,
+                            limits_.max_accel_mps2);
+
+  // Red-light handling: if we cannot clear the next light before it turns
+  // red (or it is red now), plan a comfortable stop at the stop line.
+  if (lights_ != nullptr) {
+    const auto light = lights_->next_light(position_m);
+    if (light.has_value()) {
+      const double gap = light->position_m - position_m;
+      // Only consider lights within the braking horizon.
+      const double horizon =
+          speed_mps * speed_mps / (2.0 * limits_.brake_plan_mps2) + 30.0;
+      if (gap <= horizon && !light->is_green(time_s)) {
+        if (gap < 1.0) {
+          // Hold at the stop line.
+          accel = speed_mps > 0.1 ? -limits_.max_decel_mps2 : 0.0;
+        } else {
+          // Constant-deceleration stop: a = v^2 / (2 gap).
+          const double needed = speed_mps * speed_mps / (2.0 * gap);
+          if (needed > 0.3) {
+            accel = -std::min(needed, limits_.max_decel_mps2);
+          }
+        }
+      }
+    }
+  }
+  // Never reverse.
+  if (speed_mps <= 0.0 && accel < 0.0) accel = 0.0;
+  return accel;
+}
+
+}  // namespace rups::vehicle

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "road/route.hpp"
+#include "vehicle/traffic.hpp"
+
+namespace rups::vehicle {
+
+/// Longitudinal driver model: tracks the environment's cruise speed with a
+/// smooth seeded variation, brakes for red lights, and respects
+/// acceleration/deceleration limits. Each vehicle gets its own seed so the
+/// two experiment cars drive similarly but not identically.
+class SpeedController {
+ public:
+  struct Limits {
+    double max_accel_mps2 = 2.0;
+    double max_decel_mps2 = 3.0;
+    /// Comfortable service deceleration used to plan stops.
+    double brake_plan_mps2 = 1.5;
+  };
+
+  SpeedController(std::uint64_t vehicle_seed, const road::Route* route,
+                  const TrafficLightPlan* lights, TrafficDensity density);
+  SpeedController(std::uint64_t vehicle_seed, const road::Route* route,
+                  const TrafficLightPlan* lights, TrafficDensity density,
+                  Limits limits);
+
+  /// Commanded acceleration (m/s^2) for the current state.
+  [[nodiscard]] double acceleration(double position_m, double speed_mps,
+                                    double time_s) const;
+
+  [[nodiscard]] TrafficDensity density() const noexcept { return density_; }
+
+ private:
+  [[nodiscard]] double target_speed(double position_m, double time_s) const;
+
+  std::uint64_t seed_;
+  const road::Route* route_;
+  const TrafficLightPlan* lights_;
+  TrafficDensity density_;
+  Limits limits_;
+};
+
+}  // namespace rups::vehicle

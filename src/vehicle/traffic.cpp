@@ -1,0 +1,102 @@
+#include "vehicle/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rups::vehicle {
+
+double cruise_speed_mps(road::EnvironmentType env,
+                        TrafficDensity density) noexcept {
+  double kmh = 40.0;
+  switch (env) {
+    case road::EnvironmentType::kTwoLaneSuburb:
+      kmh = 60.0;
+      break;
+    case road::EnvironmentType::kFourLaneUrban:
+      kmh = 45.0;
+      break;
+    case road::EnvironmentType::kEightLaneUrban:
+      kmh = 60.0;
+      break;
+    case road::EnvironmentType::kUnderElevated:
+      kmh = 40.0;
+      break;
+    case road::EnvironmentType::kDowntown:
+      kmh = 30.0;
+      break;
+  }
+  switch (density) {
+    case TrafficDensity::kLight:
+      break;
+    case TrafficDensity::kModerate:
+      kmh *= 0.75;
+      break;
+    case TrafficDensity::kHeavy:
+      kmh *= 0.45;
+      break;
+  }
+  return kmh / 3.6;
+}
+
+bool TrafficLight::is_green(double time_s) const noexcept {
+  double t = std::fmod(time_s + phase_s, cycle_s);
+  if (t < 0) t += cycle_s;
+  return t < green_s;
+}
+
+double TrafficLight::wait_for_green(double time_s) const noexcept {
+  if (is_green(time_s)) return 0.0;
+  double t = std::fmod(time_s + phase_s, cycle_s);
+  if (t < 0) t += cycle_s;
+  return cycle_s - t;
+}
+
+TrafficLightPlan TrafficLightPlan::for_route(std::uint64_t seed,
+                                             const road::Route& route) {
+  TrafficLightPlan plan;
+  util::Rng rng(util::hash_combine(seed, 0x4c49474854ULL));  // "LIGHT"
+  double s = 0.0;
+  const double total = route.total_length_m();
+  while (s < total) {
+    const auto pose = route.pose_at(s);
+    double spacing = 700.0;
+    switch (pose.env) {
+      case road::EnvironmentType::kDowntown:
+        spacing = 350.0;
+        break;
+      case road::EnvironmentType::kFourLaneUrban:
+        spacing = 550.0;
+        break;
+      case road::EnvironmentType::kEightLaneUrban:
+        spacing = 800.0;
+        break;
+      case road::EnvironmentType::kUnderElevated:
+        spacing = 700.0;
+        break;
+      case road::EnvironmentType::kTwoLaneSuburb:
+        spacing = 1500.0;
+        break;
+    }
+    s += spacing * rng.uniform(0.7, 1.3);
+    if (s >= total) break;
+    TrafficLight light;
+    light.position_m = s;
+    light.cycle_s = rng.uniform(60.0, 90.0);
+    light.green_s = light.cycle_s * rng.uniform(0.45, 0.65);
+    light.phase_s = rng.uniform(0.0, light.cycle_s);
+    plan.lights_.push_back(light);
+  }
+  return plan;
+}
+
+std::optional<TrafficLight> TrafficLightPlan::next_light(double s) const {
+  const auto it = std::lower_bound(
+      lights_.begin(), lights_.end(), s,
+      [](const TrafficLight& l, double pos) { return l.position_m < pos; });
+  if (it == lights_.end()) return std::nullopt;
+  return *it;
+}
+
+}  // namespace rups::vehicle

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "road/route.hpp"
+
+namespace rups::vehicle {
+
+/// Traffic intensity encountered during a drive. The paper collected traces
+/// under both heavy and light traffic (Sec. VI-A).
+enum class TrafficDensity { kLight, kModerate, kHeavy };
+
+/// Cruise speed (m/s) a vehicle targets in an environment under a traffic
+/// density. Urban majors are faster than suburb 2-lanes in free flow but
+/// collapse under heavy traffic.
+[[nodiscard]] double cruise_speed_mps(road::EnvironmentType env,
+                                      TrafficDensity density) noexcept;
+
+/// One signalized intersection on a route.
+struct TrafficLight {
+  double position_m = 0.0;   // route distance
+  double cycle_s = 70.0;     // full cycle
+  double green_s = 40.0;     // green portion at cycle start
+  double phase_s = 0.0;      // phase offset
+
+  /// Is the light green at absolute time t?
+  [[nodiscard]] bool is_green(double time_s) const noexcept;
+  /// Seconds until the light turns green (0 if already green).
+  [[nodiscard]] double wait_for_green(double time_s) const noexcept;
+};
+
+/// Deterministic plan of traffic lights along a route: spacing depends on
+/// the environment (dense downtown, sparse suburb), phases are hashed from
+/// the route seed so every vehicle on the route sees the same lights.
+class TrafficLightPlan {
+ public:
+  TrafficLightPlan() = default;
+  static TrafficLightPlan for_route(std::uint64_t seed,
+                                    const road::Route& route);
+
+  [[nodiscard]] const std::vector<TrafficLight>& lights() const noexcept {
+    return lights_;
+  }
+
+  /// The next light at or after route distance s (nullopt past the last).
+  [[nodiscard]] std::optional<TrafficLight> next_light(double s) const;
+
+ private:
+  std::vector<TrafficLight> lights_;
+};
+
+}  // namespace rups::vehicle

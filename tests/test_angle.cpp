@@ -1,0 +1,65 @@
+#include "util/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rups::util {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Angle, DegRadRoundTrip) {
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad2deg(kPi / 2), 90.0, 1e-12);
+  for (double d = -720; d <= 720; d += 37.5) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-9);
+  }
+}
+
+TEST(Angle, Wrap2Pi) {
+  EXPECT_NEAR(wrap_2pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_2pi(2 * kPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_2pi(-0.5), 2 * kPi - 0.5, 1e-12);
+  EXPECT_GE(wrap_2pi(-10 * kPi + 0.1), 0.0);
+  EXPECT_LT(wrap_2pi(100.0), 2 * kPi);
+}
+
+TEST(Angle, WrapPi) {
+  EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(-kPi - 0.1), kPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(3 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_pi(0.25), 0.25, 1e-12);
+}
+
+TEST(Angle, DiffShortestArc) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  // Across the wrap: 179 deg - (-179 deg) = -2 deg, not 358 deg.
+  EXPECT_NEAR(angle_diff(deg2rad(179), deg2rad(-179)), deg2rad(-2), 1e-9);
+  EXPECT_NEAR(angle_diff(deg2rad(-179), deg2rad(179)), deg2rad(2), 1e-9);
+}
+
+TEST(Angle, DiffAntisymmetric) {
+  for (double a = -3.0; a <= 3.0; a += 0.7) {
+    for (double b = -3.0; b <= 3.0; b += 0.9) {
+      EXPECT_NEAR(angle_diff(a, b), -angle_diff(b, a), 1e-9);
+    }
+  }
+}
+
+TEST(Angle, LerpEndpointsAndMid) {
+  EXPECT_NEAR(angle_lerp(0.2, 0.8, 0.0), 0.2, 1e-12);
+  EXPECT_NEAR(angle_lerp(0.2, 0.8, 1.0), 0.8, 1e-12);
+  EXPECT_NEAR(angle_lerp(0.2, 0.8, 0.5), 0.5, 1e-12);
+}
+
+TEST(Angle, LerpTakesShortWayAroundWrap) {
+  const double a = deg2rad(170);
+  const double b = deg2rad(-170);
+  const double mid = angle_lerp(a, b, 0.5);
+  EXPECT_NEAR(std::abs(mid), kPi, deg2rad(1.0));
+}
+
+}  // namespace
+}  // namespace rups::util

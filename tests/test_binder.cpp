@@ -1,0 +1,144 @@
+#include "core/binder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::core {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  ContextTrajectory traj_{4, 100};
+  TrajectoryBinder binder_{4};
+};
+
+TEST_F(BinderTest, MeasurementLandsInItsMetre) {
+  binder_.add_measurement(0, 0.3, -70.0f, traj_);
+  binder_.bind_metre(0, GeoSample{0.1, 1.0}, traj_);
+  ASSERT_EQ(traj_.size(), 1u);
+  EXPECT_TRUE(traj_.power(0).measured(0));
+  EXPECT_FLOAT_EQ(traj_.power(0).at(0), -70.0f);
+  EXPECT_DOUBLE_EQ(traj_.geo(0).heading_rad, 0.1);
+}
+
+TEST_F(BinderTest, FutureMeasurementBuffered) {
+  binder_.add_measurement(1, 2.5, -60.0f, traj_);  // metre 2, not yet open
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  binder_.bind_metre(1, GeoSample{}, traj_);
+  EXPECT_FALSE(traj_.power(0).usable(1));
+  EXPECT_FALSE(traj_.power(1).usable(1));
+  binder_.bind_metre(2, GeoSample{}, traj_);
+  EXPECT_TRUE(traj_.power(2).measured(1));
+}
+
+TEST_F(BinderTest, LateMeasurementRetrofills) {
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  binder_.bind_metre(1, GeoSample{}, traj_);
+  EXPECT_FALSE(traj_.power(0).usable(2));
+  binder_.add_measurement(2, 0.4, -55.0f, traj_);  // metre 0, late
+  EXPECT_TRUE(traj_.power(0).measured(2));
+}
+
+TEST_F(BinderTest, LateMeasurementDoesNotOverwriteMeasured) {
+  binder_.add_measurement(0, 0.5, -70.0f, traj_);
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  binder_.add_measurement(0, 0.6, -90.0f, traj_);  // late duplicate
+  EXPECT_FLOAT_EQ(traj_.power(0).at(0), -70.0f);
+}
+
+TEST_F(BinderTest, InterpolatesGapsLinearly) {
+  // Channel 0 measured at metres 0 and 4; metres 1..3 must be interpolated.
+  binder_.add_measurement(0, 0.0, -60.0f, traj_);
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  binder_.bind_metre(1, GeoSample{}, traj_);
+  binder_.bind_metre(2, GeoSample{}, traj_);
+  binder_.bind_metre(3, GeoSample{}, traj_);
+  binder_.add_measurement(0, 4.2, -68.0f, traj_);
+  binder_.bind_metre(4, GeoSample{}, traj_);
+  EXPECT_EQ(traj_.power(1).state(0), ChannelState::kInterpolated);
+  EXPECT_FLOAT_EQ(traj_.power(1).at(0), -62.0f);
+  EXPECT_FLOAT_EQ(traj_.power(2).at(0), -64.0f);
+  EXPECT_FLOAT_EQ(traj_.power(3).at(0), -66.0f);
+  EXPECT_TRUE(traj_.power(4).measured(0));
+}
+
+TEST_F(BinderTest, NoInterpolationBeyondMaxGap) {
+  TrajectoryBinder::Config cfg;
+  cfg.max_interpolation_gap_m = 3;
+  TrajectoryBinder binder(4, cfg);
+  binder.add_measurement(0, 0.0, -60.0f, traj_);
+  binder.bind_metre(0, GeoSample{}, traj_);
+  for (std::uint64_t m = 1; m <= 4; ++m) binder.bind_metre(m, GeoSample{}, traj_);
+  binder.add_measurement(0, 5.0, -70.0f, traj_);
+  binder.bind_metre(5, GeoSample{}, traj_);
+  // Gap of 5 > 3: stays missing.
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(traj_.power(i).state(0), ChannelState::kMissing) << i;
+  }
+}
+
+TEST_F(BinderTest, InterpolationDisabledByConfig) {
+  TrajectoryBinder::Config cfg;
+  cfg.interpolate = false;
+  TrajectoryBinder binder(4, cfg);
+  binder.add_measurement(0, 0.0, -60.0f, traj_);
+  binder.bind_metre(0, GeoSample{}, traj_);
+  binder.bind_metre(1, GeoSample{}, traj_);
+  binder.add_measurement(0, 2.0, -70.0f, traj_);
+  binder.bind_metre(2, GeoSample{}, traj_);
+  EXPECT_EQ(traj_.power(1).state(0), ChannelState::kMissing);
+}
+
+TEST_F(BinderTest, SkippedMetresGetEmptyVectors) {
+  binder_.bind_metre(3, GeoSample{0.5, 9.0}, traj_);
+  EXPECT_EQ(traj_.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(traj_.power(i).usable_count(), 0u);
+    EXPECT_DOUBLE_EQ(traj_.geo(i).heading_rad, 0.5);
+  }
+}
+
+TEST_F(BinderTest, NonMonotoneBindThrows) {
+  binder_.bind_metre(2, GeoSample{}, traj_);
+  EXPECT_THROW(binder_.bind_metre(1, GeoSample{}, traj_),
+               std::invalid_argument);
+}
+
+TEST_F(BinderTest, ChannelOutOfRangeThrows) {
+  EXPECT_THROW(binder_.add_measurement(4, 0.0, -70.0f, traj_),
+               std::out_of_range);
+}
+
+TEST_F(BinderTest, NegativeDistanceClampsToMetreZero) {
+  binder_.add_measurement(0, -0.7, -70.0f, traj_);
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  EXPECT_TRUE(traj_.power(0).measured(0));
+}
+
+TEST_F(BinderTest, InterpolationSurvivesEviction) {
+  // Tiny capacity: interpolation across a gap whose left end was evicted
+  // must not crash and must fill only retained metres.
+  ContextTrajectory small(2, 3);
+  TrajectoryBinder binder(2);
+  binder.add_measurement(0, 0.0, -60.0f, small);
+  binder.bind_metre(0, GeoSample{}, small);
+  for (std::uint64_t m = 1; m <= 9; ++m) binder.bind_metre(m, GeoSample{}, small);
+  binder.add_measurement(0, 10.0, -80.0f, small);
+  binder.bind_metre(10, GeoSample{}, small);
+  EXPECT_EQ(small.size(), 3u);
+  // Metres 8..9 retained and inside the 10-metre gap: interpolated.
+  EXPECT_EQ(small.power(small.index_of_metre(9)).state(0),
+            ChannelState::kInterpolated);
+}
+
+TEST_F(BinderTest, MultipleChannelsIndependent) {
+  binder_.add_measurement(0, 0.1, -50.0f, traj_);
+  binder_.add_measurement(3, 0.2, -90.0f, traj_);
+  binder_.bind_metre(0, GeoSample{}, traj_);
+  EXPECT_TRUE(traj_.power(0).measured(0));
+  EXPECT_TRUE(traj_.power(0).measured(3));
+  EXPECT_FALSE(traj_.power(0).usable(1));
+  EXPECT_FLOAT_EQ(traj_.power(0).at(3), -90.0f);
+}
+
+}  // namespace
+}  // namespace rups::core

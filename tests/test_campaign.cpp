@@ -1,0 +1,66 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::sim {
+namespace {
+
+Scenario tiny_scenario() {
+  Scenario s = Scenario::two_car(3, road::EnvironmentType::kFourLaneUrban);
+  s.route_length_m = 6'000.0;
+  return s;
+}
+
+TEST(Campaign, CollectsRequestedQueries) {
+  ConvoySimulation sim(tiny_scenario());
+  CampaignConfig cfg;
+  cfg.warmup_s = 350.0;
+  cfg.interval_s = 5.0;
+  cfg.max_queries = 10;
+  const auto result = run_campaign(sim, cfg);
+  EXPECT_EQ(result.queries.size(), 10u);
+  EXPECT_GE(sim.now(), 350.0 + 10 * 5.0 - 1e-6);
+}
+
+TEST(Campaign, ErrorAccessorsFilterProperly) {
+  ConvoySimulation sim(tiny_scenario());
+  CampaignConfig cfg;
+  cfg.max_queries = 8;
+  const auto result = run_campaign(sim, cfg);
+  EXPECT_LE(result.rups_errors().size(), result.queries.size());
+  EXPECT_LE(result.gps_errors().size(), result.queries.size());
+  EXPECT_LE(result.syn_errors().size(), result.queries.size());
+  for (double e : result.rups_errors()) EXPECT_GE(e, 0.0);
+  for (double e : result.gps_errors()) EXPECT_GE(e, 0.0);
+  const double avail = result.rups_availability();
+  EXPECT_GE(avail, 0.0);
+  EXPECT_LE(avail, 1.0);
+  EXPECT_NEAR(avail,
+              static_cast<double>(result.rups_errors().size()) /
+                  static_cast<double>(result.queries.size()),
+              1e-9);
+}
+
+TEST(Campaign, TimeLimitStopsEarly) {
+  ConvoySimulation sim(tiny_scenario());
+  CampaignConfig cfg;
+  cfg.warmup_s = 100.0;
+  cfg.interval_s = 10.0;
+  cfg.max_queries = 1000;
+  cfg.time_limit_s = 160.0;
+  const auto result = run_campaign(sim, cfg);
+  EXPECT_LE(result.queries.size(), 7u);
+  EXPECT_GE(result.queries.size(), 5u);
+}
+
+TEST(Campaign, EmptyResultOnZeroQueries) {
+  ConvoySimulation sim(tiny_scenario());
+  CampaignConfig cfg;
+  cfg.max_queries = 0;
+  const auto result = run_campaign(sim, cfg);
+  EXPECT_TRUE(result.queries.empty());
+  EXPECT_EQ(result.rups_availability(), 0.0);
+}
+
+}  // namespace
+}  // namespace rups::sim

@@ -1,0 +1,103 @@
+#include "gsm/channel_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rups::gsm {
+namespace {
+
+TEST(ChannelPlan, FullBandHas194Channels) {
+  const auto plan = ChannelPlan::full_r_gsm_900();
+  EXPECT_EQ(plan.size(), 194u);  // the paper's scanner count
+}
+
+TEST(ChannelPlan, FullBandArfcnRanges) {
+  const auto plan = ChannelPlan::full_r_gsm_900();
+  EXPECT_EQ(plan.arfcn(0), 0);
+  EXPECT_EQ(plan.arfcn(124), 124);
+  EXPECT_EQ(plan.arfcn(125), 955);
+  EXPECT_EQ(plan.arfcn(193), 1023);
+}
+
+TEST(ChannelPlan, DownlinkFrequencies) {
+  EXPECT_NEAR(ChannelPlan::downlink_mhz(0), 935.0, 1e-9);
+  EXPECT_NEAR(ChannelPlan::downlink_mhz(124), 959.8, 1e-9);
+  EXPECT_NEAR(ChannelPlan::downlink_mhz(955), 921.2, 1e-9);
+  EXPECT_NEAR(ChannelPlan::downlink_mhz(1023), 934.8, 1e-9);
+  EXPECT_THROW((void)ChannelPlan::downlink_mhz(500), std::out_of_range);
+  EXPECT_THROW((void)ChannelPlan::downlink_mhz(-1), std::out_of_range);
+}
+
+TEST(ChannelPlan, SweepTimeMatchesPaper) {
+  const auto plan = ChannelPlan::full_r_gsm_900();
+  // Paper: all 194 channels scanned within 2.85 s => ~15 ms/channel.
+  EXPECT_NEAR(plan.sweep_seconds(), 2.91, 0.2);
+}
+
+TEST(ChannelPlan, EvaluationSubsetSizeAndMembership) {
+  const auto full = ChannelPlan::full_r_gsm_900();
+  const auto sub = ChannelPlan::evaluation_subset(42, 115);
+  EXPECT_EQ(sub.size(), 115u);  // the paper's evaluation uses 115 channels
+  std::set<Arfcn> full_set(full.arfcns().begin(), full.arfcns().end());
+  std::set<Arfcn> seen;
+  for (Arfcn a : sub.arfcns()) {
+    EXPECT_TRUE(full_set.count(a)) << "ARFCN " << a << " not in band";
+    seen.insert(a);
+  }
+  EXPECT_EQ(seen.size(), 115u);  // no duplicates
+}
+
+TEST(ChannelPlan, EvaluationSubsetSortedAndDeterministic) {
+  const auto a = ChannelPlan::evaluation_subset(42, 115);
+  const auto b = ChannelPlan::evaluation_subset(42, 115);
+  EXPECT_EQ(a.arfcns(), b.arfcns());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a.arfcn(i - 1), a.arfcn(i));
+  }
+  const auto c = ChannelPlan::evaluation_subset(43, 115);
+  EXPECT_NE(a.arfcns(), c.arfcns());
+}
+
+TEST(ChannelPlan, SubsetLargerThanBandReturnsFullBand) {
+  const auto sub = ChannelPlan::evaluation_subset(1, 500);
+  EXPECT_EQ(sub.size(), 194u);
+}
+
+TEST(ChannelPlan, EmptyListRejected) {
+  EXPECT_THROW(ChannelPlan(std::vector<Arfcn>{}), std::invalid_argument);
+}
+
+TEST(ChannelPlan, InstanceFrequenciesMatchStaticForGsm) {
+  const auto plan = ChannelPlan::full_r_gsm_900();
+  for (std::size_t i = 0; i < plan.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(plan.frequency_mhz(i),
+                     ChannelPlan::downlink_mhz(plan.arfcn(i)));
+    EXPECT_EQ(plan.band_of(i), Band::kRGsm900);
+  }
+}
+
+TEST(ChannelPlan, FmBroadcastBand) {
+  const auto fm = ChannelPlan::fm_broadcast();
+  EXPECT_EQ(fm.size(), 206u);
+  EXPECT_DOUBLE_EQ(fm.frequency_mhz(0), 87.5);
+  EXPECT_NEAR(fm.frequency_mhz(205), 108.0, 1e-9);
+  EXPECT_EQ(fm.band_of(100), Band::kFmBroadcast);
+}
+
+TEST(ChannelPlan, CombinedPlanConcatenates) {
+  const auto gsm = ChannelPlan::evaluation_subset(1, 50);
+  const auto fm = ChannelPlan::fm_broadcast();
+  const auto both = ChannelPlan::combined(gsm, fm);
+  ASSERT_EQ(both.size(), 256u);
+  EXPECT_EQ(both.band_of(0), Band::kRGsm900);
+  EXPECT_EQ(both.band_of(50), Band::kFmBroadcast);
+  EXPECT_DOUBLE_EQ(both.frequency_mhz(0), gsm.frequency_mhz(0));
+  EXPECT_DOUBLE_EQ(both.frequency_mhz(50), 87.5);
+  // GSM carriers ~930-960 MHz, FM ~88-108 MHz.
+  EXPECT_GT(both.frequency_mhz(10), 900.0);
+  EXPECT_LT(both.frequency_mhz(60), 120.0);
+}
+
+}  // namespace
+}  // namespace rups::gsm

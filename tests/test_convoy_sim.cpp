@@ -1,0 +1,214 @@
+#include "sim/convoy_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace rups::sim {
+namespace {
+
+Scenario quick_scenario(std::uint64_t seed,
+                        road::EnvironmentType env =
+                            road::EnvironmentType::kFourLaneUrban) {
+  Scenario s = Scenario::two_car(seed, env, /*gap_m=*/40.0);
+  s.route_length_m = 6'000.0;
+  return s;
+}
+
+TEST(ConvoySim, RejectsEmptyScenario) {
+  Scenario s;
+  EXPECT_THROW(ConvoySimulation{s}, std::invalid_argument);
+}
+
+TEST(ConvoySim, VehiclesMakeProgress) {
+  ConvoySimulation sim(quick_scenario(1));
+  sim.run_until(120.0);
+  EXPECT_GT(sim.rig(0).state().position_m, 300.0);
+  EXPECT_GT(sim.rig(1).state().position_m, 250.0);
+  // Front starts 40 m ahead and keeps the lead approximately.
+  EXPECT_GT(sim.rig(0).state().position_m, sim.rig(1).state().position_m);
+}
+
+TEST(ConvoySim, EnginesCalibrateAndBuildContext) {
+  ConvoySimulation sim(quick_scenario(2));
+  sim.run_until(300.0);
+  for (std::size_t v = 0; v < 2; ++v) {
+    EXPECT_TRUE(sim.rig(v).engine().calibrated()) << "vehicle " << v;
+    EXPECT_GT(sim.rig(v).engine().context().size(), 200u) << "vehicle " << v;
+    // Scanner coverage: a useful share of slots measured.
+    EXPECT_GT(sim.rig(v).engine().context().measured_fraction(), 0.03)
+        << "vehicle " << v;
+  }
+}
+
+TEST(ConvoySim, OdometerScaleTracksTruth) {
+  // The odometer starts at calibration time, so compare DISTANCE DELTAS
+  // over a later interval rather than absolute values.
+  ConvoySimulation sim(quick_scenario(3));
+  sim.run_until(300.0);
+  const double est0[2] = {sim.rig(0).engine().odometer_m(),
+                          sim.rig(1).engine().odometer_m()};
+  const double truth0[2] = {sim.rig(0).state().position_m,
+                            sim.rig(1).state().position_m};
+  sim.run_until(450.0);
+  for (std::size_t v = 0; v < 2; ++v) {
+    ASSERT_TRUE(sim.rig(v).engine().calibrated()) << "vehicle " << v;
+    const double d_est = sim.rig(v).engine().odometer_m() - est0[v];
+    const double d_truth = sim.rig(v).state().position_m - truth0[v];
+    ASSERT_GT(d_truth, 300.0);
+    EXPECT_NEAR(d_est, d_truth, 0.02 * d_truth + 5.0) << "vehicle " << v;
+  }
+}
+
+TEST(ConvoySim, TruePositionOfMetreIsMonotone) {
+  ConvoySimulation sim(quick_scenario(4));
+  sim.run_until(180.0);
+  const auto& rig = sim.rig(0);
+  const auto metres = rig.engine().context().first_metre() +
+                      rig.engine().context().size();
+  ASSERT_GT(metres, 100u);
+  double prev = -1.0;
+  for (std::uint64_t m = 0; m < metres; ++m) {
+    const double p = rig.true_position_of_metre(m);
+    ASSERT_FALSE(std::isnan(p));
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_TRUE(std::isnan(rig.true_position_of_metre(metres + 10)));
+}
+
+TEST(ConvoySim, EndToEndQueryResolvesDistance) {
+  ConvoySimulation sim(quick_scenario(5));
+  sim.run_until(300.0);
+  const auto q = sim.query(1, 0);
+  ASSERT_TRUE(q.rups.has_value()) << "no SYN point found";
+  EXPECT_LT(q.truth, 0.0);  // rear is behind
+  const double err = *q.rups_error();
+  EXPECT_LT(err, 15.0) << "RUPS error " << err << " truth " << q.truth
+                       << " est " << q.rups->distance_m;
+  EXPECT_FALSE(std::isnan(q.syn_error_m));
+  EXPECT_LT(q.syn_error_m, 15.0);
+}
+
+TEST(ConvoySim, GpsBaselineAvailableAndCoarser) {
+  ConvoySimulation sim(quick_scenario(6));
+  sim.run_until(300.0);
+  util::RunningStats rups_err, gps_err;
+  for (int i = 0; i < 12; ++i) {
+    sim.run_until(300.0 + 10.0 * i);
+    const auto q = sim.query(1, 0);
+    if (q.rups_error()) rups_err.add(*q.rups_error());
+    if (q.gps_error()) gps_err.add(*q.gps_error());
+  }
+  ASSERT_GT(rups_err.count(), 6u);
+  ASSERT_GT(gps_err.count(), 6u);
+  // The headline claim, qualitatively: RUPS beats GPS on urban roads.
+  EXPECT_LT(rups_err.mean(), gps_err.mean());
+}
+
+TEST(ConvoySim, DeterministicGivenSeed) {
+  ConvoySimulation a(quick_scenario(7));
+  ConvoySimulation b(quick_scenario(7));
+  a.run_until(120.0);
+  b.run_until(120.0);
+  EXPECT_DOUBLE_EQ(a.rig(0).state().position_m, b.rig(0).state().position_m);
+  EXPECT_DOUBLE_EQ(a.rig(1).engine().odometer_m(),
+                   b.rig(1).engine().odometer_m());
+  const auto qa = a.query(1, 0);
+  const auto qb = b.query(1, 0);
+  EXPECT_EQ(qa.rups.has_value(), qb.rups.has_value());
+  if (qa.rups && qb.rups) {
+    EXPECT_DOUBLE_EQ(qa.rups->distance_m, qb.rups->distance_m);
+  }
+}
+
+TEST(ConvoySim, MoreRadiosImproveCoverage) {
+  auto one = quick_scenario(8);
+  one.vehicles[0].radios = 1;
+  one.vehicles[1].radios = 1;
+  auto four = quick_scenario(8);
+  ConvoySimulation sim1(one), sim4(four);
+  sim1.run_until(300.0);
+  sim4.run_until(300.0);
+  ASSERT_GT(sim1.rig(0).engine().context().size(), 50u);
+  ASSERT_GT(sim4.rig(0).engine().context().size(), 50u);
+  EXPECT_GT(sim4.rig(0).engine().context().measured_fraction(),
+            sim1.rig(0).engine().context().measured_fraction() * 1.5);
+}
+
+TEST(ConvoySim, TraceRecordingCapturesStreams) {
+  ConvoySimulation sim(quick_scenario(9));
+  TraceRecorder recorder;
+  sim.mutable_rig(0).set_trace_sink(&recorder);
+  sim.run_until(30.0);
+  const auto& trace = recorder.trace();
+  // 30 s: ~6000 IMU samples, ~10 OBD samples, hundreds of dwells, ~30 fixes.
+  EXPECT_NEAR(static_cast<double>(trace.imu.size()), 6000.0, 20.0);
+  EXPECT_GE(trace.obd.size(), 9u);
+  EXPECT_GT(trace.rssi.size(), 500u);
+  EXPECT_GE(trace.gps.size(), 25u);
+}
+
+TEST(ConvoySim, TraceReplayReproducesContext) {
+  ConvoySimulation sim(quick_scenario(10));
+  TraceRecorder recorder;
+  sim.mutable_rig(1).set_trace_sink(&recorder);
+  sim.run_until(200.0);
+
+  core::RupsConfig cfg = sim.scenario().rups;
+  cfg.channels = sim.scenario().channels;
+  core::RupsEngine replayed(cfg);
+  replay_trace(recorder.trace(), replayed);
+
+  const auto& live = sim.rig(1).engine().context();
+  const auto& redo = replayed.context();
+  ASSERT_EQ(redo.size(), live.size());
+  EXPECT_NEAR(replayed.odometer_m(), sim.rig(1).engine().odometer_m(), 0.6);
+  // Spot-check power vectors match.
+  for (std::size_t i = 0; i < live.size(); i += 97) {
+    for (std::size_t c = 0; c < live.channels(); c += 13) {
+      EXPECT_EQ(redo.power(i).usable(c), live.power(i).usable(c));
+      if (live.power(i).measured(c) && redo.power(i).measured(c)) {
+        EXPECT_FLOAT_EQ(redo.power(i).at(c), live.power(i).at(c));
+      }
+    }
+  }
+}
+
+TEST(ConvoySim, LaneChangesHappenWhenEnabled) {
+  auto scenario = quick_scenario(11, road::EnvironmentType::kEightLaneUrban);
+  scenario.vehicles[1].lane_change_mean_s = 20.0;
+  ConvoySimulation sim(scenario);
+  const int start_lane = sim.rig(1).current_lane();
+  bool changed = false;
+  for (int i = 0; i < 30 && !changed; ++i) {
+    sim.run_until(10.0 * (i + 1));
+    changed = sim.rig(1).current_lane() != start_lane;
+  }
+  EXPECT_TRUE(changed);
+  EXPECT_GE(sim.rig(1).current_lane(), 1);
+  EXPECT_LE(sim.rig(1).current_lane(), 8);
+  // The front car (no lane changing) stays put.
+  EXPECT_EQ(sim.rig(0).current_lane(), scenario.vehicles[0].lane);
+}
+
+TEST(ConvoySim, LaneChangingConvoyStillResolves) {
+  auto scenario = quick_scenario(12, road::EnvironmentType::kEightLaneUrban);
+  scenario.vehicles[0].lane_change_mean_s = 45.0;
+  scenario.vehicles[1].lane_change_mean_s = 45.0;
+  ConvoySimulation sim(scenario);
+  sim.run_until(400.0);
+  util::RunningStats err;
+  for (int i = 0; i < 10; ++i) {
+    sim.run_until(400.0 + 8.0 * i);
+    const auto q = sim.query(1, 0);
+    if (q.rups_error()) err.add(*q.rups_error());
+  }
+  ASSERT_GE(err.count(), 5u);
+  EXPECT_LT(err.mean(), 20.0);
+}
+
+}  // namespace
+}  // namespace rups::sim

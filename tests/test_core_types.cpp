@@ -1,0 +1,113 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::core {
+namespace {
+
+TEST(PowerVector, StartsAllMissing) {
+  PowerVector pv(10);
+  EXPECT_EQ(pv.channels(), 10u);
+  EXPECT_EQ(pv.usable_count(), 0u);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_FALSE(pv.usable(c));
+    EXPECT_EQ(pv.state(c), ChannelState::kMissing);
+  }
+}
+
+TEST(PowerVector, SetAndStates) {
+  PowerVector pv(5);
+  pv.set(0, -70.0f);
+  pv.set(2, -80.0f, ChannelState::kInterpolated);
+  EXPECT_TRUE(pv.usable(0));
+  EXPECT_TRUE(pv.measured(0));
+  EXPECT_TRUE(pv.usable(2));
+  EXPECT_FALSE(pv.measured(2));
+  EXPECT_EQ(pv.usable_count(), 2u);
+  EXPECT_EQ(pv.measured_count(), 1u);
+  EXPECT_FLOAT_EQ(pv.at(0), -70.0f);
+}
+
+TEST(PowerVector, SetOutOfRangeThrows) {
+  PowerVector pv(3);
+  EXPECT_THROW(pv.set(3, -70.0f), std::out_of_range);
+}
+
+TEST(PowerVector, MeanUsable) {
+  PowerVector pv(4);
+  EXPECT_DOUBLE_EQ(pv.mean_usable(), 0.0);
+  pv.set(0, -60.0f);
+  pv.set(1, -80.0f);
+  EXPECT_DOUBLE_EQ(pv.mean_usable(), -70.0);
+}
+
+TEST(ContextTrajectory, RejectsZeroDims) {
+  EXPECT_THROW(ContextTrajectory(0, 10), std::invalid_argument);
+  EXPECT_THROW(ContextTrajectory(10, 0), std::invalid_argument);
+}
+
+TEST(ContextTrajectory, AppendAndIndex) {
+  ContextTrajectory traj(4, 100);
+  EXPECT_TRUE(traj.empty());
+  traj.append(GeoSample{0.1, 1.0}, PowerVector(4));
+  traj.append(GeoSample{0.2, 2.0}, PowerVector(4));
+  EXPECT_EQ(traj.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj.geo(1).heading_rad, 0.2);
+  EXPECT_DOUBLE_EQ(traj.distance_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(traj.distance_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(traj.end_distance_m(), 1.0);
+}
+
+TEST(ContextTrajectory, WidthMismatchThrows) {
+  ContextTrajectory traj(4, 100);
+  EXPECT_THROW(traj.append(GeoSample{}, PowerVector(5)),
+               std::invalid_argument);
+}
+
+TEST(ContextTrajectory, CapacityEvictsOldest) {
+  ContextTrajectory traj(2, 3);
+  for (int i = 0; i < 5; ++i) {
+    PowerVector pv(2);
+    pv.set(0, static_cast<float>(-100 + i));
+    traj.append(GeoSample{0.0, static_cast<double>(i)}, std::move(pv));
+  }
+  EXPECT_EQ(traj.size(), 3u);
+  EXPECT_EQ(traj.first_metre(), 2u);
+  EXPECT_FLOAT_EQ(traj.power(0).at(0), -98.0f);  // entry for metre 2
+  EXPECT_DOUBLE_EQ(traj.distance_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(traj.end_distance_m(), 4.0);
+}
+
+TEST(ContextTrajectory, MetreLookup) {
+  ContextTrajectory traj(2, 3);
+  for (int i = 0; i < 5; ++i) traj.append(GeoSample{}, PowerVector(2));
+  EXPECT_FALSE(traj.contains_metre(1));
+  EXPECT_TRUE(traj.contains_metre(2));
+  EXPECT_TRUE(traj.contains_metre(4));
+  EXPECT_FALSE(traj.contains_metre(5));
+  EXPECT_EQ(traj.index_of_metre(3), 1u);
+}
+
+TEST(ContextTrajectory, MeasuredFraction) {
+  ContextTrajectory traj(2, 10);
+  PowerVector full(2);
+  full.set(0, -70.0f);
+  full.set(1, -70.0f);
+  PowerVector half(2);
+  half.set(0, -70.0f);
+  half.set(1, -70.0f, ChannelState::kInterpolated);  // not "measured"
+  traj.append(GeoSample{}, std::move(full));
+  traj.append(GeoSample{}, std::move(half));
+  EXPECT_DOUBLE_EQ(traj.measured_fraction(), 0.75);
+}
+
+TEST(ContextTrajectory, MutablePowerRetrofill) {
+  ContextTrajectory traj(2, 10);
+  traj.append(GeoSample{}, PowerVector(2));
+  traj.mutable_power(0).set(1, -55.0f);
+  EXPECT_TRUE(traj.power(0).usable(1));
+  EXPECT_FLOAT_EQ(traj.power(0).at(1), -55.0f);
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,188 @@
+#include "core/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rups::core {
+namespace {
+
+PowerVector make_pv(std::initializer_list<float> values) {
+  PowerVector pv(values.size());
+  std::size_t c = 0;
+  for (float v : values) pv.set(c++, v);
+  return pv;
+}
+
+TEST(PowerVectorCorrelation, IdenticalIsOne) {
+  const auto a = make_pv({-60, -70, -80, -90, -65});
+  EXPECT_NEAR(power_vector_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(PowerVectorCorrelation, AffineTransformIsOne) {
+  const auto a = make_pv({-60, -70, -80, -90, -65});
+  const auto b = make_pv({-50, -60, -70, -80, -55});  // +10 dB shift
+  EXPECT_NEAR(power_vector_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(PowerVectorCorrelation, ReversedIsNegative) {
+  const auto a = make_pv({-60, -70, -80, -90});
+  const auto b = make_pv({-90, -80, -70, -60});
+  EXPECT_NEAR(power_vector_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(PowerVectorCorrelation, SkipsChannelsMissingOnEitherSide) {
+  PowerVector a(4), b(4);
+  a.set(0, -60);
+  a.set(1, -70);
+  a.set(2, -80);
+  // a[3] missing
+  b.set(0, -61);
+  b.set(1, -71);
+  b.set(3, -90);
+  // overlap = {0, 1} only -> below default min_overlap=3 -> 0
+  EXPECT_EQ(power_vector_correlation(a, b), 0.0);
+  EXPECT_NEAR(power_vector_correlation(a, b, 2), 1.0, 1e-12);
+}
+
+TEST(PowerVectorCorrelation, InterpolatedCountsAsUsable) {
+  PowerVector a(3), b(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float v = -60.0f - 10.0f * static_cast<float>(c);
+    a.set(c, v, ChannelState::kInterpolated);
+    b.set(c, v);
+  }
+  EXPECT_NEAR(power_vector_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(RelativeChange, ZeroForIdentical) {
+  const auto a = make_pv({-60, -70, -80});
+  EXPECT_DOUBLE_EQ(relative_change_linear(a, a), 0.0);
+}
+
+TEST(RelativeChange, KnownValue) {
+  // Single channel: X = 1 mW (0 dBm), X' = 2 mW (~3.01 dBm).
+  PowerVector a(1), b(1);
+  a.set(0, 0.0f);
+  b.set(0, 3.0103f);
+  EXPECT_NEAR(relative_change_linear(a, b), 1.0, 1e-3);  // |1-2|/1
+}
+
+TEST(RelativeChange, EmptyOverlapIsZero) {
+  PowerVector a(2), b(2);
+  a.set(0, -60);
+  b.set(1, -60);
+  EXPECT_DOUBLE_EQ(relative_change_linear(a, b), 0.0);
+}
+
+class TrajectoryCorrTest : public ::testing::Test {
+ protected:
+  /// Builds a trajectory whose channel c at metre i reads base(c) + f(i,c).
+  static ContextTrajectory make_trajectory(std::size_t metres,
+                                           std::size_t channels,
+                                           std::uint64_t seed,
+                                           float offset = 0.0f) {
+    ContextTrajectory traj(channels, metres + 10);
+    util::Rng rng(seed);
+    std::vector<std::vector<float>> field(channels);
+    // Deterministic per-channel spatial patterns whose phase and frequency
+    // depend on the seed, so different seeds mean genuinely different roads.
+    for (std::size_t c = 0; c < channels; ++c) {
+      const double phase = rng.uniform(0.0, 6.28);
+      const double freq = rng.uniform(0.2, 0.5);
+      const double base = rng.uniform(-90.0, -55.0);
+      field[c].resize(metres);
+      for (std::size_t i = 0; i < metres; ++i) {
+        field[c][i] = static_cast<float>(
+            base + 8.0 * std::sin(freq * static_cast<double>(i) + phase) +
+            3.0 * std::cos(1.9 * freq * static_cast<double>(i) + 2.0 * phase));
+      }
+    }
+    for (std::size_t i = 0; i < metres; ++i) {
+      PowerVector pv(channels);
+      for (std::size_t c = 0; c < channels; ++c) {
+        pv.set(c, field[c][i] + offset);
+      }
+      traj.append(GeoSample{0.0, static_cast<double>(i)}, std::move(pv));
+    }
+    return traj;
+  }
+};
+
+TEST_F(TrajectoryCorrTest, SelfCorrelationIsTwo) {
+  const auto t = make_trajectory(60, 10, 1);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double r = trajectory_correlation({&t, 0}, {&t, 0}, 50, chans);
+  EXPECT_NEAR(r, 2.0, 1e-9);
+}
+
+TEST_F(TrajectoryCorrTest, ShiftedCopyStillPerfectPerChannel) {
+  const auto a = make_trajectory(60, 10, 1);
+  const auto b = make_trajectory(60, 10, 1, /*offset=*/5.0f);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double r = trajectory_correlation({&a, 0}, {&b, 0}, 50, chans);
+  EXPECT_NEAR(r, 2.0, 1e-6);  // Pearson is shift-invariant on both terms
+}
+
+TEST_F(TrajectoryCorrTest, MisalignedWindowsScoreLower) {
+  const auto t = make_trajectory(120, 10, 1);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double aligned = trajectory_correlation({&t, 20}, {&t, 20}, 50, chans);
+  const double shifted = trajectory_correlation({&t, 20}, {&t, 27}, 50, chans);
+  EXPECT_GT(aligned, shifted + 0.3);
+}
+
+TEST_F(TrajectoryCorrTest, DifferentTrajectoriesScoreLow) {
+  const auto a = make_trajectory(60, 10, 1);
+  const auto b = make_trajectory(60, 10, 777);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double r = trajectory_correlation({&a, 0}, {&b, 0}, 50, chans);
+  EXPECT_LT(r, 1.2);  // below the paper's coherency threshold
+}
+
+TEST_F(TrajectoryCorrTest, OutOfBoundsWindowIsInvalid) {
+  const auto t = make_trajectory(30, 5, 1);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4};
+  EXPECT_EQ(trajectory_correlation({&t, 0}, {&t, 20}, 50, chans), -2.0);
+}
+
+TEST_F(TrajectoryCorrTest, InsufficientChannelsIsInvalid) {
+  const auto t = make_trajectory(60, 3, 1);
+  const std::vector<std::size_t> chans{0, 1, 2};
+  TrajectoryCorrelationConfig cfg;
+  cfg.min_channels = 5;
+  EXPECT_EQ(trajectory_correlation({&t, 0}, {&t, 0}, 50, chans, cfg), -2.0);
+}
+
+TEST_F(TrajectoryCorrTest, MissingDataChannelsAreSkipped) {
+  auto a = make_trajectory(60, 10, 1);
+  auto b = make_trajectory(60, 10, 1);
+  // Knock out channel 0 everywhere on b: correlation must still be 2.0 from
+  // the remaining channels.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    PowerVector pv(10);
+    for (std::size_t c = 1; c < 10; ++c) {
+      pv.set(c, b.power(i).at(c));
+    }
+    b.mutable_power(i) = pv;
+  }
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_NEAR(trajectory_correlation({&a, 0}, {&b, 0}, 50, chans), 2.0, 1e-9);
+}
+
+TEST_F(TrajectoryCorrTest, RangeIsBounded) {
+  const auto a = make_trajectory(100, 12, 5);
+  const auto b = make_trajectory(100, 12, 6);
+  const std::vector<std::size_t> chans{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  for (std::size_t start = 0; start + 40 <= 100; start += 7) {
+    const double r = trajectory_correlation({&a, start}, {&b, start}, 40,
+                                            chans);
+    EXPECT_GE(r, -2.0);
+    EXPECT_LE(r, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,97 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rups::util {
+namespace {
+
+class CsvRoundTrip : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("rups_csv_test_" + std::to_string(::getpid()) + ".csv");
+
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvRoundTrip, SimpleRows) {
+  {
+    CsvWriter w(path_);
+    w.row(std::vector<std::string>{"a", "b", "c"});
+    w.row(std::vector<std::string>{"1", "2", "3"});
+  }
+  CsvReader r(path_);
+  ASSERT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.rows()[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(r.rows()[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(CsvRoundTrip, EscapedCells) {
+  {
+    CsvWriter w(path_);
+    w.row(std::vector<std::string>{"has,comma", "has\"quote", "has\nnewline"});
+  }
+  CsvReader r(path_);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows()[0][0], "has,comma");
+  EXPECT_EQ(r.rows()[0][1], "has\"quote");
+  EXPECT_EQ(r.rows()[0][2], "has\nnewline");
+}
+
+TEST_F(CsvRoundTrip, DoubleRowsRoundTripExactly) {
+  {
+    CsvWriter w(path_);
+    w.row(std::vector<double>{1.5, -2.25, 3.141592653589793});
+  }
+  CsvReader r(path_);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(r.rows()[0][2]), 3.141592653589793);
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvReaderString, ParsesCrlf) {
+  const auto r = CsvReader::from_string("a,b\r\nc,d\r\n");
+  ASSERT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.rows()[1][1], "d");
+}
+
+TEST(CsvReaderString, EmptyCells) {
+  const auto r = CsvReader::from_string("a,,c\n,,\n");
+  ASSERT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.rows()[0][1], "");
+  EXPECT_EQ(r.rows()[1].size(), 3u);
+}
+
+TEST(CsvReaderString, QuotedCommaAndNewline) {
+  const auto r = CsvReader::from_string("\"x,y\",\"line1\nline2\"\n");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows()[0][0], "x,y");
+  EXPECT_EQ(r.rows()[0][1], "line1\nline2");
+}
+
+TEST(CsvReaderString, NoTrailingNewline) {
+  const auto r = CsvReader::from_string("a,b");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.rows()[0][1], "b");
+}
+
+TEST(CsvReaderString, EmptyInputHasNoRows) {
+  const auto r = CsvReader::from_string("");
+  EXPECT_EQ(r.row_count(), 0u);
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(CsvReader("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rups::util

@@ -1,0 +1,156 @@
+// Failure injection: the system must degrade gracefully — never crash,
+// never return confidently-wrong answers — under sensor loss, extreme
+// radio conditions, lossy links and adversarial data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "sim/convoy_sim.hpp"
+#include "v2v/exchange.hpp"
+
+namespace rups {
+namespace {
+
+sim::Scenario base_scenario(std::uint64_t seed) {
+  sim::Scenario s =
+      sim::Scenario::two_car(seed, road::EnvironmentType::kFourLaneUrban);
+  s.route_length_m = 6'000.0;
+  return s;
+}
+
+TEST(FailureInjection, TotalGsmDeafnessMeansNoSynNotWrongSyn) {
+  // Raise the sensitivity floor above every possible level: the scanner
+  // hears nothing, contexts stay empty of measurements, and queries must
+  // return "no estimate" rather than garbage.
+  auto scenario = base_scenario(31);
+  scenario.scanner_base.sensitivity_dbm = 0.0;
+  sim::ConvoySimulation sim(scenario);
+  sim.run_until(400.0);
+  const auto q = sim.query(1, 0);
+  EXPECT_FALSE(q.rups.has_value());
+  EXPECT_TRUE(q.syn_points.empty());
+}
+
+TEST(FailureInjection, ObdSilenceFreezesTrajectoryButNothingCrashes) {
+  core::RupsConfig cfg;
+  cfg.channels = 16;
+  cfg.assume_aligned_sensors = true;
+  core::RupsEngine engine(cfg);
+  // IMU and RSSI flow, but no speed source ever reports.
+  for (int i = 0; i < 20'000; ++i) {
+    sensors::ImuSample imu;
+    imu.time_s = i * 0.005;
+    imu.accel_mps2 = {0.0, 0.0, 9.80665};
+    imu.mag_ut = {-30.0, 0.0, -35.0};
+    engine.on_imu(imu);
+    if (i % 3 == 0) {
+      sensors::RssiMeasurement m;
+      m.time_s = imu.time_s;
+      m.channel_index = static_cast<std::size_t>(i % 16);
+      m.rssi_dbm = -70.0;
+      engine.on_rssi(m);
+    }
+  }
+  EXPECT_DOUBLE_EQ(engine.odometer_m(), 0.0);
+  EXPECT_TRUE(engine.context().empty());
+}
+
+TEST(FailureInjection, OutOfOrderAndDuplicateSensorTimestamps) {
+  core::RupsConfig cfg;
+  cfg.channels = 8;
+  cfg.assume_aligned_sensors = true;
+  core::RupsEngine engine(cfg);
+  engine.on_speed({0.0, 10.0});
+  engine.on_speed({2.0, 10.0});
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {0.0, 0.0, 9.80665};
+  imu.mag_ut = {-30.0, 0.0, -35.0};
+  // Jittered, repeated, and regressing timestamps must not throw or
+  // corrupt the odometer into going backwards.
+  const double times[] = {3.0, 3.0, 2.9, 3.1, 3.05, 3.2, 3.2, 3.0, 4.0};
+  double prev_odo = 0.0;
+  for (double t : times) {
+    imu.time_s = t;
+    engine.on_imu(imu);
+    EXPECT_GE(engine.odometer_m(), prev_odo);
+    prev_odo = engine.odometer_m();
+  }
+}
+
+TEST(FailureInjection, RssiFromTheFutureOrPastIsTolerated) {
+  core::RupsConfig cfg;
+  cfg.channels = 8;
+  cfg.assume_aligned_sensors = true;
+  core::RupsEngine engine(cfg);
+  engine.on_speed({0.0, 10.0});
+  engine.on_speed({2.0, 10.0});
+  sensors::ImuSample imu;
+  imu.accel_mps2 = {0.0, 0.0, 9.80665};
+  imu.mag_ut = {-30.0, 0.0, -35.0};
+  for (int i = 0; i < 4000; ++i) {
+    imu.time_s = 2.0 + i * 0.005;
+    engine.on_imu(imu);
+  }
+  sensors::RssiMeasurement m;
+  m.channel_index = 3;
+  m.rssi_dbm = -70.0;
+  m.time_s = 1e6;  // absurd future
+  EXPECT_NO_THROW(engine.on_rssi(m));
+  m.time_s = -50.0;  // before the journey
+  EXPECT_NO_THROW(engine.on_rssi(m));
+}
+
+TEST(FailureInjection, VeryLossyLinkStillDelivers) {
+  v2v::DsrcLink::Config cfg;
+  cfg.loss_rate = 0.6;
+  v2v::DsrcLink link(5, cfg);
+  const auto stats = link.transfer(50'000);
+  EXPECT_EQ(stats.packets, 36u);
+  EXPECT_GT(stats.transmissions, 60u);    // heavy retransmission
+  EXPECT_GT(stats.duration_s, 0.1);       // but it completes
+}
+
+TEST(FailureInjection, ExchangeOfEmptyContext) {
+  v2v::DsrcLink link(6);
+  v2v::ExchangeSession session(&link);
+  core::ContextTrajectory empty(16, 100);
+  const auto result = session.exchange_full(empty);
+  EXPECT_EQ(result.trajectory.size(), 0u);
+  EXPECT_EQ(result.stats.packets, 1u);  // header-only payload
+}
+
+TEST(FailureInjection, QueryAgainstEmptyNeighbourContext) {
+  auto scenario = base_scenario(33);
+  sim::ConvoySimulation sim(scenario);
+  sim.run_until(300.0);
+  core::ContextTrajectory empty(scenario.channels, 10);
+  EXPECT_TRUE(sim.rig(1).engine().find_syn_points(empty).empty());
+  EXPECT_FALSE(sim.rig(1).engine().estimate_distance(empty).has_value());
+}
+
+TEST(FailureInjection, PermanentBlockageDegradesButDoesNotLie) {
+  // A vehicle stuck behind a big truck for the whole drive: its readings
+  // are attenuated and noisy throughout.
+  auto scenario = base_scenario(34);
+  scenario.passing_rate_scale = 25.0;  // near-continuous blockage events
+  sim::ConvoySimulation sim(scenario);
+  sim.run_until(420.0);
+  const auto q = sim.query(1, 0);
+  // Either it abstains, or the answer is still sane (within the context).
+  if (q.rups.has_value()) {
+    EXPECT_LT(std::abs(q.rups->distance_m), 1000.0);
+    EXPECT_GE(q.rups->confidence,
+              sim.rig(1).engine().config().syn.coherency_threshold);
+  }
+}
+
+TEST(FailureInjection, ZeroChannelEngineRejected) {
+  core::RupsConfig cfg;
+  cfg.channels = 0;
+  EXPECT_THROW(core::RupsEngine{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rups

@@ -1,0 +1,132 @@
+#include "sensors/gps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "road/route_builder.hpp"
+#include "util/stats.hpp"
+
+namespace rups::sensors {
+namespace {
+
+vehicle::VehicleState state_on(const road::Route& route, double s, double t) {
+  vehicle::VehicleState st;
+  st.time_s = t;
+  st.position_m = s;
+  st.pose = route.pose_at(s);
+  return st;
+}
+
+TEST(GpsErrorModel, ScalesByEnvironment) {
+  const auto suburb = GpsEnvErrorModel::for_environment(
+      road::EnvironmentType::kTwoLaneSuburb);
+  const auto urban = GpsEnvErrorModel::for_environment(
+      road::EnvironmentType::kFourLaneUrban);
+  const auto elevated = GpsEnvErrorModel::for_environment(
+      road::EnvironmentType::kUnderElevated);
+  EXPECT_LT(suburb.bias_sigma_m, urban.bias_sigma_m);
+  EXPECT_LT(urban.bias_sigma_m, elevated.bias_sigma_m);
+  EXPECT_LT(suburb.outage_probability, elevated.outage_probability);
+  EXPECT_GT(elevated.outage_probability, 0.2);
+}
+
+TEST(Gps, FixRateRespected) {
+  const auto route = road::make_uniform_route(
+      1, road::EnvironmentType::kTwoLaneSuburb, 1'000.0);
+  GpsModel gps(1);
+  int fixes = 0;
+  for (int i = 0; i <= 1000; ++i) {  // 10 s at 100 Hz
+    if (gps.maybe_fix(state_on(route, i * 0.1, i * 0.01)).has_value()) {
+      ++fixes;
+    }
+  }
+  EXPECT_GE(fixes, 10);
+  EXPECT_LE(fixes, 12);
+}
+
+TEST(Gps, ErrorMagnitudePerEnvironment) {
+  for (auto [env, lo, hi] :
+       {std::tuple{road::EnvironmentType::kTwoLaneSuburb, 0.5, 6.0},
+        std::tuple{road::EnvironmentType::kFourLaneUrban, 2.0, 12.0},
+        std::tuple{road::EnvironmentType::kUnderElevated, 4.0, 25.0}}) {
+    const auto route = road::make_uniform_route(2, env, 50'000.0);
+    GpsModel gps(3);
+    util::RunningStats err;
+    for (int i = 0; i < 3000; ++i) {
+      const auto st = state_on(route, i * 10.0, i * 1.0);
+      const auto fix = gps.maybe_fix(st);
+      if (fix && fix->valid) {
+        const double dx = fix->x_m - st.pose.position.x;
+        const double dy = fix->y_m - st.pose.position.y;
+        err.add(std::sqrt(dx * dx + dy * dy));
+      }
+    }
+    ASSERT_GT(err.count(), 100u) << road::to_string(env);
+    EXPECT_GT(err.mean(), lo) << road::to_string(env);
+    EXPECT_LT(err.mean(), hi) << road::to_string(env);
+  }
+}
+
+TEST(Gps, UnderElevatedHasOutages) {
+  const auto route = road::make_uniform_route(
+      4, road::EnvironmentType::kUnderElevated, 50'000.0);
+  GpsModel gps(5);
+  int valid = 0, invalid = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto fix = gps.maybe_fix(state_on(route, i * 10.0, i * 1.0));
+    if (!fix) continue;
+    (fix->valid ? valid : invalid)++;
+  }
+  EXPECT_GT(invalid, 100);  // ~35% outage
+  EXPECT_GT(valid, 500);
+}
+
+TEST(Gps, TwoReceiversIndependentErrors) {
+  const auto route = road::make_uniform_route(
+      6, road::EnvironmentType::kFourLaneUrban, 50'000.0);
+  GpsModel a(10), b(11);
+  std::vector<double> ea, eb;
+  for (int i = 0; i < 1500; ++i) {
+    const auto st = state_on(route, i * 10.0, i * 1.0);
+    const auto fa = a.maybe_fix(st);
+    const auto fb = b.maybe_fix(st);
+    if (fa && fb && fa->valid && fb->valid) {
+      ea.push_back(fa->x_m - st.pose.position.x);
+      eb.push_back(fb->x_m - st.pose.position.x);
+    }
+  }
+  ASSERT_GT(ea.size(), 500u);
+  EXPECT_LT(std::abs(util::pearson(ea, eb)), 0.25);
+}
+
+TEST(Gps, BiasIsTemporallyCorrelated) {
+  // Consecutive fixes share the multipath bias: the error one second apart
+  // must correlate strongly — this is what defeats naive GPS averaging.
+  const auto route = road::make_uniform_route(
+      7, road::EnvironmentType::kFourLaneUrban, 50'000.0);
+  GpsModel gps(12);
+  std::vector<double> now, next;
+  double prev_err = 0.0;
+  bool have_prev = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto st = state_on(route, i * 10.0, i * 1.0);
+    const auto fix = gps.maybe_fix(st);
+    if (fix && fix->valid) {
+      const double err = fix->x_m - st.pose.position.x;
+      if (have_prev) {
+        now.push_back(prev_err);
+        next.push_back(err);
+      }
+      prev_err = err;
+      have_prev = true;
+    } else {
+      have_prev = false;
+    }
+  }
+  ASSERT_GT(now.size(), 500u);
+  EXPECT_GT(util::pearson(now, next), 0.7);
+}
+
+}  // namespace
+}  // namespace rups::sensors

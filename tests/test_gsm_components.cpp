@@ -1,0 +1,218 @@
+// Unit tests for the GSM substrate's internal pieces: path loss, tower
+// layout, temporal fading and environment profiles (the GsmField facade is
+// covered in test_gsm_field).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gsm/env_profile.hpp"
+#include "gsm/path_loss.hpp"
+#include "gsm/temporal.hpp"
+#include "gsm/towers.hpp"
+#include "util/stats.hpp"
+
+namespace rups::gsm {
+namespace {
+
+// --- PathLoss ---
+
+TEST(PathLoss, FreeSpaceKnownValue) {
+  // FSPL at 1 km, 900 MHz: 20log10(1) + 20log10(900) + 32.44 = 91.52 dB.
+  EXPECT_NEAR(PathLoss::free_space_db(1000.0, 900.0), 91.52, 0.05);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  const PathLoss pl(3.2, 935.0);
+  double prev = 0.0;
+  for (double d = 100.0; d <= 5000.0; d *= 1.5) {
+    const double loss = pl.loss_db(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  const PathLoss pl(3.2, 935.0, 100.0);
+  EXPECT_DOUBLE_EQ(pl.loss_db(1.0), pl.loss_db(100.0));
+  EXPECT_DOUBLE_EQ(pl.loss_db(50.0), pl.loss_db(100.0));
+}
+
+TEST(PathLoss, ExponentControlsSlope) {
+  const PathLoss urban(3.6, 935.0);
+  const PathLoss open(2.9, 935.0);
+  // Same reference loss, steeper decay for the higher exponent.
+  EXPECT_NEAR(urban.loss_db(100.0), open.loss_db(100.0), 1e-9);
+  EXPECT_GT(urban.loss_db(2000.0), open.loss_db(2000.0));
+  // Decade of distance = 10*n dB.
+  EXPECT_NEAR(urban.loss_db(1000.0) - urban.loss_db(100.0), 36.0, 1e-9);
+}
+
+TEST(PathLoss, FrequencyRaisesReferenceLoss) {
+  const PathLoss gsm(3.0, 935.0);
+  const PathLoss fm(3.0, 98.0);
+  EXPECT_GT(gsm.loss_db(500.0), fm.loss_db(500.0) + 15.0);  // ~19.6 dB
+}
+
+// --- TowerLayout ---
+
+road::RoadSegment seg_of(road::SegmentId id, road::EnvironmentType env,
+                         double len = 1000.0) {
+  road::RoadSegment s;
+  s.id = id;
+  s.env = env;
+  s.length_m = len;
+  return s;
+}
+
+TEST(TowerLayout, DeterministicPerSegment) {
+  const auto plan = ChannelPlan::evaluation_subset(1, 40);
+  const auto seg = seg_of(5, road::EnvironmentType::kFourLaneUrban);
+  const auto& prof = env_profile(seg.env);
+  const auto a = TowerLayout::for_segment(7, seg, plan, prof);
+  const auto b = TowerLayout::for_segment(7, seg, plan, prof);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].position.x, b[i].position.x);
+    EXPECT_EQ(a[i].channel_indices, b[i].channel_indices);
+  }
+}
+
+TEST(TowerLayout, DifferentSegmentsDifferentTowers) {
+  const auto plan = ChannelPlan::evaluation_subset(1, 40);
+  const auto& prof = env_profile(road::EnvironmentType::kFourLaneUrban);
+  const auto a = TowerLayout::for_segment(
+      7, seg_of(5, road::EnvironmentType::kFourLaneUrban), plan, prof);
+  const auto b = TowerLayout::for_segment(
+      7, seg_of(6, road::EnvironmentType::kFourLaneUrban), plan, prof);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a[0].position.x, b[0].position.x);
+}
+
+TEST(TowerLayout, CoversSegmentWithShoulders) {
+  const auto plan = ChannelPlan::evaluation_subset(1, 40);
+  const auto seg = seg_of(9, road::EnvironmentType::kFourLaneUrban, 2000.0);
+  const auto& prof = env_profile(seg.env);
+  const auto towers = TowerLayout::for_segment(7, seg, plan, prof);
+  // Spacing ~500 m over 2000 m + shoulders: expect ~5-8 towers.
+  EXPECT_GE(towers.size(), 4u);
+  EXPECT_LE(towers.size(), 10u);
+  double min_along = 1e18, max_along = -1e18;
+  for (const auto& t : towers) {
+    min_along = std::min(min_along, t.position.x);
+    max_along = std::max(max_along, t.position.x);
+  }
+  EXPECT_LT(min_along, 100.0);     // shoulder before the start
+  EXPECT_GT(max_along, 1700.0);    // coverage near the end (jittered)
+}
+
+TEST(TowerLayout, SparserInSuburb) {
+  const auto plan = ChannelPlan::evaluation_subset(1, 40);
+  const auto urban = TowerLayout::for_segment(
+      7, seg_of(1, road::EnvironmentType::kFourLaneUrban, 3000.0), plan,
+      env_profile(road::EnvironmentType::kFourLaneUrban));
+  const auto suburb = TowerLayout::for_segment(
+      7, seg_of(2, road::EnvironmentType::kTwoLaneSuburb, 3000.0), plan,
+      env_profile(road::EnvironmentType::kTwoLaneSuburb));
+  EXPECT_GT(urban.size(), suburb.size());
+}
+
+TEST(TowerLayout, ChannelIndicesValidAndUnique) {
+  const auto plan = ChannelPlan::evaluation_subset(1, 40);
+  const auto seg = seg_of(3, road::EnvironmentType::kDowntown);
+  const auto towers =
+      TowerLayout::for_segment(7, seg, plan, env_profile(seg.env));
+  for (const auto& t : towers) {
+    EXPECT_FALSE(t.channel_indices.empty());
+    for (std::size_t i = 1; i < t.channel_indices.size(); ++i) {
+      EXPECT_LT(t.channel_indices[i - 1], t.channel_indices[i]);
+    }
+    for (std::size_t c : t.channel_indices) EXPECT_LT(c, plan.size());
+    EXPECT_GE(t.tx_power_dbm, 40.0);
+    EXPECT_LE(t.tx_power_dbm, 46.0);
+  }
+}
+
+// --- TemporalFading ---
+
+TEST(TemporalFading, DeterministicAndZeroMeanish) {
+  const auto& prof = env_profile(road::EnvironmentType::kFourLaneUrban);
+  const TemporalFading fading(3, prof);
+  EXPECT_DOUBLE_EQ(fading.offset_db(5, 100.0), fading.offset_db(5, 100.0));
+  util::RunningStats s;
+  for (int i = 0; i < 3000; ++i) {
+    s.add(fading.offset_db(static_cast<std::size_t>(i % 60),
+                           100.0 * (i / 60)));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 1.0);
+}
+
+TEST(TemporalFading, VolatileCoinMatchesFraction) {
+  const auto& prof = env_profile(road::EnvironmentType::kFourLaneUrban);
+  const TemporalFading fading(4, prof);
+  int volatile_count = 0;
+  constexpr int kChannels = 2000;
+  for (int c = 0; c < kChannels; ++c) {
+    if (fading.is_volatile(static_cast<std::size_t>(c))) ++volatile_count;
+  }
+  EXPECT_NEAR(static_cast<double>(volatile_count) / kChannels,
+              prof.volatile_fraction, 0.03);
+}
+
+TEST(TemporalFading, VolatileChannelsSwingHarder) {
+  const auto& prof = env_profile(road::EnvironmentType::kDowntown);
+  const TemporalFading fading(5, prof);
+  util::RunningStats stable, volat;
+  for (std::size_t c = 0; c < 300; ++c) {
+    util::RunningStats per_channel;
+    for (int t = 0; t < 40; ++t) {
+      per_channel.add(fading.offset_db(c, 120.0 * t));
+    }
+    (fading.is_volatile(c) ? volat : stable).add(per_channel.stddev());
+  }
+  ASSERT_GT(stable.count(), 50u);
+  ASSERT_GT(volat.count(), 20u);
+  EXPECT_GT(volat.mean(), 2.0 * stable.mean());
+}
+
+TEST(TemporalFading, SlowOverShortIntervals) {
+  const auto& prof = env_profile(road::EnvironmentType::kFourLaneUrban);
+  const TemporalFading fading(6, prof);
+  util::RunningStats delta;
+  for (std::size_t c = 0; c < 100; ++c) {
+    delta.add(std::abs(fading.offset_db(c, 500.0) -
+                       fading.offset_db(c, 505.0)));
+  }
+  EXPECT_LT(delta.mean(), 1.0);  // 5 s barely moves a slow fade
+}
+
+// --- Environment profiles ---
+
+TEST(EnvProfile, AllEnvironmentsHaveSanePhysics) {
+  for (road::EnvironmentType env : road::kAllEnvironments) {
+    const auto& p = env_profile(env);
+    EXPECT_GT(p.tower_spacing_m, 100.0);
+    EXPECT_GE(p.path_loss_exponent, 2.0);
+    EXPECT_LE(p.path_loss_exponent, 4.5);
+    EXPECT_GT(p.shadow_long_corr_m, p.shadow_short_corr_m);
+    EXPECT_GE(p.volatile_fraction, 0.0);
+    EXPECT_LE(p.volatile_fraction, 0.5);
+    EXPECT_GE(p.shadow_ephemeral_fraction, 0.0);
+    EXPECT_LE(p.shadow_ephemeral_fraction, 1.0);
+    EXPECT_GE(p.bulk_attenuation_db, 0.0);
+  }
+}
+
+TEST(EnvProfile, UnderElevatedIsTheHarshest) {
+  const auto& ue = env_profile(road::EnvironmentType::kUnderElevated);
+  for (road::EnvironmentType env : road::kAllEnvironments) {
+    if (env == road::EnvironmentType::kUnderElevated) continue;
+    const auto& p = env_profile(env);
+    EXPECT_GE(ue.bulk_attenuation_db, p.bulk_attenuation_db);
+    EXPECT_GE(ue.shadow_ephemeral_fraction, p.shadow_ephemeral_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace rups::gsm

@@ -1,0 +1,247 @@
+#include "gsm/gsm_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gsm/env_profile.hpp"
+#include "util/stats.hpp"
+
+namespace rups::gsm {
+namespace {
+
+road::RoadSegment make_segment(road::SegmentId id, road::EnvironmentType env,
+                               double length = 1000.0) {
+  road::RoadSegment seg;
+  seg.id = id;
+  seg.env = env;
+  seg.length_m = length;
+  seg.start = {0.0, 0.0};
+  seg.heading_rad = 0.0;
+  return seg;
+}
+
+class GsmFieldTest : public ::testing::Test {
+ protected:
+  ChannelPlan plan_ = ChannelPlan::evaluation_subset(1, 60);
+  GsmField field_{42, plan_};
+  road::RoadSegment urban_ =
+      make_segment(100, road::EnvironmentType::kFourLaneUrban);
+};
+
+TEST_F(GsmFieldTest, Deterministic) {
+  const double a = field_.rssi_dbm(urban_, 123.4, 1, 7, 600.0);
+  const double b = field_.rssi_dbm(urban_, 123.4, 1, 7, 600.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(GsmFieldTest, TwoFieldObjectsSameSeedAgree) {
+  GsmField other(42, plan_);
+  for (double x : {0.0, 55.5, 999.0}) {
+    EXPECT_EQ(field_.rssi_dbm(urban_, x, 2, 11, 100.0),
+              other.rssi_dbm(urban_, x, 2, 11, 100.0));
+  }
+}
+
+TEST_F(GsmFieldTest, DifferentSeedsDiffer) {
+  GsmField other(43, plan_);
+  EXPECT_NE(field_.rssi_dbm(urban_, 10.0, 1, 3, 0.0),
+            other.rssi_dbm(urban_, 10.0, 1, 3, 0.0));
+}
+
+TEST_F(GsmFieldTest, ValuesWithinPhysicalRange) {
+  for (double x = 0; x < 500; x += 13.0) {
+    for (std::size_t c = 0; c < plan_.size(); c += 7) {
+      const double v = field_.rssi_dbm(urban_, x, 1, c, x * 2.0);
+      EXPECT_GE(v, GsmField::kNoiseFloorDbm);
+      EXPECT_LE(v, GsmField::kSaturationDbm);
+    }
+  }
+}
+
+TEST_F(GsmFieldTest, PowerVectorMatchesPerChannelQueries) {
+  const auto pv = field_.power_vector(urban_, 200.0, 1, 50.0);
+  ASSERT_EQ(pv.size(), plan_.size());
+  for (std::size_t c = 0; c < plan_.size(); c += 11) {
+    EXPECT_EQ(pv[c], field_.rssi_dbm(urban_, 200.0, 1, c, 50.0));
+  }
+}
+
+TEST_F(GsmFieldTest, AcrossChannelVarianceIsLarge) {
+  // The power profile across channels must have structure (some strong,
+  // some weak) — this is what fingerprinting keys on.
+  const auto pv = field_.power_vector(urban_, 300.0, 1, 0.0);
+  util::RunningStats s;
+  for (double v : pv) s.add(v);
+  EXPECT_GT(s.stddev(), 6.0);
+  EXPECT_GT(s.max() - s.min(), 20.0);
+}
+
+// --- The paper's Sec. III properties ---
+
+TEST_F(GsmFieldTest, TemporalStabilityShortGap) {
+  // Power vectors at the same location tens of seconds apart must be highly
+  // correlated (Fig 2: P(corr >= 0.8) ~ 0.95 at short gaps).
+  int stable = 0;
+  constexpr int kTrials = 40;
+  for (int t = 0; t < kTrials; ++t) {
+    const double x = 25.0 * t;
+    const auto a = field_.power_vector(urban_, x, 1, 100.0 + t);
+    const auto b = field_.power_vector(urban_, x, 1, 130.0 + t);
+    if (util::pearson(a, b) >= 0.8) ++stable;
+  }
+  EXPECT_GE(stable, kTrials * 9 / 10);
+}
+
+TEST_F(GsmFieldTest, TemporalCorrelationDecaysWithGap) {
+  util::RunningStats short_gap, long_gap;
+  for (int t = 0; t < 30; ++t) {
+    const double x = 30.0 * t;
+    const auto base = field_.power_vector(urban_, x, 1, 0.0);
+    short_gap.add(util::pearson(base, field_.power_vector(urban_, x, 1, 10.0)));
+    long_gap.add(
+        util::pearson(base, field_.power_vector(urban_, x, 1, 1500.0)));
+  }
+  EXPECT_GT(short_gap.mean(), long_gap.mean());
+}
+
+TEST_F(GsmFieldTest, GeographicalUniqueness) {
+  // Same location at two times: high correlation. Two different roads:
+  // low correlation (Fig 3 separation).
+  const auto seg2 = make_segment(200, road::EnvironmentType::kFourLaneUrban);
+  util::RunningStats same, diff;
+  for (int i = 0; i < 30; ++i) {
+    const double x = 20.0 * i;
+    const auto here_t0 = field_.power_vector(urban_, x, 1, 0.0);
+    const auto here_t1 = field_.power_vector(urban_, x, 1, 60.0);
+    const auto there = field_.power_vector(seg2, x, 1, 0.0);
+    same.add(util::pearson(here_t0, here_t1));
+    diff.add(util::pearson(here_t0, there));
+  }
+  EXPECT_GT(same.mean(), 0.85);
+  EXPECT_LT(diff.mean(), 0.45);
+  EXPECT_GT(same.mean() - diff.mean(), 0.4);
+}
+
+TEST_F(GsmFieldTest, FineResolutionRelativeChange) {
+  // Fig 4: the relative change of LINEAR power vectors one metre apart
+  // averages >= ~0.4.
+  util::RunningStats rel;
+  for (int i = 0; i < 60; ++i) {
+    const double x = 10.0 + 15.0 * i;
+    const auto a = field_.power_vector(urban_, x, 1, 0.0);
+    const auto b = field_.power_vector(urban_, x + 1.0, 1, 0.0);
+    double num = 0.0, den = 0.0;
+    for (std::size_t c = 0; c < a.size(); ++c) {
+      const double la = dbm_to_mw(a[c]);
+      const double lb = dbm_to_mw(b[c]);
+      num += (la - lb) * (la - lb);
+      den += la * la;
+    }
+    rel.add(std::sqrt(num) / std::sqrt(den));
+  }
+  EXPECT_GE(rel.mean(), 0.30);
+}
+
+TEST_F(GsmFieldTest, SpatialCorrelationDecaysOverDistance) {
+  // Power vectors close in space correlate more than far apart.
+  util::RunningStats d1, d50;
+  for (int i = 0; i < 30; ++i) {
+    const double x = 25.0 * i;
+    const auto base = field_.power_vector(urban_, x, 1, 0.0);
+    d1.add(util::pearson(base, field_.power_vector(urban_, x + 1.0, 1, 0.0)));
+    d50.add(util::pearson(base, field_.power_vector(urban_, x + 50.0, 1, 0.0)));
+  }
+  EXPECT_GT(d1.mean(), d50.mean());
+  EXPECT_GT(d1.mean(), 0.8);
+}
+
+TEST_F(GsmFieldTest, SameLaneIdenticalAcrossVehicles) {
+  // Two vehicles in the same lane at the same spot/time see the same world
+  // (field is vehicle-agnostic).
+  EXPECT_EQ(field_.rssi_dbm(urban_, 77.0, 2, 5, 33.0),
+            field_.rssi_dbm(urban_, 77.0, 2, 5, 33.0));
+}
+
+TEST_F(GsmFieldTest, DistinctLanesPerturbedButCorrelated) {
+  // Both comparisons use the same 45 s gap (the realistic convoy delay) so
+  // only the lane change differs.
+  util::RunningStats same_lane, cross_lane;
+  for (int i = 0; i < 25; ++i) {
+    const double x = 30.0 * i;
+    const auto l1 = field_.power_vector(urban_, x, 1, 0.0);
+    const auto l1b = field_.power_vector(urban_, x, 1, 45.0);
+    const auto l3 = field_.power_vector(urban_, x, 3, 45.0);
+    same_lane.add(util::pearson(l1, l1b));
+    cross_lane.add(util::pearson(l1, l3));
+  }
+  // Cross-lane is worse than same-lane but still clearly related.
+  EXPECT_GT(same_lane.mean(), cross_lane.mean());
+  EXPECT_GT(cross_lane.mean(), 0.6);
+}
+
+TEST_F(GsmFieldTest, UnderElevatedIsAttenuated) {
+  const auto open = make_segment(300, road::EnvironmentType::kEightLaneUrban);
+  const auto closed = make_segment(301, road::EnvironmentType::kUnderElevated);
+  util::RunningStats open_s, closed_s;
+  for (int i = 0; i < 20; ++i) {
+    const double x = 40.0 * i;
+    for (double v : field_.power_vector(open, x, 1, 0.0)) open_s.add(v);
+    for (double v : field_.power_vector(closed, x, 1, 0.0)) closed_s.add(v);
+  }
+  EXPECT_LT(closed_s.mean(), open_s.mean() - 3.0);
+}
+
+class GsmFieldEnvSweep
+    : public ::testing::TestWithParam<road::EnvironmentType> {};
+
+TEST_P(GsmFieldEnvSweep, EveryEnvironmentProducesValidStructuredField) {
+  const ChannelPlan plan = ChannelPlan::evaluation_subset(1, 40);
+  GsmField field(7, plan);
+  const auto seg = make_segment(1, GetParam());
+  util::RunningStats s;
+  for (double x = 0; x < 300; x += 10.0) {
+    for (double v : field.power_vector(seg, x, 1, 0.0)) {
+      EXPECT_GE(v, GsmField::kNoiseFloorDbm);
+      EXPECT_LE(v, GsmField::kSaturationDbm);
+      s.add(v);
+    }
+  }
+  EXPECT_GT(s.stddev(), 4.0);  // structured, not flat
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, GsmFieldEnvSweep,
+                         ::testing::ValuesIn(road::kAllEnvironments));
+
+TEST(GsmFieldThreading, ConcurrentQueriesConsistent) {
+  const ChannelPlan plan = ChannelPlan::evaluation_subset(1, 30);
+  GsmField field(9, plan);
+  const auto seg = make_segment(5, road::EnvironmentType::kFourLaneUrban);
+  // Prime one answer single-threaded.
+  const double expected = field.rssi_dbm(seg, 10.0, 1, 3, 0.0);
+
+  GsmField fresh(9, plan);
+  std::vector<std::thread> threads;
+  std::vector<double> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&fresh, &results, &seg, t] {
+      // All threads race on the lazily-built segment context.
+      results[t] = fresh.rssi_dbm(seg, 10.0, 1, 3, 0.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (double r : results) EXPECT_EQ(r, expected);
+}
+
+TEST(DbmMw, RoundTrip) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(-30.0), 1e-3, 1e-12);
+  for (double dbm = -110; dbm <= -40; dbm += 7.3) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rups::gsm

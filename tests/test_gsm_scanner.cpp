@@ -1,0 +1,225 @@
+#include "sensors/gsm_scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "gsm/rxlev.hpp"
+
+namespace rups::sensors {
+namespace {
+
+class GsmScannerTest : public ::testing::Test {
+ protected:
+  gsm::ChannelPlan plan_ = gsm::ChannelPlan::evaluation_subset(1, 40);
+};
+
+TEST_F(GsmScannerTest, RejectsBadConfig) {
+  GsmScanner::Config cfg;
+  cfg.radios = 0;
+  EXPECT_THROW(GsmScanner(&plan_, 1, cfg), std::invalid_argument);
+  EXPECT_THROW(GsmScanner(nullptr, 1), std::invalid_argument);
+}
+
+TEST_F(GsmScannerTest, SweepTimeScalesWithRadios) {
+  GsmScanner::Config one;
+  one.radios = 1;
+  GsmScanner::Config four;
+  four.radios = 4;
+  GsmScanner s1(&plan_, 1, one), s4(&plan_, 1, four);
+  EXPECT_NEAR(s1.sweep_seconds(), 40 * 0.015, 1e-9);
+  EXPECT_NEAR(s4.sweep_seconds(), 10 * 0.015, 1e-9);
+}
+
+TEST_F(GsmScannerTest, CoversAllChannelsWithinOneSweep) {
+  for (int radios : {1, 2, 4, 7}) {
+    GsmScanner::Config cfg;
+    cfg.radios = radios;
+    cfg.front_noise_db = 0.0;
+    GsmScanner scanner(&plan_, 2, cfg);
+    std::vector<RssiMeasurement> out;
+    scanner.advance(scanner.sweep_seconds() + 0.05,
+                    [](std::size_t, double) { return -70.0; }, out);
+    std::set<std::size_t> seen;
+    for (const auto& m : out) seen.insert(m.channel_index);
+    EXPECT_EQ(seen.size(), plan_.size()) << radios << " radios";
+  }
+}
+
+TEST_F(GsmScannerTest, MeasurementRateMatchesDwell) {
+  GsmScanner::Config cfg;
+  cfg.radios = 2;
+  cfg.batch_report = false;
+  GsmScanner scanner(&plan_, 3, cfg);
+  std::vector<RssiMeasurement> out;
+  scanner.advance(3.0, [](std::size_t, double) { return -70.0; }, out);
+  // 2 radios x (3.0 / 0.015) dwells ~ 400 measurements (minus startup).
+  EXPECT_NEAR(static_cast<double>(out.size()), 400.0, 10.0);
+}
+
+TEST_F(GsmScannerTest, TimesMonotonePerRadioAndQuantized) {
+  GsmScanner::Config cfg;
+  cfg.batch_report = false;
+  GsmScanner scanner(&plan_, 4, cfg);
+  std::vector<RssiMeasurement> out;
+  scanner.advance(1.0, [](std::size_t c, double) { return -70.0 - 0.37 * c; },
+                  out);
+  std::vector<double> last_time(8, -1.0);
+  for (const auto& m : out) {
+    EXPECT_GT(m.time_s, last_time[static_cast<std::size_t>(m.radio)]);
+    last_time[static_cast<std::size_t>(m.radio)] = m.time_s;
+    // RXLEV round-trip leaves half-dB representatives.
+    EXPECT_DOUBLE_EQ(m.rssi_dbm, gsm::RxLev::quantize_dbm(m.rssi_dbm));
+  }
+}
+
+TEST_F(GsmScannerTest, IncrementalAdvanceEqualsBigStep) {
+  GsmScanner::Config cfg;
+  cfg.front_noise_db = 0.0;
+  GsmScanner a(&plan_, 5, cfg), b(&plan_, 5, cfg);
+  const auto truth = [](std::size_t c, double t) {
+    return -60.0 - static_cast<double>(c) + t;
+  };
+  std::vector<RssiMeasurement> out_a, out_b;
+  a.advance(2.0, truth, out_a);
+  for (int i = 1; i <= 200; ++i) b.advance(i * 0.01, truth, out_b);
+  // Emission interleaving differs between one big step and many small ones,
+  // but the measurement SET (channel, time) must be identical.
+  const auto key = [](const RssiMeasurement& m) {
+    return std::make_tuple(m.time_s, m.radio, m.channel_index);
+  };
+  const auto by_key = [&](const RssiMeasurement& x, const RssiMeasurement& y) {
+    return key(x) < key(y);
+  };
+  std::sort(out_a.begin(), out_a.end(), by_key);
+  std::sort(out_b.begin(), out_b.end(), by_key);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].channel_index, out_b[i].channel_index);
+    EXPECT_DOUBLE_EQ(out_a[i].time_s, out_b[i].time_s);
+  }
+}
+
+TEST_F(GsmScannerTest, CenterPlacementAttenuates) {
+  GsmScanner::Config front;
+  front.front_noise_db = 0.0;
+  front.front_structured_db = 0.0;
+  GsmScanner::Config center;
+  center.placement = RadioPlacement::kCenter;
+  center.center_noise_db = 0.0;
+  center.center_structured_db = 0.0;
+  center.center_dropout_fraction = 0.0;
+  GsmScanner sf(&plan_, 6, front), sc(&plan_, 6, center);
+  std::vector<RssiMeasurement> of, oc;
+  const auto truth = [](std::size_t, double) { return -60.0; };
+  sf.advance(1.0, truth, of);
+  sc.advance(1.0, truth, oc);
+  ASSERT_FALSE(of.empty());
+  ASSERT_FALSE(oc.empty());
+  EXPECT_NEAR(of[0].rssi_dbm - oc[0].rssi_dbm, center.center_attenuation_db,
+              1.1);
+}
+
+TEST_F(GsmScannerTest, RadioPartitionIsDisjointComplete) {
+  GsmScanner::Config cfg;
+  cfg.radios = 3;
+  GsmScanner scanner(&plan_, 7, cfg);
+  std::vector<RssiMeasurement> out;
+  scanner.advance(scanner.sweep_seconds() * 1.1,
+                  [](std::size_t, double) { return -70.0; }, out);
+  // Each channel must be measured by exactly one radio.
+  std::map<std::size_t, std::set<int>> owners;
+  for (const auto& m : out) owners[m.channel_index].insert(m.radio);
+  EXPECT_EQ(owners.size(), plan_.size());
+  for (const auto& [ch, radios] : owners) {
+    EXPECT_EQ(radios.size(), 1u) << "channel " << ch;
+  }
+}
+
+TEST_F(GsmScannerTest, TruthQueriedAtDwellTime) {
+  GsmScanner::Config cfg;
+  cfg.radios = 1;
+  cfg.front_noise_db = 0.0;
+  cfg.batch_report = false;
+  GsmScanner scanner(&plan_, 8, cfg);
+  std::vector<RssiMeasurement> out;
+  std::vector<double> query_times;
+  scanner.advance(0.5,
+                  [&](std::size_t, double t) {
+                    query_times.push_back(t);
+                    return -70.0;
+                  },
+                  out);
+  ASSERT_EQ(query_times.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(query_times[i], out[i].time_s);
+    EXPECT_LE(out[i].time_s, 0.5);
+  }
+}
+
+TEST_F(GsmScannerTest, BatchReportStampsAtSweepEnd) {
+  GsmScanner::Config cfg;
+  cfg.radios = 1;
+  cfg.front_noise_db = 0.0;
+  cfg.batch_report = true;  // default, spelled out
+  GsmScanner scanner(&plan_, 9, cfg);
+  std::vector<RssiMeasurement> out;
+  std::vector<double> dwell_times;
+  scanner.advance(2.0,
+                  [&](std::size_t, double t) {
+                    dwell_times.push_back(t);
+                    return -70.0;
+                  },
+                  out);
+  ASSERT_FALSE(out.empty());
+  // All measurements of one sweep share the sweep-completion timestamp,
+  // which is at or after the dwell at which the RF level was sampled.
+  std::map<double, int> flushes;
+  for (const auto& m : out) flushes[m.time_s]++;
+  for (const auto& [t, n] : flushes) {
+    EXPECT_EQ(n, static_cast<int>(plan_.size())) << "flush at " << t;
+  }
+  // Dwells happened strictly before (or at) the report time.
+  EXPECT_GT(dwell_times.size(), out.size());  // last partial sweep pending
+}
+
+TEST_F(GsmScannerTest, BatchOffDeliversImmediately) {
+  GsmScanner::Config cfg;
+  cfg.radios = 2;
+  cfg.batch_report = false;
+  GsmScanner scanner(&plan_, 10, cfg);
+  std::vector<RssiMeasurement> out;
+  std::vector<double> dwell_times;
+  scanner.advance(0.5,
+                  [&](std::size_t, double t) {
+                    dwell_times.push_back(t);
+                    return -70.0;
+                  },
+                  out);
+  ASSERT_EQ(dwell_times.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].time_s, dwell_times[i]);
+  }
+}
+
+TEST_F(GsmScannerTest, CenterDropoutLosesDwells) {
+  GsmScanner::Config front;
+  GsmScanner::Config center = front;
+  center.placement = RadioPlacement::kCenter;
+  center.center_attenuation_db = 0.0;  // isolate the dropout effect
+  GsmScanner sf(&plan_, 11, front), sc(&plan_, 11, center);
+  std::vector<RssiMeasurement> of, oc;
+  const auto truth = [](std::size_t, double) { return -60.0; };
+  sf.advance(30.0, truth, of);
+  sc.advance(30.0, truth, oc);
+  EXPECT_LT(static_cast<double>(oc.size()),
+            0.85 * static_cast<double>(of.size()));
+  EXPECT_GT(static_cast<double>(oc.size()),
+            0.35 * static_cast<double>(of.size()));
+}
+
+}  // namespace
+}  // namespace rups::sensors

@@ -1,0 +1,143 @@
+#include "util/hash_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace rups::util {
+namespace {
+
+TEST(HashNoise, Deterministic) {
+  HashNoise n(99);
+  EXPECT_EQ(n.uniform(5), n.uniform(5));
+  EXPECT_EQ(n.gaussian2(1, 2), n.gaussian2(1, 2));
+}
+
+TEST(HashNoise, SeedChangesValues) {
+  HashNoise a(1), b(2);
+  EXPECT_NE(a.uniform(5), b.uniform(5));
+}
+
+TEST(HashNoise, KeyPairOrderMatters) {
+  HashNoise n(7);
+  EXPECT_NE(n.uniform2(1, 2), n.uniform2(2, 1));
+}
+
+TEST(HashNoise, UniformIsUniform) {
+  HashNoise n(3);
+  RunningStats stats;
+  for (std::int64_t k = 0; k < 50000; ++k) stats.add(n.uniform(k));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(HashNoise, GaussianIsStandardNormal) {
+  HashNoise n(4);
+  RunningStats stats;
+  for (std::int64_t k = 0; k < 50000; ++k) stats.add(n.gaussian(k));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-3);
+}
+
+TEST(InverseNormalCdf, ExtremesAreInfinite) {
+  EXPECT_EQ(inverse_normal_cdf(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inverse_normal_cdf(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(LatticeField1D, Deterministic) {
+  LatticeField1D f(123, 10.0, 2);
+  EXPECT_EQ(f.value(3.7), f.value(3.7));
+  LatticeField1D g(123, 10.0, 2);
+  EXPECT_EQ(f.value(-100.25), g.value(-100.25));
+}
+
+TEST(LatticeField1D, DifferentSeedsDecorrelated) {
+  LatticeField1D f(1, 10.0), g(2, 10.0);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(f.value(i * 0.5));
+    b.push_back(g.value(i * 0.5));
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.15);
+}
+
+TEST(LatticeField1D, ApproxUnitVariance) {
+  for (int octaves : {1, 2, 3}) {
+    LatticeField1D f(55, 7.0, octaves);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.add(f.value(i * 1.37));
+    EXPECT_NEAR(stats.mean(), 0.0, 0.1) << "octaves=" << octaves;
+    EXPECT_GT(stats.stddev(), 0.7) << "octaves=" << octaves;
+    EXPECT_LT(stats.stddev(), 1.3) << "octaves=" << octaves;
+  }
+}
+
+TEST(LatticeField1D, NearbyPointsCorrelated) {
+  LatticeField1D f(9, 50.0, 1);
+  // Points 1 m apart on a 50 m correlation length must be nearly equal.
+  RunningStats diff;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = i * 13.3;
+    diff.add(std::abs(f.value(x) - f.value(x + 1.0)));
+  }
+  EXPECT_LT(diff.mean(), 0.2);
+}
+
+TEST(LatticeField1D, FarPointsDecorrelated) {
+  LatticeField1D f(9, 5.0, 1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 3000; ++i) {
+    a.push_back(f.value(i * 40.0));
+    b.push_back(f.value(i * 40.0 + 20.0));  // 4 correlation lengths away
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.15);
+}
+
+TEST(LatticeField1D, CorrelationDecaysWithDistance) {
+  LatticeField1D f(17, 10.0, 1);
+  auto corr_at = [&](double sep) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 4000; ++i) {
+      a.push_back(f.value(i * 53.0));
+      b.push_back(f.value(i * 53.0 + sep));
+    }
+    return pearson(a, b);
+  };
+  const double c1 = corr_at(1.0);
+  const double c5 = corr_at(5.0);
+  const double c20 = corr_at(20.0);
+  EXPECT_GT(c1, c5);
+  EXPECT_GT(c5, c20);
+  EXPECT_GT(c1, 0.8);
+}
+
+class LatticeOctaveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatticeOctaveSweep, ZeroCrossingRateGrowsWithOctaves) {
+  // More octaves => more fine detail => not fewer sign changes.
+  LatticeField1D f(31, 20.0, GetParam());
+  int crossings = 0;
+  double prev = f.value(0.0);
+  for (int i = 1; i < 5000; ++i) {
+    const double v = f.value(i * 0.5);
+    if ((v > 0) != (prev > 0)) ++crossings;
+    prev = v;
+  }
+  EXPECT_GT(crossings, 10 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Octaves, LatticeOctaveSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace rups::util

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dead_reckoner.hpp"
+#include "core/heading.hpp"
+#include "core/speed.hpp"
+#include "util/angle.hpp"
+
+namespace rups::core {
+namespace {
+
+TEST(HeadingFromMag, CardinalDirections) {
+  const double bh = 30.0;
+  // theta = 0 (east): m = (-bh, 0, z).
+  EXPECT_NEAR(heading_from_mag({-bh, 0.0, -35.0}), 0.0, 1e-12);
+  // theta = pi/2 (north): m = (0, bh, z).
+  EXPECT_NEAR(heading_from_mag({0.0, bh, -35.0}), M_PI / 2, 1e-12);
+  // theta = pi (west): m = (bh, 0, z).
+  EXPECT_NEAR(std::abs(heading_from_mag({bh, 0.0, -35.0})), M_PI, 1e-12);
+}
+
+TEST(HeadingFromMag, RoundTripAllAngles) {
+  const double bh = 30.0;
+  for (double th = -3.1; th <= 3.1; th += 0.17) {
+    const util::Vec3 m{-bh * std::cos(th), bh * std::sin(th), -35.0};
+    EXPECT_NEAR(util::angle_diff(heading_from_mag(m), th), 0.0, 1e-9);
+  }
+}
+
+TEST(HeadingEstimator, InitializesFromFirstMag) {
+  HeadingEstimator est;
+  EXPECT_FALSE(est.initialized());
+  est.update(0.0, 0.005, nullptr);
+  EXPECT_FALSE(est.initialized());
+  const util::Vec3 m{-30.0, 0.0, -35.0};  // east
+  est.update(0.0, 0.005, &m);
+  EXPECT_TRUE(est.initialized());
+  EXPECT_NEAR(est.heading_rad(), 0.0, 1e-9);
+}
+
+TEST(HeadingEstimator, IntegratesGyro) {
+  HeadingEstimator est(/*mag_gain=*/0.0);
+  const util::Vec3 m{-30.0, 0.0, -35.0};
+  est.update(0.0, 0.005, &m);
+  for (int i = 0; i < 200; ++i) est.update(0.5, 0.005);  // 1 s at 0.5 rad/s
+  EXPECT_NEAR(est.heading_rad(), 0.5, 1e-9);
+}
+
+TEST(HeadingEstimator, MagCorrectsGyroDrift) {
+  HeadingEstimator est(/*mag_gain=*/2.0);
+  const double true_heading = 1.0;
+  const util::Vec3 m{-30.0 * std::cos(true_heading),
+                     30.0 * std::sin(true_heading), -35.0};
+  est.update(0.0, 0.005, &m);
+  // Biased gyro (drift 0.05 rad/s) with mag correction for 20 s.
+  for (int i = 0; i < 4000; ++i) est.update(0.05, 0.005, &m);
+  EXPECT_NEAR(est.heading_rad(), true_heading, 0.05);
+}
+
+TEST(SpeedEstimator, NoDataIsZero) {
+  SpeedEstimator est;
+  EXPECT_FALSE(est.has_data());
+  EXPECT_DOUBLE_EQ(est.speed_at(10.0), 0.0);
+  EXPECT_EQ(est.trend(), 0);
+}
+
+TEST(SpeedEstimator, SingleSampleHolds) {
+  SpeedEstimator est;
+  est.add_sample({5.0, 12.0});
+  EXPECT_DOUBLE_EQ(est.speed_at(5.0), 12.0);
+  EXPECT_DOUBLE_EQ(est.speed_at(9.0), 12.0);
+}
+
+TEST(SpeedEstimator, InterpolatesBetweenSamples) {
+  SpeedEstimator est;
+  est.add_sample({0.0, 10.0});
+  est.add_sample({2.0, 14.0});
+  EXPECT_DOUBLE_EQ(est.speed_at(1.0), 12.0);  // clamped interp inside range
+  EXPECT_DOUBLE_EQ(est.speed_at(2.0), 14.0);
+  // Extrapolation capped at one period beyond the last sample.
+  EXPECT_DOUBLE_EQ(est.speed_at(4.0), 18.0);
+  EXPECT_DOUBLE_EQ(est.speed_at(100.0), 18.0);
+}
+
+TEST(SpeedEstimator, TrendDetection) {
+  SpeedEstimator est;
+  est.add_sample({0.0, 10.0});
+  est.add_sample({2.0, 12.0});
+  EXPECT_EQ(est.trend(), 1);
+  est.add_sample({4.0, 9.0});
+  EXPECT_EQ(est.trend(), -1);
+  est.add_sample({6.0, 9.1});
+  EXPECT_EQ(est.trend(), 0);
+}
+
+TEST(SpeedEstimator, NeverNegative) {
+  SpeedEstimator est;
+  est.add_sample({0.0, 2.0});
+  est.add_sample({1.0, 0.0});
+  EXPECT_GE(est.speed_at(3.0), 0.0);
+}
+
+TEST(DeadReckoner, EmitsOneMarkPerMetre) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 10.0);  // first call initializes
+  std::size_t marks = 0;
+  for (int i = 1; i <= 100; ++i) {
+    marks += dr.advance(i * 0.1, 0.5, 10.0).size();  // 10 s at 10 m/s
+  }
+  EXPECT_NEAR(dr.odometer_m(), 100.0, 1e-6);
+  EXPECT_EQ(marks, 100u);
+  EXPECT_EQ(dr.marks_emitted(), 100u);
+}
+
+TEST(DeadReckoner, MarksCarryHeadingAndTime) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 0.0);
+  const auto marks = dr.advance(1.0, 0.7, 3.0);  // crossed 1.5 m
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_DOUBLE_EQ(marks[0].heading_rad, 0.7);
+  EXPECT_DOUBLE_EQ(marks[0].time_s, 1.0);
+}
+
+TEST(DeadReckoner, FastStepEmitsMultipleMarks) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 20.0);
+  const auto marks = dr.advance(0.5, 0.0, 20.0);  // 10 m in one step
+  EXPECT_EQ(marks.size(), 10u);
+}
+
+TEST(DeadReckoner, StationaryEmitsNothing) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 0.0);
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_TRUE(dr.advance(i * 0.1, 0.0, 0.0).empty());
+  }
+  EXPECT_DOUBLE_EQ(dr.odometer_m(), 0.0);
+}
+
+TEST(DeadReckoner, TrapezoidalIntegration) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 0.0);
+  dr.advance(2.0, 0.0, 10.0);  // mean speed 5 over 2 s = 10 m
+  EXPECT_NEAR(dr.odometer_m(), 10.0, 1e-9);
+}
+
+TEST(DeadReckoner, OdometerAtBackExtrapolates) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 10.0);
+  dr.advance(1.0, 0.0, 10.0);
+  EXPECT_NEAR(dr.odometer_at(1.5), 15.0, 1e-9);
+  EXPECT_NEAR(dr.odometer_at(0.9), 9.0, 1e-9);
+  EXPECT_GE(dr.odometer_at(-100.0), 0.0);
+}
+
+TEST(DeadReckoner, NonMonotoneTimeIgnored) {
+  DeadReckoner dr;
+  dr.advance(0.0, 0.0, 10.0);
+  dr.advance(1.0, 0.0, 10.0);
+  const double d = dr.odometer_m();
+  EXPECT_TRUE(dr.advance(0.5, 0.0, 10.0).empty());
+  EXPECT_DOUBLE_EQ(dr.odometer_m(), d);
+}
+
+}  // namespace
+}  // namespace rups::core

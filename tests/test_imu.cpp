@@ -1,0 +1,127 @@
+#include "sensors/imu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/heading.hpp"
+#include "util/stats.hpp"
+
+namespace rups::sensors {
+namespace {
+
+vehicle::VehicleState make_state(double speed = 0.0, double accel = 0.0,
+                                 double heading = 0.0, double t = 0.0) {
+  vehicle::VehicleState s;
+  s.time_s = t;
+  s.speed_mps = speed;
+  s.accel_mps2 = accel;
+  s.heading_rad = heading;
+  return s;
+}
+
+TEST(Imu, MountIsARotation) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 99ULL}) {
+    ImuModel imu(seed);
+    const auto should_be_id = imu.mount() * imu.mount().transpose();
+    EXPECT_LT(should_be_id.distance(util::Mat3::identity()), 1e-9);
+  }
+}
+
+TEST(Imu, MountDiffersAcrossVehicles) {
+  ImuModel a(1), b(2);
+  EXPECT_GT(a.mount().distance(b.mount()), 0.1);
+}
+
+TEST(Imu, StationaryMeasuresGravityMagnitude) {
+  ImuModel imu(3);
+  util::RunningStats mag;
+  auto state = make_state();
+  for (int i = 0; i < 5000; ++i) {
+    state.time_s = i * 0.005;
+    mag.add(imu.sample(state, 0.0).accel_mps2.norm());
+  }
+  EXPECT_NEAR(mag.mean(), ImuModel::kGravity, 0.1);
+}
+
+TEST(Imu, GravityDirectionIsMountedZ) {
+  ImuModel imu(4);
+  // Mean stationary accel (sensor frame) must align with mount * (0,0,1).
+  util::Vec3 acc{};
+  auto state = make_state();
+  for (int i = 0; i < 5000; ++i) {
+    state.time_s = i * 0.005;
+    acc += imu.sample(state, 0.0).accel_mps2;
+  }
+  const util::Vec3 mean_dir = acc.normalized();
+  const util::Vec3 expected = (imu.mount() * util::Vec3{0, 0, 1}).normalized();
+  EXPECT_NEAR(mean_dir.dot(expected), 1.0, 1e-3);
+}
+
+TEST(Imu, LongitudinalAccelShowsUpOnMountedY) {
+  ImuModel::Config cfg;
+  cfg.accel_noise_mps2 = 0.0;
+  cfg.accel_bias = {};
+  ImuModel imu(5, cfg);
+  const auto state = make_state(10.0, 2.0);
+  const auto sample = imu.sample(state, 0.0);
+  // Remove gravity (known direction) and check the remainder along mount*y.
+  const util::Vec3 gravity = imu.mount() * util::Vec3{0, 0, ImuModel::kGravity};
+  const util::Vec3 linear = sample.accel_mps2 - gravity;
+  const util::Vec3 y_dir = imu.mount() * util::Vec3{0, 1, 0};
+  EXPECT_NEAR(linear.dot(y_dir), 2.0, 1e-9);
+}
+
+TEST(Imu, GyroReportsYawRate) {
+  ImuModel::Config cfg;
+  cfg.gyro_noise_rps = 0.0;
+  cfg.gyro_bias = {};
+  ImuModel imu(6, cfg);
+  const auto sample = imu.sample(make_state(10.0), 0.25);
+  const util::Vec3 z_dir = imu.mount() * util::Vec3{0, 0, 1};
+  EXPECT_NEAR(sample.gyro_rps.dot(z_dir), 0.25, 1e-9);
+}
+
+TEST(Imu, MagEncodesHeading) {
+  ImuModel::Config cfg;
+  cfg.mag_noise_ut = 0.0;
+  cfg.mag_disturbance_ut = 0.0;
+  ImuModel imu(7, cfg);
+  const util::Mat3 vehicle_from_sensor = imu.mount().transpose();
+  for (double heading : {0.0, 0.7, -1.2, 3.0}) {
+    const auto sample = imu.sample(make_state(10.0, 0.0, heading), 0.0);
+    const util::Vec3 mag_vehicle = vehicle_from_sensor * sample.mag_ut;
+    EXPECT_NEAR(core::heading_from_mag(mag_vehicle), heading, 1e-6)
+        << "heading " << heading;
+  }
+}
+
+TEST(Imu, CentripetalTermPresent) {
+  ImuModel::Config cfg;
+  cfg.accel_noise_mps2 = 0.0;
+  cfg.accel_bias = {};
+  ImuModel imu(8, cfg);
+  const double v = 15.0, w = 0.3;
+  const auto sample = imu.sample(make_state(v), w);
+  const util::Vec3 gravity = imu.mount() * util::Vec3{0, 0, ImuModel::kGravity};
+  const util::Vec3 linear = sample.accel_mps2 - gravity;
+  const util::Vec3 x_dir = imu.mount() * util::Vec3{1, 0, 0};
+  EXPECT_NEAR(linear.dot(x_dir), -v * w, 1e-9);
+}
+
+TEST(Imu, NoiseHasConfiguredScale) {
+  ImuModel::Config cfg;
+  cfg.accel_noise_mps2 = 0.05;
+  cfg.accel_bias = {};
+  ImuModel imu(9, cfg);
+  util::RunningStats x;
+  const auto state = make_state();
+  const util::Vec3 gravity = imu.mount() * util::Vec3{0, 0, ImuModel::kGravity};
+  for (int i = 0; i < 20000; ++i) {
+    x.add((imu.sample(state, 0.0).accel_mps2 - gravity).x);
+  }
+  EXPECT_NEAR(x.stddev(), 0.05, 0.005);
+}
+
+}  // namespace
+}  // namespace rups::sensors

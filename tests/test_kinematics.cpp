@@ -1,0 +1,117 @@
+#include "vehicle/kinematics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "road/route_builder.hpp"
+#include "vehicle/speed_controller.hpp"
+#include "vehicle/traffic.hpp"
+
+namespace rups::vehicle {
+namespace {
+
+class KinematicsTest : public ::testing::Test {
+ protected:
+  road::Route route_ = road::make_uniform_route(
+      1, road::EnvironmentType::kFourLaneUrban, 5'000.0);
+  TrafficLightPlan lights_ = TrafficLightPlan::for_route(2, route_);
+  TrafficLightPlan no_lights_;
+};
+
+TEST_F(KinematicsTest, AcceleratesFromRestTowardCruise) {
+  SpeedController ctl(1, &route_, &no_lights_, TrafficDensity::kLight);
+  Kinematics kin(&route_, &ctl, 1);
+  for (int i = 0; i < 6000; ++i) kin.step(0.01);  // 60 s
+  const double cruise = cruise_speed_mps(road::EnvironmentType::kFourLaneUrban,
+                                         TrafficDensity::kLight);
+  EXPECT_GT(kin.state().speed_mps, 0.6 * cruise);
+  EXPECT_LT(kin.state().speed_mps, 1.4 * cruise);
+  EXPECT_GT(kin.state().position_m, 100.0);
+}
+
+TEST_F(KinematicsTest, NeverReversesAndTimeAdvances) {
+  SpeedController ctl(2, &route_, &lights_, TrafficDensity::kHeavy);
+  Kinematics kin(&route_, &ctl, 1);
+  double prev_pos = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    const auto& s = kin.step(0.01);
+    EXPECT_GE(s.speed_mps, 0.0);
+    EXPECT_GE(s.position_m, prev_pos);
+    prev_pos = s.position_m;
+  }
+  EXPECT_NEAR(kin.state().time_s, 300.0, 1e-6);
+}
+
+TEST_F(KinematicsTest, StopsAtRedLights) {
+  SpeedController ctl(3, &route_, &lights_, TrafficDensity::kLight);
+  Kinematics kin(&route_, &ctl, 1);
+  // Drive 10 minutes; with several lights on 5 km we must observe at least
+  // one full stop (speed < 0.5 m/s while not at the route end).
+  bool stopped_mid_route = false;
+  for (int i = 0; i < 60000; ++i) {
+    const auto& s = kin.step(0.01);
+    if (s.time_s > 30.0 && s.speed_mps < 0.3 &&
+        s.position_m < route_.total_length_m() - 100.0 &&
+        s.position_m > 50.0) {
+      stopped_mid_route = true;
+    }
+  }
+  EXPECT_TRUE(stopped_mid_route);
+}
+
+TEST_F(KinematicsTest, AccelerationWithinLimits) {
+  SpeedController::Limits limits;
+  SpeedController ctl(4, &route_, &lights_, TrafficDensity::kModerate, limits);
+  Kinematics kin(&route_, &ctl, 1);
+  for (int i = 0; i < 30000; ++i) {
+    const auto& s = kin.step(0.01);
+    EXPECT_LE(s.accel_mps2, limits.max_accel_mps2 + 1e-9);
+    EXPECT_GE(s.accel_mps2, -limits.max_decel_mps2 - 1e-9);
+  }
+}
+
+TEST_F(KinematicsTest, ClampsAtRouteEnd) {
+  const auto tiny =
+      road::make_uniform_route(5, road::EnvironmentType::kTwoLaneSuburb, 200.0);
+  SpeedController ctl(5, &tiny, &no_lights_, TrafficDensity::kLight);
+  Kinematics kin(&tiny, &ctl, 1);
+  for (int i = 0; i < 20000 && !kin.finished(); ++i) kin.step(0.01);
+  EXPECT_TRUE(kin.finished());
+  EXPECT_DOUBLE_EQ(kin.state().position_m, 200.0);
+}
+
+TEST_F(KinematicsTest, PoseTracksRouteGeometry) {
+  SpeedController ctl(6, &route_, &no_lights_, TrafficDensity::kLight);
+  Kinematics kin(&route_, &ctl, 2);
+  for (int i = 0; i < 2000; ++i) kin.step(0.01);
+  const auto expect = route_.pose_at(kin.state().position_m);
+  EXPECT_DOUBLE_EQ(kin.state().pose.position.x, expect.position.x);
+  EXPECT_DOUBLE_EQ(kin.state().heading_rad, expect.heading_rad);
+  EXPECT_EQ(kin.state().lane, 2);
+}
+
+TEST_F(KinematicsTest, TwoVehiclesSameSeedIdentical) {
+  SpeedController ctl(7, &route_, &lights_, TrafficDensity::kLight);
+  Kinematics a(&route_, &ctl, 1), b(&route_, &ctl, 1);
+  for (int i = 0; i < 5000; ++i) {
+    a.step(0.01);
+    b.step(0.01);
+  }
+  EXPECT_DOUBLE_EQ(a.state().position_m, b.state().position_m);
+}
+
+TEST_F(KinematicsTest, FollowerStartsBehindStaysBehind) {
+  SpeedController ctl_a(8, &route_, &lights_, TrafficDensity::kLight);
+  SpeedController ctl_b(8, &route_, &lights_, TrafficDensity::kLight);
+  Kinematics front(&route_, &ctl_a, 1, 60.0);
+  Kinematics rear(&route_, &ctl_b, 1, 0.0);
+  for (int i = 0; i < 60000; ++i) {
+    front.step(0.01);
+    rear.step(0.01);
+  }
+  // Same controller seed, same lights: the follower cannot overtake by much
+  // (they may bunch at a light, but order is preserved approximately).
+  EXPECT_GT(front.state().position_m, rear.state().position_m - 1.0);
+}
+
+}  // namespace
+}  // namespace rups::vehicle

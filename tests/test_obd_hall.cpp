@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "sensors/hall.hpp"
+#include "sensors/obd.hpp"
+
+namespace rups::sensors {
+namespace {
+
+vehicle::VehicleState at(double t, double v) {
+  vehicle::VehicleState s;
+  s.time_s = t;
+  s.speed_mps = v;
+  return s;
+}
+
+TEST(Obd, RespectsPollingRate) {
+  ObdSpeedSensor::Config cfg;
+  cfg.rate_hz = 0.5;  // every 2 s
+  cfg.scale_error = 1e-9;
+  ObdSpeedSensor obd(1, cfg);
+  int samples = 0;
+  for (int i = 0; i <= 1000; ++i) {  // 10 s at 100 Hz
+    if (obd.maybe_sample(at(i * 0.01, 10.0)).has_value()) ++samples;
+  }
+  EXPECT_GE(samples, 5);
+  EXPECT_LE(samples, 7);
+}
+
+TEST(Obd, QuantizesToWholeKmh) {
+  ObdSpeedSensor::Config cfg;
+  cfg.rate_hz = 100.0;
+  cfg.scale_error = 1e-12;  // suppress the random bias draw
+  ObdSpeedSensor obd(2, cfg);
+  const auto s = obd.maybe_sample(at(0.0, 10.0));  // 36 km/h exactly
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(s->speed_mps * 3.6, 36.0, 1e-9);
+  const auto s2 = obd.maybe_sample(at(0.02, 10.1));  // 36.36 -> 36
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_NEAR(s2->speed_mps * 3.6, 36.0, 1e-9);
+}
+
+TEST(Obd, NeverNegative) {
+  ObdSpeedSensor obd(3);
+  const auto s = obd.maybe_sample(at(0.0, 0.0));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GE(s->speed_mps, 0.0);
+}
+
+TEST(Obd, RandomScaleBiasIsSmallAndDeterministic) {
+  ObdSpeedSensor a(4), b(4), c(5);
+  const auto sa = a.maybe_sample(at(0.0, 30.0));
+  const auto sb = b.maybe_sample(at(0.0, 30.0));
+  const auto sc = c.maybe_sample(at(0.0, 30.0));
+  ASSERT_TRUE(sa && sb && sc);
+  EXPECT_DOUBLE_EQ(sa->speed_mps, sb->speed_mps);
+  EXPECT_NEAR(sa->speed_mps, 30.0, 30.0 * 0.01 + 0.2);
+  (void)sc;  // different seed may round to a different km/h bucket
+}
+
+TEST(Hall, CountsWheelRevolutions) {
+  HallWheelSensor::Config cfg;
+  cfg.true_circumference_m = 2.0;
+  cfg.calibration_error = 0.0;
+  HallWheelSensor hall(1, cfg);
+  hall.advance(9.9);
+  EXPECT_EQ(hall.pulses(), 4u);
+  hall.advance(10.1);
+  EXPECT_EQ(hall.pulses(), 5u);
+  EXPECT_NEAR(hall.distance_m(), 10.0, 1e-9);
+}
+
+TEST(Hall, MonotoneEvenIfInputRepeats) {
+  HallWheelSensor hall(2);
+  hall.advance(100.0);
+  const auto p = hall.pulses();
+  hall.advance(99.0);  // stale input must not roll back
+  EXPECT_EQ(hall.pulses(), p);
+}
+
+TEST(Hall, CalibrationErrorBoundsDistanceError) {
+  HallWheelSensor::Config cfg;
+  cfg.calibration_error = 0.002;
+  HallWheelSensor hall(3, cfg);
+  hall.advance(10'000.0);
+  // Error = quantization (< one circumference) + scale error (<= 0.2%).
+  EXPECT_NEAR(hall.distance_m(), 10'000.0, 10'000.0 * 0.002 + 2.0);
+}
+
+TEST(Hall, DeterministicPerSeed) {
+  HallWheelSensor a(7), b(7);
+  a.advance(5'000.0);
+  b.advance(5'000.0);
+  EXPECT_DOUBLE_EQ(a.distance_m(), b.distance_m());
+}
+
+}  // namespace
+}  // namespace rups::sensors

@@ -1,0 +1,71 @@
+#include "vehicle/passing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::vehicle {
+namespace {
+
+TEST(Passing, DeterministicFromSeed) {
+  PassingVehicleProcess a(1, road::EnvironmentType::kEightLaneUrban, 3600.0);
+  PassingVehicleProcess b(1, road::EnvironmentType::kEightLaneUrban, 3600.0);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].start_s, b.events()[i].start_s);
+  }
+}
+
+TEST(Passing, DifferentSeedsDiffer) {
+  PassingVehicleProcess a(1, road::EnvironmentType::kEightLaneUrban, 3600.0);
+  PassingVehicleProcess b(2, road::EnvironmentType::kEightLaneUrban, 3600.0);
+  // Same rate, different event times.
+  ASSERT_FALSE(a.events().empty());
+  ASSERT_FALSE(b.events().empty());
+  EXPECT_NE(a.events()[0].start_s, b.events()[0].start_s);
+}
+
+TEST(Passing, EventCountScalesWithRate) {
+  PassingVehicleProcess eight(3, road::EnvironmentType::kEightLaneUrban,
+                              7200.0);
+  PassingVehicleProcess suburb(3, road::EnvironmentType::kTwoLaneSuburb,
+                               7200.0);
+  EXPECT_GT(eight.events().size(), 2 * suburb.events().size());
+}
+
+TEST(Passing, EventsSortedNonOverlapping) {
+  PassingVehicleProcess p(4, road::EnvironmentType::kEightLaneUrban, 7200.0);
+  double prev_end = -1.0;
+  for (const auto& e : p.events()) {
+    EXPECT_GT(e.start_s, prev_end);
+    EXPECT_GT(e.duration_s, 0.0);
+    EXPECT_GE(e.attenuation_db, 4.0);
+    EXPECT_LE(e.attenuation_db, 12.0);
+    prev_end = e.start_s + e.duration_s;
+  }
+}
+
+TEST(Passing, AttenuationActiveOnlyDuringEvent) {
+  PassingVehicleProcess p(5, road::EnvironmentType::kEightLaneUrban, 3600.0);
+  ASSERT_FALSE(p.events().empty());
+  const auto& e = p.events().front();
+  EXPECT_DOUBLE_EQ(p.attenuation_db(e.start_s - 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(p.attenuation_db(e.start_s + 0.5 * e.duration_s),
+                   e.attenuation_db);
+  EXPECT_DOUBLE_EQ(p.attenuation_db(e.start_s + e.duration_s + 0.1), 0.0);
+  EXPECT_GT(p.extra_noise_db(e.start_s + 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(p.extra_noise_db(e.start_s - 1.0), 0.0);
+}
+
+TEST(Passing, ZeroRateScaleMeansNoEvents) {
+  PassingVehicleProcess p(6, road::EnvironmentType::kEightLaneUrban, 3600.0,
+                          0.0);
+  EXPECT_TRUE(p.events().empty());
+  EXPECT_DOUBLE_EQ(p.attenuation_db(100.0), 0.0);
+}
+
+TEST(Passing, HorizonRespected) {
+  PassingVehicleProcess p(7, road::EnvironmentType::kEightLaneUrban, 600.0);
+  for (const auto& e : p.events()) EXPECT_LT(e.start_s, 600.0);
+}
+
+}  // namespace
+}  // namespace rups::vehicle

@@ -1,0 +1,141 @@
+#include "core/reorientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/imu.hpp"
+#include "util/rng.hpp"
+
+namespace rups::core {
+namespace {
+
+/// Drives a synthetic accelerate/brake cycle through an ImuModel and feeds
+/// the reorientation estimator, returning the estimated rotation.
+Reorientation run_calibration(sensors::ImuModel& imu, int cycles = 30) {
+  Reorientation reo;
+  vehicle::VehicleState state;
+  double t = 0.0;
+  const double dt = 0.005;  // 200 Hz
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // 3 s accelerate at 2 m/s^2, 2 s coast, 3 s brake at -2 m/s^2, 2 s coast.
+    for (int phase = 0; phase < 4; ++phase) {
+      const bool coast = (phase % 2) == 1;
+      const double a = coast ? 0.0 : (phase == 0 ? 2.0 : -2.0);
+      const int trend = coast ? 0 : (a > 0 ? 1 : -1);
+      const int steps = coast ? 400 : 600;
+      for (int i = 0; i < steps; ++i) {
+        state.time_s = t;
+        state.accel_mps2 = a;
+        state.speed_mps = std::max(0.0, state.speed_mps + a * dt);
+        reo.add_sample(imu.sample(state, 0.0), trend);
+        t += dt;
+      }
+    }
+  }
+  return reo;
+}
+
+TEST(Reorientation, UncalibratedIsIdentity) {
+  Reorientation reo;
+  EXPECT_FALSE(reo.calibrated());
+  EXPECT_LT(reo.rotation().distance(util::Mat3::identity()), 1e-12);
+}
+
+TEST(Reorientation, RecoversMountRotation) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    sensors::ImuModel imu(seed);
+    Reorientation reo = run_calibration(imu);
+    ASSERT_TRUE(reo.calibrated()) << "seed " << seed;
+    // rotation() maps sensor->vehicle; mount maps vehicle->sensor.
+    // Their product must be near identity.
+    const util::Mat3 composed = reo.rotation() * imu.mount();
+    EXPECT_LT(composed.distance(util::Mat3::identity()), 0.15)
+        << "seed " << seed;
+  }
+}
+
+TEST(Reorientation, EstimatedRotationIsOrthonormal) {
+  sensors::ImuModel imu(3);
+  Reorientation reo = run_calibration(imu);
+  ASSERT_TRUE(reo.calibrated());
+  const util::Mat3 r = reo.rotation();
+  EXPECT_LT((r * r.transpose()).distance(util::Mat3::identity()), 1e-9);
+}
+
+TEST(Reorientation, GravityDirectionRecovered) {
+  sensors::ImuModel imu(4);
+  Reorientation reo = run_calibration(imu);
+  const util::Vec3 expected =
+      (imu.mount() * util::Vec3{0, 0, 1}).normalized();
+  EXPECT_GT(reo.gravity_sensor().dot(expected), 0.995);
+}
+
+TEST(Reorientation, IgnoresEventsWithoutSpeedTrend) {
+  sensors::ImuModel imu(5);
+  Reorientation reo;
+  vehicle::VehicleState state;
+  state.accel_mps2 = 2.0;
+  state.speed_mps = 10.0;
+  for (int i = 0; i < 5000; ++i) {
+    state.time_s = i * 0.005;
+    reo.add_sample(imu.sample(state, 0.0), /*speed_trend=*/0);
+  }
+  EXPECT_EQ(reo.event_count(), 0u);
+  EXPECT_FALSE(reo.calibrated());
+}
+
+TEST(Reorientation, IgnoresTurns) {
+  sensors::ImuModel::Config cfg;
+  cfg.gyro_noise_rps = 0.0;
+  cfg.gyro_bias = {};
+  sensors::ImuModel imu(6, cfg);
+  Reorientation reo;
+  vehicle::VehicleState state;
+  state.accel_mps2 = 2.0;
+  state.speed_mps = 10.0;
+  for (int i = 0; i < 5000; ++i) {
+    state.time_s = i * 0.005;
+    // Strong yaw rate: events must be rejected even with a trend hint.
+    reo.add_sample(imu.sample(state, 0.4), 1);
+  }
+  EXPECT_EQ(reo.event_count(), 0u);
+}
+
+TEST(Reorientation, BrakingEventsVoteConsistently) {
+  // Calibration using ONLY braking events (coast in between for the gravity
+  // gate) must converge to the same frame.
+  sensors::ImuModel imu(8);
+  Reorientation reo;
+  vehicle::VehicleState state;
+  double t = 0.0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const bool coast = phase == 0;
+      for (int i = 0; i < 400; ++i) {
+        state.time_s = t;
+        state.accel_mps2 = coast ? 0.0 : -2.0;
+        state.speed_mps = 15.0;
+        reo.add_sample(imu.sample(state, 0.0), coast ? 0 : -1);
+        t += 0.005;
+      }
+    }
+  }
+  ASSERT_TRUE(reo.calibrated());
+  const util::Mat3 composed = reo.rotation() * imu.mount();
+  EXPECT_LT(composed.distance(util::Mat3::identity()), 0.15);
+}
+
+TEST(Reorientation, SlopeRecalibrationKeepsFrameOrthogonal) {
+  // Inject a gravity estimate that is slightly off (slope): z = x cross y
+  // must still produce an orthonormal frame.
+  sensors::ImuModel imu(9);
+  Reorientation reo = run_calibration(imu, 10);
+  ASSERT_TRUE(reo.calibrated());
+  const util::Mat3 r = reo.rotation();
+  const util::Vec3 x = r.row(0), y = r.row(1), z = r.row(2);
+  EXPECT_NEAR(x.dot(y), 0.0, 1e-9);
+  EXPECT_NEAR(y.dot(z), 0.0, 1e-9);
+  EXPECT_NEAR(x.cross(y).dot(z), 1.0, 1e-9);  // right-handed
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,126 @@
+#include "core/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::core {
+namespace {
+
+ContextTrajectory plain(std::size_t len) {
+  ContextTrajectory traj(4, len + 5);
+  for (std::size_t i = 0; i < len; ++i) {
+    traj.append(GeoSample{}, PowerVector(4));
+  }
+  return traj;
+}
+
+TEST(Resolver, DistanceFromSynIndices) {
+  const auto a = plain(100);
+  const auto b = plain(100);
+  // Window [20, 50) on a matched window [60, 90) on b (w = 30).
+  const SynPoint syn{20, 60, 30, 1.5};
+  // d1 = 99 - 49 = 50; d2 = 99 - 89 = 10; dr = 40 (a is 40 m in front).
+  EXPECT_DOUBLE_EQ(resolve_distance(a, b, syn), 40.0);
+}
+
+TEST(Resolver, SymmetricSwapNegates) {
+  const auto a = plain(100);
+  const auto b = plain(120);
+  const SynPoint ab{10, 40, 20, 1.4};
+  const SynPoint ba{40, 10, 20, 1.4};
+  EXPECT_DOUBLE_EQ(resolve_distance(a, b, ab), -resolve_distance(b, a, ba));
+}
+
+TEST(Resolver, EvictionAwareDistances) {
+  // Trajectory with eviction: capacity 50, 80 appended -> first_metre 30.
+  ContextTrajectory a(4, 50);
+  for (int i = 0; i < 80; ++i) a.append(GeoSample{}, PowerVector(4));
+  const auto b = plain(100);
+  const SynPoint syn{0, 0, 10, 1.3};
+  // a: end=79, window end at metre 30+9=39 -> d1 = 40.
+  // b: end=99, window end 9 -> d2 = 90. dr = -50.
+  EXPECT_DOUBLE_EQ(resolve_distance(a, b, syn), -50.0);
+}
+
+TEST(Aggregate, EmptyGivesNullopt) {
+  const auto a = plain(50);
+  const auto b = plain(50);
+  EXPECT_FALSE(aggregate_estimates(a, b, {}, Aggregation::kMean).has_value());
+}
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  ContextTrajectory a_ = plain(100);
+  ContextTrajectory b_ = plain(100);
+
+  /// SYN with a given implied distance: vary index_b with fixed index_a.
+  /// d = (99 - (index_a + w - 1)) - (99 - (index_b + w - 1)) = index_b - index_a.
+  SynPoint syn_with_distance(double d, double corr) const {
+    return SynPoint{10, 10 + static_cast<std::size_t>(d), 20, corr};
+  }
+};
+
+TEST_F(AggregateTest, SingleBestUsesHighestCorrelation) {
+  const std::vector<SynPoint> syns{
+      syn_with_distance(10, 1.3),
+      syn_with_distance(50, 1.9),  // best
+      syn_with_distance(20, 1.5),
+  };
+  const auto est =
+      aggregate_estimates(a_, b_, syns, Aggregation::kSingleBest);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->distance_m, 50.0);
+  EXPECT_EQ(est->syn_count, 1u);
+  EXPECT_DOUBLE_EQ(est->confidence, 1.9);
+}
+
+TEST_F(AggregateTest, MeanAveragesAll) {
+  const std::vector<SynPoint> syns{
+      syn_with_distance(10, 1.3), syn_with_distance(20, 1.4),
+      syn_with_distance(60, 1.5)};
+  const auto est = aggregate_estimates(a_, b_, syns, Aggregation::kMean);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->distance_m, 30.0);
+  EXPECT_EQ(est->syn_count, 3u);
+}
+
+TEST_F(AggregateTest, SelectiveMeanDropsExtremes) {
+  // One passing-truck outlier (80) must not move the estimate.
+  const std::vector<SynPoint> syns{
+      syn_with_distance(18, 1.3), syn_with_distance(20, 1.6),
+      syn_with_distance(22, 1.4), syn_with_distance(80, 1.9),
+      syn_with_distance(16, 1.5)};
+  const auto est =
+      aggregate_estimates(a_, b_, syns, Aggregation::kSelectiveMean);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->distance_m, 20.0);  // (18+20+22)/3
+  EXPECT_EQ(est->syn_count, 5u);
+  EXPECT_DOUBLE_EQ(est->confidence, 1.9);
+}
+
+TEST_F(AggregateTest, SelectiveMeanFallsBackForTwoEstimates) {
+  const std::vector<SynPoint> syns{syn_with_distance(10, 1.3),
+                                   syn_with_distance(30, 1.4)};
+  const auto est =
+      aggregate_estimates(a_, b_, syns, Aggregation::kSelectiveMean);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->distance_m, 20.0);
+}
+
+TEST_F(AggregateTest, MedianOddAndEven) {
+  const std::vector<SynPoint> odd{syn_with_distance(10, 1.3),
+                                  syn_with_distance(50, 1.4),
+                                  syn_with_distance(20, 1.5)};
+  EXPECT_DOUBLE_EQ(
+      aggregate_estimates(a_, b_, odd, Aggregation::kMedian)->distance_m,
+      20.0);
+  const std::vector<SynPoint> even{syn_with_distance(10, 1.3),
+                                   syn_with_distance(20, 1.4),
+                                   syn_with_distance(30, 1.5),
+                                   syn_with_distance(40, 1.6)};
+  EXPECT_DOUBLE_EQ(
+      aggregate_estimates(a_, b_, even, Aggregation::kMedian)->distance_m,
+      25.0);
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,87 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rups::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 3u);
+  EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, PushUntilFull) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+}
+
+TEST(RingBuffer, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBuffer, OldestFirstOrderMaintainedUnderChurn) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 100; ++i) {
+    rb.push(i);
+    if (i >= 3) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(rb[j], i - 3 + static_cast<int>(j));
+      }
+    }
+  }
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, ToVectorOldestFirst) {
+  RingBuffer<std::string> rb(3);
+  rb.push("a");
+  rb.push("b");
+  rb.push("c");
+  rb.push("d");
+  const auto v = rb.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "b");
+  EXPECT_EQ(v[2], "d");
+}
+
+TEST(RingBuffer, MutableIndexing) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb[0] = 42;
+  EXPECT_EQ(rb.front(), 42);
+}
+
+}  // namespace
+}  // namespace rups::util

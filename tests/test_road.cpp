@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "road/environment.hpp"
+#include "road/road_network.hpp"
+#include "road/route.hpp"
+#include "road/route_builder.hpp"
+#include "util/angle.hpp"
+
+namespace rups::road {
+namespace {
+
+TEST(Environment, LaneCounts) {
+  EXPECT_EQ(lane_count(EnvironmentType::kTwoLaneSuburb), 2);
+  EXPECT_EQ(lane_count(EnvironmentType::kFourLaneUrban), 4);
+  EXPECT_EQ(lane_count(EnvironmentType::kEightLaneUrban), 8);
+}
+
+TEST(Environment, OpennessClasses) {
+  EXPECT_EQ(openness(EnvironmentType::kEightLaneUrban), Openness::kOpen);
+  EXPECT_EQ(openness(EnvironmentType::kFourLaneUrban), Openness::kSemiOpen);
+  EXPECT_EQ(openness(EnvironmentType::kUnderElevated), Openness::kClose);
+}
+
+TEST(Environment, StringRoundTrip) {
+  for (EnvironmentType env : kAllEnvironments) {
+    EXPECT_EQ(environment_from_string(to_string(env)), env);
+  }
+  EXPECT_THROW((void)environment_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(RoadSegment, PointAtFollowsHeading) {
+  RoadSegment seg;
+  seg.start = {10.0, 20.0};
+  seg.heading_rad = util::deg2rad(90.0);
+  seg.length_m = 100.0;
+  const Point2 p = seg.point_at(50.0);
+  EXPECT_NEAR(p.x, 10.0, 1e-9);
+  EXPECT_NEAR(p.y, 70.0, 1e-9);
+}
+
+TEST(Route, RejectsNonPositiveSegment) {
+  RoadSegment bad;
+  bad.length_m = 0.0;
+  EXPECT_THROW(Route({bad}), std::invalid_argument);
+}
+
+TEST(Route, TotalLengthIsSum) {
+  const Route r = RouteBuilder(1)
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .add_segment(EnvironmentType::kTwoLaneSuburb, 250.0)
+                      .build();
+  EXPECT_DOUBLE_EQ(r.total_length_m(), 350.0);
+  EXPECT_EQ(r.segments().size(), 2u);
+}
+
+TEST(Route, PoseAtResolvesSegmentsAndOffsets) {
+  const Route r = RouteBuilder(2)
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .add_segment(EnvironmentType::kUnderElevated, 200.0)
+                      .build();
+  const RoutePose a = r.pose_at(50.0);
+  EXPECT_EQ(a.segment_index, 0u);
+  EXPECT_DOUBLE_EQ(a.segment_offset_m, 50.0);
+  EXPECT_EQ(a.env, EnvironmentType::kFourLaneUrban);
+
+  const RoutePose b = r.pose_at(150.0);
+  EXPECT_EQ(b.segment_index, 1u);
+  EXPECT_DOUBLE_EQ(b.segment_offset_m, 50.0);
+  EXPECT_EQ(b.env, EnvironmentType::kUnderElevated);
+}
+
+TEST(Route, PoseAtBoundaryBelongsToNextSegment) {
+  const Route r = RouteBuilder(3)
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .add_segment(EnvironmentType::kTwoLaneSuburb, 100.0)
+                      .build();
+  const RoutePose p = r.pose_at(100.0);
+  EXPECT_EQ(p.segment_index, 1u);
+  EXPECT_DOUBLE_EQ(p.segment_offset_m, 0.0);
+}
+
+TEST(Route, PoseAtClampsOutOfRange) {
+  const Route r = RouteBuilder(4)
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .build();
+  EXPECT_EQ(r.pose_at(-10.0).segment_offset_m, 0.0);
+  const RoutePose end = r.pose_at(1e9);
+  EXPECT_EQ(end.segment_index, 0u);
+  EXPECT_DOUBLE_EQ(end.segment_offset_m, 100.0);
+}
+
+TEST(Route, EmptyRouteThrows) {
+  const Route r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_THROW((void)r.pose_at(0.0), std::out_of_range);
+}
+
+TEST(Route, GeometryIsContinuousAcrossChain) {
+  const Route r = RouteBuilder(5)
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .turn(util::deg2rad(90.0))
+                      .add_segment(EnvironmentType::kFourLaneUrban, 100.0)
+                      .build();
+  // End of segment 0 equals start of segment 1.
+  const Point2 end0 = r.segments()[0].point_at(100.0);
+  const Point2 start1 = r.segments()[1].start;
+  EXPECT_NEAR(end0.x, start1.x, 1e-9);
+  EXPECT_NEAR(end0.y, start1.y, 1e-9);
+  // Heading turned by 90 degrees.
+  EXPECT_NEAR(util::angle_diff(r.segments()[1].heading_rad,
+                               r.segments()[0].heading_rad),
+              util::deg2rad(90.0), 1e-9);
+}
+
+TEST(RouteBuilder, SameSeedSameRoute) {
+  const Route a = make_evaluation_route(77, 20'000.0);
+  const Route b = make_evaluation_route(77, 20'000.0);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_EQ(a.segments()[i].id, b.segments()[i].id);
+    EXPECT_DOUBLE_EQ(a.segments()[i].length_m, b.segments()[i].length_m);
+  }
+}
+
+TEST(RouteBuilder, DifferentSeedsDifferentIds) {
+  const Route a = make_evaluation_route(1, 5'000.0);
+  const Route b = make_evaluation_route(2, 5'000.0);
+  EXPECT_NE(a.segments()[0].id, b.segments()[0].id);
+}
+
+TEST(RouteBuilder, SegmentIdsUniqueWithinRoute) {
+  const Route r = make_evaluation_route(9, 97'000.0);
+  std::set<SegmentId> ids;
+  for (const auto& s : r.segments()) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), r.segments().size());
+}
+
+TEST(EvaluationRoute, LengthAndEnvironmentMix) {
+  const Route r = make_evaluation_route(123, 97'000.0);
+  EXPECT_NEAR(r.total_length_m(), 97'000.0, 1.0);
+  std::set<EnvironmentType> envs;
+  for (const auto& s : r.segments()) envs.insert(s.env);
+  // The route must exercise at least the four evaluation environments.
+  EXPECT_GE(envs.size(), 4u);
+}
+
+TEST(UniformRoute, SingleEnvironment) {
+  const Route r =
+      make_uniform_route(5, EnvironmentType::kUnderElevated, 3'500.0);
+  EXPECT_NEAR(r.total_length_m(), 3'500.0, 1e-9);
+  for (const auto& s : r.segments()) {
+    EXPECT_EQ(s.env, EnvironmentType::kUnderElevated);
+  }
+  EXPECT_EQ(r.segments().size(), 4u);  // 1000+1000+1000+500
+}
+
+TEST(RoadNetwork, GeneratesRequestedCountAndMix) {
+  const auto net = RoadNetwork::generate(
+      11, 10, 150.0,
+      {EnvironmentType::kDowntown, EnvironmentType::kFourLaneUrban});
+  ASSERT_EQ(net.size(), 10u);
+  EXPECT_EQ(net.segment(0).env, EnvironmentType::kDowntown);
+  EXPECT_EQ(net.segment(1).env, EnvironmentType::kFourLaneUrban);
+  EXPECT_DOUBLE_EQ(net.segment(3).length_m, 150.0);
+}
+
+TEST(RoadNetwork, DeterministicAndUniqueIds) {
+  const auto a = RoadNetwork::generate(7, 20, 150.0,
+                                       {EnvironmentType::kFourLaneUrban});
+  const auto b = RoadNetwork::generate(7, 20, 150.0,
+                                       {EnvironmentType::kFourLaneUrban});
+  std::set<SegmentId> ids;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.segment(i).id, b.segment(i).id);
+    ids.insert(a.segment(i).id);
+  }
+  EXPECT_EQ(ids.size(), a.size());
+}
+
+TEST(RoadNetwork, EmptyMixThrows) {
+  EXPECT_THROW(RoadNetwork::generate(1, 5, 100.0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rups::road

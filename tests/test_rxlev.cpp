@@ -1,0 +1,47 @@
+#include "gsm/rxlev.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rups::gsm {
+namespace {
+
+TEST(RxLev, FloorAndCeiling) {
+  EXPECT_EQ(RxLev::from_dbm(-200.0), 0);
+  EXPECT_EQ(RxLev::from_dbm(-110.5), 0);
+  EXPECT_EQ(RxLev::from_dbm(-20.0), 63);
+  EXPECT_EQ(RxLev::from_dbm(-48.0), 63);
+}
+
+TEST(RxLev, MidScaleSteps) {
+  // RXLEV n covers [-110 + n - 1, -110 + n) dBm for 1 <= n <= 62.
+  EXPECT_EQ(RxLev::from_dbm(-110.0), 1);
+  EXPECT_EQ(RxLev::from_dbm(-109.5), 1);
+  EXPECT_EQ(RxLev::from_dbm(-109.0), 2);
+  EXPECT_EQ(RxLev::from_dbm(-80.0), 31);
+  EXPECT_EQ(RxLev::from_dbm(-49.0), 62);
+}
+
+TEST(RxLev, ToDbmRepresentatives) {
+  EXPECT_DOUBLE_EQ(RxLev::to_dbm(0), -110.0);
+  EXPECT_DOUBLE_EQ(RxLev::to_dbm(63), -48.0);
+  EXPECT_DOUBLE_EQ(RxLev::to_dbm(1), -109.5);
+}
+
+TEST(RxLev, QuantizeWithinOneDb) {
+  for (double dbm = -109.9; dbm < -48.1; dbm += 0.37) {
+    const double q = RxLev::quantize_dbm(dbm);
+    EXPECT_NEAR(q, dbm, 1.0) << "at " << dbm;
+  }
+}
+
+TEST(RxLev, QuantizeMonotone) {
+  double prev = RxLev::quantize_dbm(-115.0);
+  for (double dbm = -114.0; dbm <= -40.0; dbm += 0.5) {
+    const double q = RxLev::quantize_dbm(dbm);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace rups::gsm

@@ -1,0 +1,77 @@
+#include "sim/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace rups::sim {
+namespace {
+
+class SurveyTest : public ::testing::Test {
+ protected:
+  gsm::ChannelPlan plan_ = gsm::ChannelPlan::evaluation_subset(1, 50);
+  gsm::GsmField field_{11, plan_};
+  GsmSurvey survey_{&field_};
+  road::RoadNetwork net_ = road::RoadNetwork::generate(
+      22, 12, 150.0,
+      {road::EnvironmentType::kDowntown, road::EnvironmentType::kFourLaneUrban,
+       road::EnvironmentType::kTwoLaneSuburb});
+};
+
+TEST_F(SurveyTest, CollectTrajectoryShape) {
+  const auto traj =
+      survey_.collect_trajectory(net_.segment(0), 0.0, 150.0, 1, 0.0);
+  EXPECT_EQ(traj.size(), 150u);
+  EXPECT_EQ(traj.channels(), plan_.size());
+  // Fully measured (survey, not a moving scanner).
+  EXPECT_DOUBLE_EQ(traj.power(75).usable_count(),
+                   static_cast<double>(plan_.size()));
+  // Timestamps advance at the survey speed.
+  EXPECT_NEAR(traj.geo(149).time_s - traj.geo(0).time_s, 149.0 / 5.0, 1e-9);
+}
+
+TEST_F(SurveyTest, TemporalStabilityDecreasesWithGapAndThreshold) {
+  const double p_short_08 =
+      survey_.temporal_stability_probability(net_, 10.0, 0.8, 50, 120, 7);
+  const double p_long_08 =
+      survey_.temporal_stability_probability(net_, 1500.0, 0.8, 50, 120, 7);
+  const double p_short_09 =
+      survey_.temporal_stability_probability(net_, 10.0, 0.9, 50, 120, 7);
+  EXPECT_GE(p_short_08, p_long_08);
+  EXPECT_GE(p_short_08, p_short_09);
+  EXPECT_GT(p_short_08, 0.9);  // Fig 2: ~0.95 for short gaps at 0.8
+}
+
+TEST_F(SurveyTest, UniquenessSameRoadBeatsDifferentRoads) {
+  const auto same =
+      survey_.uniqueness_correlations(net_, true, 300.0, 150.0, 25, 3);
+  const auto diff =
+      survey_.uniqueness_correlations(net_, false, 300.0, 150.0, 25, 3);
+  ASSERT_EQ(same.size(), 25u);
+  ASSERT_EQ(diff.size(), 25u);
+  EXPECT_GT(util::mean(same), util::mean(diff) + 0.5);
+  EXPECT_GT(util::mean(same), 1.2);  // above the coherency threshold
+  EXPECT_LT(util::mean(diff), 1.0);
+}
+
+TEST_F(SurveyTest, RelativeChangeGrowsWithDistance) {
+  const double d1 = survey_.mean_relative_change(net_, 1.0, 150, 5);
+  const double d30 = survey_.mean_relative_change(net_, 30.0, 150, 5);
+  const double d120 = survey_.mean_relative_change(net_, 120.0, 150, 5);
+  // Fig 4: already substantial at 1 m, rising gently with distance.
+  EXPECT_GT(d1, 0.25);
+  EXPECT_GE(d30, d1 * 0.8);
+  EXPECT_GE(d120, d30 * 0.8);
+  EXPECT_GT(d120, d1);
+}
+
+TEST_F(SurveyTest, DeterministicGivenSeeds) {
+  const double a =
+      survey_.temporal_stability_probability(net_, 60.0, 0.8, 20, 50, 9);
+  const double b =
+      survey_.temporal_stability_probability(net_, 60.0, 0.8, 20, 50, 9);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rups::sim

@@ -1,0 +1,112 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rups::sim {
+namespace {
+
+VehicleTrace sample_trace() {
+  VehicleTrace t;
+  for (int i = 0; i < 5; ++i) {
+    sensors::ImuSample s;
+    s.time_s = i * 0.005;
+    s.accel_mps2 = {0.1 * i, -0.2, 9.8};
+    s.gyro_rps = {0.0, 0.001, 0.02 * i};
+    s.mag_ut = {-30.0, 5.0, -35.0};
+    t.imu.push_back(s);
+  }
+  t.obd.push_back({0.0, 10.0});
+  t.obd.push_back({3.0, 12.5});
+  sensors::RssiMeasurement m;
+  m.time_s = 0.015;
+  m.channel_index = 42;
+  m.rssi_dbm = -70.5;
+  m.radio = 2;
+  t.rssi.push_back(m);
+  sensors::GpsFix f;
+  f.time_s = 1.0;
+  f.x_m = 123.5;
+  f.y_m = -77.25;
+  f.valid = true;
+  t.gps.push_back(f);
+  t.true_pos_of_metre = {0.1, 1.2, 2.3};
+  return t;
+}
+
+class TraceCsv : public ::testing::Test {
+ protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() /
+      ("rups_trace_" + std::to_string(::getpid()) + ".csv");
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(TraceCsv, RoundTrip) {
+  const auto original = sample_trace();
+  original.save_csv(path_);
+  const auto loaded = VehicleTrace::load_csv(path_);
+
+  ASSERT_EQ(loaded.imu.size(), original.imu.size());
+  EXPECT_NEAR(loaded.imu[3].accel_mps2.x, original.imu[3].accel_mps2.x, 1e-6);
+  EXPECT_NEAR(loaded.imu[4].gyro_rps.z, original.imu[4].gyro_rps.z, 1e-9);
+
+  ASSERT_EQ(loaded.obd.size(), 2u);
+  EXPECT_NEAR(loaded.obd[1].speed_mps, 12.5, 1e-9);
+
+  ASSERT_EQ(loaded.rssi.size(), 1u);
+  EXPECT_EQ(loaded.rssi[0].channel_index, 42u);
+  EXPECT_NEAR(loaded.rssi[0].rssi_dbm, -70.5, 1e-9);
+  EXPECT_EQ(loaded.rssi[0].radio, 2);
+
+  ASSERT_EQ(loaded.gps.size(), 1u);
+  EXPECT_TRUE(loaded.gps[0].valid);
+  EXPECT_NEAR(loaded.gps[0].y_m, -77.25, 1e-9);
+
+  ASSERT_EQ(loaded.true_pos_of_metre.size(), 3u);
+  EXPECT_NEAR(loaded.true_pos_of_metre[2], 2.3, 1e-9);
+}
+
+TEST_F(TraceCsv, EmptyTraceRoundTrip) {
+  VehicleTrace empty;
+  empty.save_csv(path_);
+  const auto loaded = VehicleTrace::load_csv(path_);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceReplay, MergesStreamsInTimeOrder) {
+  // An engine driven by replay must see OBD before IMU at equal timestamps;
+  // verify indirectly: replay a minimal trace and check the odometer moved.
+  VehicleTrace t;
+  t.obd.push_back({0.0, 10.0});
+  t.obd.push_back({5.0, 10.0});
+  for (int i = 0; i < 2000; ++i) {
+    sensors::ImuSample s;
+    s.time_s = i * 0.005;
+    s.accel_mps2 = {0.0, 0.0, 9.80665};
+    s.mag_ut = {-30.0, 0.0, -35.0};
+    t.imu.push_back(s);
+  }
+  core::RupsConfig cfg;
+  cfg.channels = 8;
+  // Synthetic trace is already vehicle-frame: skip reorientation.
+  cfg.assume_aligned_sensors = true;
+  core::RupsEngine engine(cfg);
+  replay_trace(t, engine);
+  // 10 s at 10 m/s, minus heading-initialization delays.
+  EXPECT_GT(engine.odometer_m(), 80.0);
+}
+
+TEST(TraceReplay, EmptyTraceIsNoop) {
+  VehicleTrace empty;
+  core::RupsConfig cfg;
+  cfg.channels = 4;
+  core::RupsEngine engine(cfg);
+  replay_trace(empty, engine);
+  EXPECT_DOUBLE_EQ(engine.odometer_m(), 0.0);
+}
+
+}  // namespace
+}  // namespace rups::sim

@@ -1,0 +1,212 @@
+#include "core/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hash_noise.hpp"
+#include "util/rng.hpp"
+
+namespace rups::core {
+namespace {
+
+float road_rssi(std::uint64_t road_seed, std::int64_t metre, std::size_t ch) {
+  const util::HashNoise chan_noise(road_seed ^ 0xABCDULL);
+  const util::LatticeField1D spatial(
+      util::hash_combine(road_seed, static_cast<std::uint64_t>(ch)), 8.0, 2);
+  const double base =
+      -95.0 + 40.0 * chan_noise.uniform(static_cast<std::int64_t>(ch));
+  return static_cast<float>(base +
+                            6.0 * spatial.value(static_cast<double>(metre)));
+}
+
+/// Appends metres [from, to) of the road to a trajectory (vehicle's own
+/// odometer counts from where it first entered).
+void extend(ContextTrajectory& traj, std::uint64_t road_seed,
+            std::int64_t road_from, std::int64_t road_to,
+            std::size_t channels, util::Rng& rng, double sigma = 0.5) {
+  for (std::int64_t m = road_from; m < road_to; ++m) {
+    PowerVector pv(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      pv.set(c, road_rssi(road_seed, m, c) +
+                    static_cast<float>(rng.gaussian(0.0, sigma)));
+    }
+    traj.append(GeoSample{}, std::move(pv));
+  }
+}
+
+NeighbourTracker::Config small_config() {
+  NeighbourTracker::Config cfg;
+  cfg.syn.window_m = 40;
+  cfg.syn.top_channels = 20;
+  cfg.syn.coherency_threshold = 1.2;
+  return cfg;
+}
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kChannels = 30;
+  static constexpr std::uint64_t kRoad = 5;
+  ContextTrajectory local_{kChannels, 600};
+  ContextTrajectory neighbour_{kChannels, 600};
+  util::Rng rng_a_{10}, rng_b_{11};
+
+  void SetUp() override {
+    // Neighbour (front car) is 60 road-metres ahead; both have 200 m of
+    // context.
+    extend(local_, kRoad, 0, 200, kChannels, rng_a_);
+    extend(neighbour_, kRoad, 60, 260, kChannels, rng_b_);
+  }
+};
+
+TEST_F(TrackerTest, InitializeLocksAndEstimates) {
+  NeighbourTracker tracker(small_config());
+  EXPECT_FALSE(tracker.locked());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+  EXPECT_TRUE(tracker.locked());
+  EXPECT_FALSE(tracker.needs_full_refresh());
+
+  const auto est = tracker.estimate(local_);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->distance_m, -60.0, 3.0);  // local is 60 m behind
+}
+
+TEST_F(TrackerTest, InitializeFailsOnUnrelatedRoad) {
+  ContextTrajectory foreign(kChannels, 600);
+  util::Rng rng(12);
+  extend(foreign, /*road=*/777, 0, 200, kChannels, rng);
+  NeighbourTracker tracker(small_config());
+  EXPECT_FALSE(tracker.initialize(local_, foreign));
+  EXPECT_FALSE(tracker.locked());
+  EXPECT_TRUE(tracker.needs_full_refresh());
+  EXPECT_FALSE(tracker.estimate(local_).has_value());
+}
+
+TEST_F(TrackerTest, TailIngestExtendsCache) {
+  NeighbourTracker tracker(small_config());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+  const std::size_t before = tracker.neighbour()->size();
+
+  // Neighbour advances 30 m; ship only the new metres.
+  ContextTrajectory tail(kChannels, 64);
+  util::Rng rng(13);
+  extend(tail, kRoad, 260, 290, kChannels, rng);
+  tail.rebase(neighbour_.first_metre() + neighbour_.size());
+  ASSERT_TRUE(tracker.ingest_tail(tail));
+  EXPECT_EQ(tracker.neighbour()->size(), before + 30);
+}
+
+TEST_F(TrackerTest, TailWithGapTriggersRefresh) {
+  NeighbourTracker tracker(small_config());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+  ContextTrajectory tail(kChannels, 16);
+  util::Rng rng(14);
+  extend(tail, kRoad, 300, 310, kChannels, rng);
+  tail.rebase(neighbour_.first_metre() + neighbour_.size() + 50);  // gap!
+  EXPECT_FALSE(tracker.ingest_tail(tail));
+  EXPECT_TRUE(tracker.needs_full_refresh());
+}
+
+TEST_F(TrackerTest, OverlappingTailIsDeduplicated) {
+  NeighbourTracker tracker(small_config());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+  const std::size_t before = tracker.neighbour()->size();
+  ContextTrajectory tail(kChannels, 64);
+  util::Rng rng(15);
+  extend(tail, kRoad, 250, 280, kChannels, rng);  // 10 m overlap + 20 new
+  tail.rebase(neighbour_.first_metre() + neighbour_.size() - 10);
+  ASSERT_TRUE(tracker.ingest_tail(tail));
+  EXPECT_EQ(tracker.neighbour()->size(), before + 20);
+}
+
+TEST_F(TrackerTest, TrackingThroughMotion) {
+  NeighbourTracker tracker(small_config());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+
+  // Both cars advance in 10 m steps for 100 m; tracker re-estimates from
+  // cheap tail updates only.
+  std::int64_t local_road = 200, neigh_road = 260;
+  for (int step = 0; step < 10; ++step) {
+    extend(local_, kRoad, local_road, local_road + 10, kChannels, rng_a_);
+    local_road += 10;
+    ContextTrajectory tail(kChannels, 16);
+    extend(tail, kRoad, neigh_road, neigh_road + 10, kChannels, rng_b_);
+    tail.rebase(tracker.neighbour()->first_metre() +
+                tracker.neighbour()->size());
+    ASSERT_TRUE(tracker.ingest_tail(tail));
+    neigh_road += 10;
+
+    ASSERT_TRUE(tracker.maintain(local_));
+    const auto est = tracker.estimate(local_);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->distance_m, -60.0, 3.0) << "step " << step;
+  }
+}
+
+TEST_F(TrackerTest, GapChangesAreTracked) {
+  NeighbourTracker tracker(small_config());
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+
+  // Local car closes 20 m of the gap: it advances 30 m while the
+  // neighbour advances only 10 m.
+  extend(local_, kRoad, 200, 230, kChannels, rng_a_);
+  ContextTrajectory tail(kChannels, 16);
+  extend(tail, kRoad, 260, 270, kChannels, rng_b_);
+  tail.rebase(tracker.neighbour()->first_metre() + tracker.neighbour()->size());
+  ASSERT_TRUE(tracker.ingest_tail(tail));
+
+  const auto est = tracker.estimate(local_);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->distance_m, -40.0, 3.0);
+}
+
+TEST_F(TrackerTest, DriftModelRequestsRefresh) {
+  auto cfg = small_config();
+  cfg.drift_per_metre = 0.05;
+  cfg.refresh_threshold_m = 4.0;
+  cfg.verify_interval_m = 1e9;  // never verify: force the drift path
+  NeighbourTracker tracker(cfg);
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+
+  // 100 m of travel at 5% drift = 5 m estimated error > 4 m threshold.
+  extend(local_, kRoad, 200, 300, kChannels, rng_a_);
+  tracker.maintain(local_);
+  EXPECT_TRUE(tracker.needs_full_refresh());
+  EXPECT_GT(tracker.estimated_drift_m(), 4.0);
+}
+
+TEST_F(TrackerTest, VerifyResetsDrift) {
+  auto cfg = small_config();
+  cfg.drift_per_metre = 0.05;
+  cfg.refresh_threshold_m = 10.0;
+  cfg.verify_interval_m = 40.0;
+  NeighbourTracker tracker(cfg);
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+
+  // Advance both sides 50 m -> verification due; after it drift resets.
+  extend(local_, kRoad, 200, 250, kChannels, rng_a_);
+  ContextTrajectory tail(kChannels, 64);
+  extend(tail, kRoad, 260, 310, kChannels, rng_b_);
+  tail.rebase(tracker.neighbour()->first_metre() + tracker.neighbour()->size());
+  ASSERT_TRUE(tracker.ingest_tail(tail));
+  ASSERT_TRUE(tracker.maintain(local_));
+  EXPECT_DOUBLE_EQ(tracker.estimated_drift_m(), 0.0);
+  const auto est = tracker.estimate(local_);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->distance_m, -60.0, 3.0);
+}
+
+TEST_F(TrackerTest, VerifyDetectsLostLock) {
+  auto cfg = small_config();
+  cfg.verify_interval_m = 40.0;
+  NeighbourTracker tracker(cfg);
+  ASSERT_TRUE(tracker.initialize(local_, neighbour_));
+
+  // Local car turns onto a DIFFERENT road: the re-verification window no
+  // longer matches the cached neighbour context.
+  extend(local_, /*road=*/999, 0, 60, kChannels, rng_a_);
+  EXPECT_FALSE(tracker.maintain(local_));
+  EXPECT_TRUE(tracker.needs_full_refresh());
+  EXPECT_FALSE(tracker.locked());
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,119 @@
+#include "vehicle/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "road/route_builder.hpp"
+
+namespace rups::vehicle {
+namespace {
+
+TEST(CruiseSpeed, HeavyTrafficSlower) {
+  for (road::EnvironmentType env : road::kAllEnvironments) {
+    EXPECT_GT(cruise_speed_mps(env, TrafficDensity::kLight),
+              cruise_speed_mps(env, TrafficDensity::kModerate));
+    EXPECT_GT(cruise_speed_mps(env, TrafficDensity::kModerate),
+              cruise_speed_mps(env, TrafficDensity::kHeavy));
+  }
+}
+
+TEST(CruiseSpeed, PlausibleUrbanRange) {
+  for (road::EnvironmentType env : road::kAllEnvironments) {
+    const double v = cruise_speed_mps(env, TrafficDensity::kLight);
+    EXPECT_GT(v, 5.0);   // > 18 km/h
+    EXPECT_LT(v, 25.0);  // < 90 km/h
+  }
+}
+
+TEST(TrafficLight, GreenRedCycle) {
+  TrafficLight l;
+  l.cycle_s = 60.0;
+  l.green_s = 40.0;
+  l.phase_s = 0.0;
+  EXPECT_TRUE(l.is_green(0.0));
+  EXPECT_TRUE(l.is_green(39.9));
+  EXPECT_FALSE(l.is_green(40.1));
+  EXPECT_FALSE(l.is_green(59.9));
+  EXPECT_TRUE(l.is_green(60.5));  // wraps
+}
+
+TEST(TrafficLight, PhaseShiftsCycle) {
+  TrafficLight l;
+  l.cycle_s = 60.0;
+  l.green_s = 30.0;
+  l.phase_s = 30.0;
+  EXPECT_FALSE(l.is_green(0.0));  // 0+30=30 >= green
+  EXPECT_TRUE(l.is_green(31.0));  // 61 mod 60 = 1 < 30
+}
+
+TEST(TrafficLight, WaitForGreen) {
+  TrafficLight l;
+  l.cycle_s = 60.0;
+  l.green_s = 40.0;
+  l.phase_s = 0.0;
+  EXPECT_DOUBLE_EQ(l.wait_for_green(10.0), 0.0);
+  EXPECT_NEAR(l.wait_for_green(50.0), 10.0, 1e-9);
+  EXPECT_NEAR(l.wait_for_green(59.0), 1.0, 1e-9);
+}
+
+TEST(TrafficLight, NegativeTimeHandled) {
+  TrafficLight l;
+  l.cycle_s = 60.0;
+  l.green_s = 30.0;
+  l.phase_s = 0.0;
+  EXPECT_FALSE(l.is_green(-10.0));  // -10 mod 60 = 50
+  EXPECT_TRUE(l.is_green(-40.0));   // 20
+}
+
+TEST(TrafficLightPlan, DeterministicFromSeed) {
+  const auto route = road::make_evaluation_route(5, 10'000.0);
+  const auto a = TrafficLightPlan::for_route(9, route);
+  const auto b = TrafficLightPlan::for_route(9, route);
+  ASSERT_EQ(a.lights().size(), b.lights().size());
+  for (std::size_t i = 0; i < a.lights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.lights()[i].position_m, b.lights()[i].position_m);
+    EXPECT_DOUBLE_EQ(a.lights()[i].phase_s, b.lights()[i].phase_s);
+  }
+}
+
+TEST(TrafficLightPlan, LightsWithinRouteSortedAndSpaced) {
+  const auto route = road::make_evaluation_route(6, 20'000.0);
+  const auto plan = TrafficLightPlan::for_route(7, route);
+  ASSERT_GT(plan.lights().size(), 5u);
+  double prev = -1.0;
+  for (const auto& l : plan.lights()) {
+    EXPECT_GT(l.position_m, prev);
+    EXPECT_LT(l.position_m, route.total_length_m());
+    EXPECT_GT(l.position_m - prev, 200.0);  // no absurdly close lights
+    prev = l.position_m;
+  }
+}
+
+TEST(TrafficLightPlan, SuburbSparserThanDowntown) {
+  const auto suburb = road::make_uniform_route(
+      1, road::EnvironmentType::kTwoLaneSuburb, 20'000.0);
+  const auto downtown =
+      road::make_uniform_route(1, road::EnvironmentType::kDowntown, 20'000.0);
+  const auto plan_s = TrafficLightPlan::for_route(2, suburb);
+  const auto plan_d = TrafficLightPlan::for_route(2, downtown);
+  EXPECT_LT(plan_s.lights().size(), plan_d.lights().size());
+}
+
+TEST(TrafficLightPlan, NextLightLookup) {
+  const auto route = road::make_uniform_route(
+      3, road::EnvironmentType::kFourLaneUrban, 5'000.0);
+  const auto plan = TrafficLightPlan::for_route(4, route);
+  ASSERT_GE(plan.lights().size(), 2u);
+  const auto first = plan.lights().front();
+  const auto at_zero = plan.next_light(0.0);
+  ASSERT_TRUE(at_zero.has_value());
+  EXPECT_DOUBLE_EQ(at_zero->position_m, first.position_m);
+  // Just past the first light, the second is next.
+  const auto after = plan.next_light(first.position_m + 0.1);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->position_m, first.position_m);
+  // Past the end: none.
+  EXPECT_FALSE(plan.next_light(route.total_length_m() + 1.0).has_value());
+}
+
+}  // namespace
+}  // namespace rups::vehicle

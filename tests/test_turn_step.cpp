@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/step_counter.hpp"
+#include "core/turn_detector.hpp"
+#include "util/angle.hpp"
+#include "util/rng.hpp"
+
+namespace rups::core {
+namespace {
+
+// --- TurnDetector ---
+
+TEST(TurnDetector, NoTurnOnStraightRoad) {
+  TurnDetector det;
+  for (int i = 0; i < 500; ++i) det.on_metre(0.3);
+  EXPECT_EQ(det.turn_count(), 0u);
+  EXPECT_EQ(det.metres_since_turn(), 500u);
+}
+
+TEST(TurnDetector, DetectsNinetyDegreeTurn) {
+  TurnDetector det;
+  for (int i = 0; i < 100; ++i) det.on_metre(0.0);
+  // Sharp turn over 5 metres.
+  for (int i = 1; i <= 5; ++i) det.on_metre(util::deg2rad(18.0 * i));
+  for (int i = 0; i < 40; ++i) det.on_metre(util::deg2rad(90.0));
+  EXPECT_GE(det.turn_count(), 1u);
+  EXPECT_LE(det.metres_since_turn(), 45u);
+}
+
+TEST(TurnDetector, IgnoresGentleCurve) {
+  TurnDetector det;
+  // 90 degrees spread over 300 m: never >0.6 rad within a 15 m window.
+  for (int i = 0; i < 300; ++i) {
+    det.on_metre(util::deg2rad(90.0 * i / 300.0));
+  }
+  EXPECT_EQ(det.turn_count(), 0u);
+}
+
+TEST(TurnDetector, IgnoresHeadingNoise) {
+  TurnDetector det;
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    det.on_metre(0.5 + rng.gaussian(0.0, 0.05));
+  }
+  EXPECT_EQ(det.turn_count(), 0u);
+}
+
+TEST(TurnDetector, HandlesWrapAround) {
+  TurnDetector det;
+  // Driving heading ~pi and turning across the wrap to ~-pi + 0.9.
+  for (int i = 0; i < 50; ++i) det.on_metre(3.1);
+  for (int i = 0; i < 30; ++i) det.on_metre(-2.4);
+  EXPECT_GE(det.turn_count(), 1u);
+}
+
+TEST(TurnDetector, CountsMultipleTurns) {
+  TurnDetector det;
+  double heading = 0.0;
+  for (int turn = 0; turn < 4; ++turn) {
+    for (int i = 0; i < 120; ++i) det.on_metre(heading);
+    heading = util::wrap_pi(heading + util::deg2rad(90.0));
+  }
+  EXPECT_EQ(det.turn_count(), 3u);
+}
+
+TEST(TurnDetector, StraightTailOfTrajectory) {
+  ContextTrajectory traj(2, 400);
+  for (int i = 0; i < 150; ++i) {
+    traj.append(GeoSample{0.0, 0.0}, PowerVector(2));
+  }
+  for (int i = 0; i < 60; ++i) {
+    traj.append(GeoSample{util::deg2rad(90.0), 0.0}, PowerVector(2));
+  }
+  const auto tail = TurnDetector::straight_tail_metres(traj);
+  EXPECT_LE(tail, 60u);
+  EXPECT_GE(tail, 40u);
+}
+
+// --- StepCounter ---
+
+/// Synthesize walking accel magnitude: gravity + sinusoidal bounce at the
+/// given cadence.
+std::uint64_t walk(StepCounter& counter, double duration_s, double cadence_hz,
+                   double amp = 3.0) {
+  std::uint64_t reports = 0;
+  for (double t = 0.0; t < duration_s; t += 0.01) {
+    const double a =
+        9.80665 + amp * std::sin(2.0 * M_PI * cadence_hz * t);
+    if (counter.on_accel(t, a).has_value()) ++reports;
+  }
+  return reports;
+}
+
+TEST(StepCounter, CountsStepsAtWalkingCadence) {
+  StepCounter counter;
+  walk(counter, 30.0, 1.8);  // 1.8 steps/s for 30 s = 54 steps
+  EXPECT_NEAR(static_cast<double>(counter.steps()), 54.0, 3.0);
+  EXPECT_NEAR(counter.distance_m(), 54.0 * 0.7, 3.0);
+}
+
+TEST(StepCounter, StandingStillCountsNothing) {
+  StepCounter counter;
+  util::Rng rng(3);
+  for (double t = 0.0; t < 20.0; t += 0.01) {
+    counter.on_accel(t, 9.80665 + rng.gaussian(0.0, 0.2));
+  }
+  EXPECT_EQ(counter.steps(), 0u);
+}
+
+TEST(StepCounter, SpeedReportsMatchCadenceTimesStride) {
+  StepCounter::Config cfg;
+  cfg.stride_m = 0.75;
+  StepCounter counter(cfg);
+  std::vector<double> speeds;
+  for (double t = 0.0; t < 20.0; t += 0.01) {
+    const double a = 9.80665 + 3.0 * std::sin(2.0 * M_PI * 2.0 * t);
+    if (const auto s = counter.on_accel(t, a)) {
+      speeds.push_back(s->speed_mps);
+    }
+  }
+  ASSERT_GE(speeds.size(), 15u);
+  // 2 steps/s x 0.75 m = 1.5 m/s (skip the first warm-up report).
+  double sum = 0.0;
+  for (std::size_t i = 2; i < speeds.size(); ++i) sum += speeds[i];
+  EXPECT_NEAR(sum / static_cast<double>(speeds.size() - 2), 1.5, 0.2);
+}
+
+TEST(StepCounter, RefractoryPeriodCapsCadence) {
+  StepCounter counter;  // min interval 0.25 s -> max 4 steps/s
+  walk(counter, 10.0, 12.0);  // absurd 12 Hz vibration
+  EXPECT_LE(counter.steps(), 41u);
+}
+
+TEST(StepCounter, ReportsArriveAtConfiguredInterval) {
+  StepCounter::Config cfg;
+  cfg.report_interval_s = 0.5;
+  StepCounter counter(cfg);
+  const auto reports = walk(counter, 10.0, 1.5);
+  EXPECT_NEAR(static_cast<double>(reports), 19.0, 2.0);
+}
+
+}  // namespace
+}  // namespace rups::core

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v2v/codec.hpp"
+#include "v2v/exchange.hpp"
+#include "v2v/link.hpp"
+#include "v2v/wsm.hpp"
+
+namespace rups::v2v {
+namespace {
+
+core::ContextTrajectory sample_trajectory(std::size_t metres,
+                                          std::size_t channels,
+                                          std::size_t capacity = 0) {
+  core::ContextTrajectory traj(channels,
+                               capacity ? capacity : metres + 4);
+  for (std::size_t i = 0; i < metres; ++i) {
+    core::PowerVector pv(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      if ((i + c) % 3 == 0) continue;  // leave some channels missing
+      const auto state = (i + c) % 3 == 1 ? core::ChannelState::kMeasured
+                                          : core::ChannelState::kInterpolated;
+      pv.set(c, static_cast<float>(-110.0 + static_cast<double>((i * 7 + c * 13) % 60)),
+             state);
+    }
+    traj.append(core::GeoSample{std::sin(i * 0.1) * 3.0,
+                                100.0 + static_cast<double>(i) * 0.37},
+                std::move(pv));
+  }
+  return traj;
+}
+
+TEST(Codec, EncodedSizeFormula) {
+  // 115 channels: 2 + 4 + 29 + 115 = 150 bytes per metre + 18 header.
+  EXPECT_EQ(TrajectoryCodec::encoded_size(1, 115), 18u + 150u);
+  EXPECT_EQ(TrajectoryCodec::encoded_size(1000, 115), 18u + 150'000u);
+}
+
+TEST(Codec, OneKilometreContextCostMatchesPaperOrder) {
+  // Paper Sec. V-B: 1 km of journey context ~ 182 KB, ~130 WSM packets.
+  const std::size_t bytes = TrajectoryCodec::encoded_size(1000, 115);
+  EXPECT_GT(bytes, 100'000u);
+  EXPECT_LT(bytes, 200'000u);
+  const std::size_t packets = WsmFraming::packet_count(bytes);
+  EXPECT_GT(packets, 70u);
+  EXPECT_LT(packets, 160u);
+}
+
+TEST(Codec, RoundTripPreservesEverything) {
+  const auto original = sample_trajectory(50, 20);
+  const auto decoded = TrajectoryCodec::decode(TrajectoryCodec::encode(original));
+  ASSERT_EQ(decoded.size(), original.size());
+  ASSERT_EQ(decoded.channels(), original.channels());
+  EXPECT_EQ(decoded.first_metre(), original.first_metre());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(decoded.geo(i).heading_rad, original.geo(i).heading_rad, 1e-3);
+    EXPECT_NEAR(decoded.geo(i).time_s, original.geo(i).time_s, 0.011);
+    for (std::size_t c = 0; c < original.channels(); ++c) {
+      EXPECT_EQ(decoded.power(i).state(c), original.power(i).state(c))
+          << i << "," << c;
+      if (original.power(i).usable(c)) {
+        EXPECT_NEAR(decoded.power(i).at(c), original.power(i).at(c), 0.51);
+      }
+    }
+  }
+}
+
+TEST(Codec, RoundTripPreservesFirstMetreAfterEviction) {
+  auto traj = sample_trajectory(30, 8, /*capacity=*/10);
+  EXPECT_EQ(traj.first_metre(), 20u);
+  const auto decoded = TrajectoryCodec::decode(TrajectoryCodec::encode(traj));
+  EXPECT_EQ(decoded.first_metre(), 20u);
+  EXPECT_DOUBLE_EQ(decoded.end_distance_m(), traj.end_distance_m());
+}
+
+TEST(Codec, TailEncodingSendsOnlyNewMetres) {
+  const auto traj = sample_trajectory(100, 10);
+  const auto tail = TrajectoryCodec::encode_tail(traj, 80);
+  EXPECT_EQ(tail.size(), TrajectoryCodec::encoded_size(20, 10));
+  const auto decoded = TrajectoryCodec::decode(tail);
+  EXPECT_EQ(decoded.size(), 20u);
+  EXPECT_EQ(decoded.first_metre(), 80u);
+  EXPECT_NEAR(decoded.power(0).at(1), traj.power(80).at(1), 0.51);
+}
+
+TEST(Codec, TailBeyondEndIsEmptyBody) {
+  const auto traj = sample_trajectory(10, 4);
+  const auto tail = TrajectoryCodec::encode_tail(traj, 500);
+  const auto decoded = TrajectoryCodec::decode(tail);
+  EXPECT_EQ(decoded.size(), 0u);
+}
+
+TEST(Codec, RejectsCorruptInput) {
+  const auto traj = sample_trajectory(5, 4);
+  auto bytes = TrajectoryCodec::encode(traj);
+  bytes[0] ^= 0xff;  // break magic
+  EXPECT_THROW((void)TrajectoryCodec::decode(bytes), std::invalid_argument);
+
+  auto truncated = TrajectoryCodec::encode(traj);
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)TrajectoryCodec::decode(truncated),
+               std::invalid_argument);
+
+  auto trailing = TrajectoryCodec::encode(traj);
+  trailing.push_back(0);
+  EXPECT_THROW((void)TrajectoryCodec::decode(trailing),
+               std::invalid_argument);
+}
+
+TEST(Wsm, PacketCount) {
+  EXPECT_EQ(WsmFraming::packet_count(0), 0u);
+  EXPECT_EQ(WsmFraming::packet_count(1), 1u);
+  EXPECT_EQ(WsmFraming::packet_count(1400), 1u);
+  EXPECT_EQ(WsmFraming::packet_count(1401), 2u);
+  EXPECT_EQ(WsmFraming::packet_count(182'000), 130u);  // the paper's figure
+}
+
+TEST(Wsm, FragmentReassembleRoundTrip) {
+  std::vector<std::uint8_t> payload(5000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const auto packets = WsmFraming::fragment(payload, 7);
+  EXPECT_EQ(packets.size(), 4u);
+  const auto back = WsmFraming::reassemble(packets);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(Wsm, ReassembleOutOfOrderAndDuplicates) {
+  std::vector<std::uint8_t> payload(3000, 0x5a);
+  auto packets = WsmFraming::fragment(payload, 9);
+  std::swap(packets[0], packets[2]);
+  packets.push_back(packets[1]);  // duplicate
+  const auto back = WsmFraming::reassemble(packets);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), payload.size());
+}
+
+TEST(Wsm, MissingFragmentFails) {
+  std::vector<std::uint8_t> payload(3000, 1);
+  auto packets = WsmFraming::fragment(payload, 3);
+  packets.erase(packets.begin() + 1);
+  EXPECT_FALSE(WsmFraming::reassemble(packets).has_value());
+}
+
+TEST(Wsm, MixedMessageIdsFail) {
+  const auto a = WsmFraming::fragment(std::vector<std::uint8_t>(100, 1), 1);
+  auto b = WsmFraming::fragment(std::vector<std::uint8_t>(100, 2), 2);
+  auto mixed = a;
+  mixed.insert(mixed.end(), b.begin(), b.end());
+  EXPECT_FALSE(WsmFraming::reassemble(mixed).has_value());
+}
+
+TEST(Link, LosslessTimingMatchesPaper) {
+  DsrcLink::Config cfg;
+  cfg.rtt_s = 0.004;
+  cfg.rtt_jitter_s = 0.0;
+  cfg.loss_rate = 0.0;
+  DsrcLink link(1, cfg);
+  // 182 KB -> 130 packets -> ~0.52 s (Sec. V-B).
+  const auto stats = link.transfer(182'000);
+  EXPECT_EQ(stats.packets, 130u);
+  EXPECT_EQ(stats.transmissions, 130u);
+  EXPECT_NEAR(stats.duration_s, 0.52, 0.01);
+}
+
+TEST(Link, LossCausesRetransmissions) {
+  DsrcLink::Config cfg;
+  cfg.loss_rate = 0.2;
+  DsrcLink link(2, cfg);
+  const auto stats = link.transfer(140'000);
+  EXPECT_EQ(stats.packets, 100u);
+  EXPECT_GT(stats.transmissions, stats.packets);
+  // Expected retransmissions ~ packets * loss/(1-loss) = 25.
+  EXPECT_NEAR(static_cast<double>(stats.transmissions - stats.packets), 25.0,
+              18.0);
+}
+
+TEST(Link, EmptyTransferFree) {
+  DsrcLink link(3);
+  const auto stats = link.transfer(0);
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 0.0);
+}
+
+TEST(Exchange, FullRoundTripDeliversTrajectory) {
+  DsrcLink link(4);
+  ExchangeSession session(&link);
+  const auto traj = sample_trajectory(200, 16);
+  const auto result = session.exchange_full(traj);
+  EXPECT_EQ(result.trajectory.size(), 200u);
+  EXPECT_EQ(result.stats.payload_bytes,
+            TrajectoryCodec::encoded_size(200, 16));
+  EXPECT_GT(result.stats.duration_s, 0.0);
+  EXPECT_EQ(session.total_bytes(), result.stats.payload_bytes);
+}
+
+TEST(Exchange, TailIsMuchCheaperThanFull) {
+  DsrcLink link(5);
+  ExchangeSession session(&link);
+  const auto traj = sample_trajectory(1000, 16);
+  const auto full = session.exchange_full(traj);
+  const auto tail = session.exchange_tail(traj, traj.first_metre() + 990);
+  EXPECT_LT(tail.stats.payload_bytes * 50, full.stats.payload_bytes);
+  EXPECT_EQ(tail.trajectory.size(), 10u);
+}
+
+TEST(Exchange, NullLinkRejected) {
+  EXPECT_THROW(ExchangeSession(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rups::v2v

@@ -1,0 +1,110 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rups::util {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_EQ(sum.x, 5);
+  EXPECT_EQ(sum.y, 7);
+  EXPECT_EQ(sum.z, 9);
+  const Vec3 diff = b - a;
+  EXPECT_EQ(diff.x, 3);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_EQ(scaled.z, 6);
+  const Vec3 pre = 2.0 * a;
+  EXPECT_EQ(pre.z, 6);
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.dot(x), 1.0);
+  const Vec3 c = x.cross(y);
+  EXPECT_NEAR(c.x, z.x, 1e-15);
+  EXPECT_NEAR(c.y, z.y, 1e-15);
+  EXPECT_NEAR(c.z, z.z, 1e-15);
+  // Anti-commutative.
+  const Vec3 c2 = y.cross(x);
+  EXPECT_NEAR(c2.z, -1.0, 1e-15);
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+  const Vec3 zero{};
+  EXPECT_EQ(zero.normalized().norm(), 0.0);
+}
+
+TEST(Mat3, IdentityActsTrivially) {
+  const Mat3 id = Mat3::identity();
+  const Vec3 v{1.5, -2.0, 0.25};
+  const Vec3 r = id * v;
+  EXPECT_DOUBLE_EQ(r.x, v.x);
+  EXPECT_DOUBLE_EQ(r.y, v.y);
+  EXPECT_DOUBLE_EQ(r.z, v.z);
+}
+
+TEST(Mat3, RotationAboutZ) {
+  const Mat3 r = Mat3::rotation({0, 0, 1}, kPi / 2);
+  const Vec3 v = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(Mat3, RotationPreservesNorm) {
+  const Mat3 r = Mat3::rotation(Vec3{1, 2, 3}.normalized(), 0.7);
+  const Vec3 v{0.3, -1.1, 2.5};
+  EXPECT_NEAR((r * v).norm(), v.norm(), 1e-12);
+}
+
+TEST(Mat3, RotationInverseIsTranspose) {
+  const Mat3 r = Mat3::rotation(Vec3{-1, 0.5, 2}.normalized(), 1.3);
+  const Mat3 should_be_id = r * r.transpose();
+  EXPECT_LT(should_be_id.distance(Mat3::identity()), 1e-12);
+}
+
+TEST(Mat3, EulerYawOnly) {
+  const Mat3 r = Mat3::from_euler(kPi / 2, 0, 0);
+  const Vec3 v = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(Mat3, EulerComposition) {
+  // from_euler(y,p,r) == Rz(y) * Ry(p) * Rx(r)
+  const double yaw = 0.3, pitch = -0.4, roll = 1.1;
+  const Mat3 composed = Mat3::rotation({0, 0, 1}, yaw) *
+                        Mat3::rotation({0, 1, 0}, pitch) *
+                        Mat3::rotation({1, 0, 0}, roll);
+  EXPECT_LT(Mat3::from_euler(yaw, pitch, roll).distance(composed), 1e-12);
+}
+
+TEST(Mat3, FromRowsProjectsOntoAxes) {
+  // Rows are the target frame's axes expressed in the source frame; applying
+  // the matrix yields the coordinates of a vector in the target frame.
+  const Vec3 x{0, 1, 0}, y{-1, 0, 0}, z{0, 0, 1};
+  const Mat3 r = Mat3::from_rows(x, y, z);
+  const Vec3 v = r * Vec3{0, 2, 0};  // points along target x
+  EXPECT_NEAR(v.x, 2.0, 1e-15);
+  EXPECT_NEAR(v.y, 0.0, 1e-15);
+}
+
+TEST(Mat3, MultiplyAssociative) {
+  const Mat3 a = Mat3::rotation({0, 0, 1}, 0.5);
+  const Mat3 b = Mat3::rotation({0, 1, 0}, -0.8);
+  const Mat3 c = Mat3::rotation({1, 0, 0}, 1.2);
+  EXPECT_LT(((a * b) * c).distance(a * (b * c)), 1e-12);
+}
+
+}  // namespace
+}  // namespace rups::util
