@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_field_scales.dir/bench_ablation_field_scales.cpp.o"
+  "CMakeFiles/bench_ablation_field_scales.dir/bench_ablation_field_scales.cpp.o.d"
+  "bench_ablation_field_scales"
+  "bench_ablation_field_scales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_field_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interpolation.dir/bench_ablation_interpolation.cpp.o"
+  "CMakeFiles/bench_ablation_interpolation.dir/bench_ablation_interpolation.cpp.o.d"
+  "bench_ablation_interpolation"
+  "bench_ablation_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

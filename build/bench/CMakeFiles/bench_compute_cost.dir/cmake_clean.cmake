@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compute_cost.dir/bench_compute_cost.cpp.o"
+  "CMakeFiles/bench_compute_cost.dir/bench_compute_cost.cpp.o.d"
+  "bench_compute_cost"
+  "bench_compute_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compute_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vs_gps.dir/bench_fig12_vs_gps.cpp.o"
+  "CMakeFiles/bench_fig12_vs_gps.dir/bench_fig12_vs_gps.cpp.o.d"
+  "bench_fig12_vs_gps"
+  "bench_fig12_vs_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vs_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

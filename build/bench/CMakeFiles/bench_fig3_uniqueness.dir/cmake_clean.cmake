@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_uniqueness.dir/bench_fig3_uniqueness.cpp.o"
+  "CMakeFiles/bench_fig3_uniqueness.dir/bench_fig3_uniqueness.cpp.o.d"
+  "bench_fig3_uniqueness"
+  "bench_fig3_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

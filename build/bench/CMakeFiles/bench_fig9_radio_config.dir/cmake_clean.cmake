@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_radio_config.dir/bench_fig9_radio_config.cpp.o"
+  "CMakeFiles/bench_fig9_radio_config.dir/bench_fig9_radio_config.cpp.o.d"
+  "bench_fig9_radio_config"
+  "bench_fig9_radio_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_radio_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

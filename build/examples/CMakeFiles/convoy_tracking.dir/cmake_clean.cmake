@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_tracking.dir/convoy_tracking.cpp.o"
+  "CMakeFiles/convoy_tracking.dir/convoy_tracking.cpp.o.d"
+  "convoy_tracking"
+  "convoy_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsm_survey.dir/gsm_survey.cpp.o"
+  "CMakeFiles/gsm_survey.dir/gsm_survey.cpp.o.d"
+  "gsm_survey"
+  "gsm_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsm_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

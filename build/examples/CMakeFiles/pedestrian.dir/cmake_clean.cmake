@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pedestrian.dir/pedestrian.cpp.o"
+  "CMakeFiles/pedestrian.dir/pedestrian.cpp.o.d"
+  "pedestrian"
+  "pedestrian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pedestrian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binder.cpp" "src/core/CMakeFiles/rups_core.dir/binder.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/binder.cpp.o.d"
+  "/root/repo/src/core/channel_select.cpp" "src/core/CMakeFiles/rups_core.dir/channel_select.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/channel_select.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/rups_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/dead_reckoner.cpp" "src/core/CMakeFiles/rups_core.dir/dead_reckoner.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/dead_reckoner.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/rups_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/heading.cpp" "src/core/CMakeFiles/rups_core.dir/heading.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/heading.cpp.o.d"
+  "/root/repo/src/core/reorientation.cpp" "src/core/CMakeFiles/rups_core.dir/reorientation.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/reorientation.cpp.o.d"
+  "/root/repo/src/core/resolver.cpp" "src/core/CMakeFiles/rups_core.dir/resolver.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/resolver.cpp.o.d"
+  "/root/repo/src/core/speed.cpp" "src/core/CMakeFiles/rups_core.dir/speed.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/speed.cpp.o.d"
+  "/root/repo/src/core/step_counter.cpp" "src/core/CMakeFiles/rups_core.dir/step_counter.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/step_counter.cpp.o.d"
+  "/root/repo/src/core/syn_seeker.cpp" "src/core/CMakeFiles/rups_core.dir/syn_seeker.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/syn_seeker.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/rups_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/turn_detector.cpp" "src/core/CMakeFiles/rups_core.dir/turn_detector.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/turn_detector.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/rups_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/rups_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsm/CMakeFiles/rups_gsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/rups_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rups_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rups_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

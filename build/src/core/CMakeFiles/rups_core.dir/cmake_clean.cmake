@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_core.dir/binder.cpp.o"
+  "CMakeFiles/rups_core.dir/binder.cpp.o.d"
+  "CMakeFiles/rups_core.dir/channel_select.cpp.o"
+  "CMakeFiles/rups_core.dir/channel_select.cpp.o.d"
+  "CMakeFiles/rups_core.dir/correlation.cpp.o"
+  "CMakeFiles/rups_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/rups_core.dir/dead_reckoner.cpp.o"
+  "CMakeFiles/rups_core.dir/dead_reckoner.cpp.o.d"
+  "CMakeFiles/rups_core.dir/engine.cpp.o"
+  "CMakeFiles/rups_core.dir/engine.cpp.o.d"
+  "CMakeFiles/rups_core.dir/heading.cpp.o"
+  "CMakeFiles/rups_core.dir/heading.cpp.o.d"
+  "CMakeFiles/rups_core.dir/reorientation.cpp.o"
+  "CMakeFiles/rups_core.dir/reorientation.cpp.o.d"
+  "CMakeFiles/rups_core.dir/resolver.cpp.o"
+  "CMakeFiles/rups_core.dir/resolver.cpp.o.d"
+  "CMakeFiles/rups_core.dir/speed.cpp.o"
+  "CMakeFiles/rups_core.dir/speed.cpp.o.d"
+  "CMakeFiles/rups_core.dir/step_counter.cpp.o"
+  "CMakeFiles/rups_core.dir/step_counter.cpp.o.d"
+  "CMakeFiles/rups_core.dir/syn_seeker.cpp.o"
+  "CMakeFiles/rups_core.dir/syn_seeker.cpp.o.d"
+  "CMakeFiles/rups_core.dir/tracker.cpp.o"
+  "CMakeFiles/rups_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/rups_core.dir/turn_detector.cpp.o"
+  "CMakeFiles/rups_core.dir/turn_detector.cpp.o.d"
+  "CMakeFiles/rups_core.dir/types.cpp.o"
+  "CMakeFiles/rups_core.dir/types.cpp.o.d"
+  "librups_core.a"
+  "librups_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

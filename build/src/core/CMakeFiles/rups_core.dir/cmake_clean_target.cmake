@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librups_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsm/channel_plan.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/channel_plan.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/channel_plan.cpp.o.d"
+  "/root/repo/src/gsm/env_profile.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/env_profile.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/env_profile.cpp.o.d"
+  "/root/repo/src/gsm/gsm_field.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/gsm_field.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/gsm_field.cpp.o.d"
+  "/root/repo/src/gsm/path_loss.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/path_loss.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/path_loss.cpp.o.d"
+  "/root/repo/src/gsm/rxlev.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/rxlev.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/rxlev.cpp.o.d"
+  "/root/repo/src/gsm/temporal.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/temporal.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/temporal.cpp.o.d"
+  "/root/repo/src/gsm/towers.cpp" "src/gsm/CMakeFiles/rups_gsm.dir/towers.cpp.o" "gcc" "src/gsm/CMakeFiles/rups_gsm.dir/towers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rups_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_gsm.dir/channel_plan.cpp.o"
+  "CMakeFiles/rups_gsm.dir/channel_plan.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/env_profile.cpp.o"
+  "CMakeFiles/rups_gsm.dir/env_profile.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/gsm_field.cpp.o"
+  "CMakeFiles/rups_gsm.dir/gsm_field.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/path_loss.cpp.o"
+  "CMakeFiles/rups_gsm.dir/path_loss.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/rxlev.cpp.o"
+  "CMakeFiles/rups_gsm.dir/rxlev.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/temporal.cpp.o"
+  "CMakeFiles/rups_gsm.dir/temporal.cpp.o.d"
+  "CMakeFiles/rups_gsm.dir/towers.cpp.o"
+  "CMakeFiles/rups_gsm.dir/towers.cpp.o.d"
+  "librups_gsm.a"
+  "librups_gsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/road/environment.cpp" "src/road/CMakeFiles/rups_road.dir/environment.cpp.o" "gcc" "src/road/CMakeFiles/rups_road.dir/environment.cpp.o.d"
+  "/root/repo/src/road/road_network.cpp" "src/road/CMakeFiles/rups_road.dir/road_network.cpp.o" "gcc" "src/road/CMakeFiles/rups_road.dir/road_network.cpp.o.d"
+  "/root/repo/src/road/route.cpp" "src/road/CMakeFiles/rups_road.dir/route.cpp.o" "gcc" "src/road/CMakeFiles/rups_road.dir/route.cpp.o.d"
+  "/root/repo/src/road/route_builder.cpp" "src/road/CMakeFiles/rups_road.dir/route_builder.cpp.o" "gcc" "src/road/CMakeFiles/rups_road.dir/route_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_road.dir/environment.cpp.o"
+  "CMakeFiles/rups_road.dir/environment.cpp.o.d"
+  "CMakeFiles/rups_road.dir/road_network.cpp.o"
+  "CMakeFiles/rups_road.dir/road_network.cpp.o.d"
+  "CMakeFiles/rups_road.dir/route.cpp.o"
+  "CMakeFiles/rups_road.dir/route.cpp.o.d"
+  "CMakeFiles/rups_road.dir/route_builder.cpp.o"
+  "CMakeFiles/rups_road.dir/route_builder.cpp.o.d"
+  "librups_road.a"
+  "librups_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

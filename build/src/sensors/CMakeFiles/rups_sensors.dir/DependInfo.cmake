@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/gps.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/gps.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/gps.cpp.o.d"
+  "/root/repo/src/sensors/gsm_scanner.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/gsm_scanner.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/gsm_scanner.cpp.o.d"
+  "/root/repo/src/sensors/hall.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/hall.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/hall.cpp.o.d"
+  "/root/repo/src/sensors/imu.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/imu.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/imu.cpp.o.d"
+  "/root/repo/src/sensors/obd.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/obd.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/obd.cpp.o.d"
+  "/root/repo/src/sensors/rangefinder.cpp" "src/sensors/CMakeFiles/rups_sensors.dir/rangefinder.cpp.o" "gcc" "src/sensors/CMakeFiles/rups_sensors.dir/rangefinder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rups_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsm/CMakeFiles/rups_gsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rups_vehicle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_sensors.dir/gps.cpp.o"
+  "CMakeFiles/rups_sensors.dir/gps.cpp.o.d"
+  "CMakeFiles/rups_sensors.dir/gsm_scanner.cpp.o"
+  "CMakeFiles/rups_sensors.dir/gsm_scanner.cpp.o.d"
+  "CMakeFiles/rups_sensors.dir/hall.cpp.o"
+  "CMakeFiles/rups_sensors.dir/hall.cpp.o.d"
+  "CMakeFiles/rups_sensors.dir/imu.cpp.o"
+  "CMakeFiles/rups_sensors.dir/imu.cpp.o.d"
+  "CMakeFiles/rups_sensors.dir/obd.cpp.o"
+  "CMakeFiles/rups_sensors.dir/obd.cpp.o.d"
+  "CMakeFiles/rups_sensors.dir/rangefinder.cpp.o"
+  "CMakeFiles/rups_sensors.dir/rangefinder.cpp.o.d"
+  "librups_sensors.a"
+  "librups_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_sim.dir/campaign.cpp.o"
+  "CMakeFiles/rups_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/rups_sim.dir/convoy_sim.cpp.o"
+  "CMakeFiles/rups_sim.dir/convoy_sim.cpp.o.d"
+  "CMakeFiles/rups_sim.dir/scenario.cpp.o"
+  "CMakeFiles/rups_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/rups_sim.dir/survey.cpp.o"
+  "CMakeFiles/rups_sim.dir/survey.cpp.o.d"
+  "CMakeFiles/rups_sim.dir/trace.cpp.o"
+  "CMakeFiles/rups_sim.dir/trace.cpp.o.d"
+  "librups_sim.a"
+  "librups_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

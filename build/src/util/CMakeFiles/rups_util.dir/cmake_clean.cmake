@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_util.dir/angle.cpp.o"
+  "CMakeFiles/rups_util.dir/angle.cpp.o.d"
+  "CMakeFiles/rups_util.dir/csv.cpp.o"
+  "CMakeFiles/rups_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rups_util.dir/hash_noise.cpp.o"
+  "CMakeFiles/rups_util.dir/hash_noise.cpp.o.d"
+  "CMakeFiles/rups_util.dir/rng.cpp.o"
+  "CMakeFiles/rups_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rups_util.dir/stats.cpp.o"
+  "CMakeFiles/rups_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rups_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rups_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/rups_util.dir/vec3.cpp.o"
+  "CMakeFiles/rups_util.dir/vec3.cpp.o.d"
+  "librups_util.a"
+  "librups_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

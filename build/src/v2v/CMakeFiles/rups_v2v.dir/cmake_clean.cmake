@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_v2v.dir/codec.cpp.o"
+  "CMakeFiles/rups_v2v.dir/codec.cpp.o.d"
+  "CMakeFiles/rups_v2v.dir/exchange.cpp.o"
+  "CMakeFiles/rups_v2v.dir/exchange.cpp.o.d"
+  "CMakeFiles/rups_v2v.dir/link.cpp.o"
+  "CMakeFiles/rups_v2v.dir/link.cpp.o.d"
+  "CMakeFiles/rups_v2v.dir/wsm.cpp.o"
+  "CMakeFiles/rups_v2v.dir/wsm.cpp.o.d"
+  "librups_v2v.a"
+  "librups_v2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_v2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/kinematics.cpp" "src/vehicle/CMakeFiles/rups_vehicle.dir/kinematics.cpp.o" "gcc" "src/vehicle/CMakeFiles/rups_vehicle.dir/kinematics.cpp.o.d"
+  "/root/repo/src/vehicle/passing.cpp" "src/vehicle/CMakeFiles/rups_vehicle.dir/passing.cpp.o" "gcc" "src/vehicle/CMakeFiles/rups_vehicle.dir/passing.cpp.o.d"
+  "/root/repo/src/vehicle/speed_controller.cpp" "src/vehicle/CMakeFiles/rups_vehicle.dir/speed_controller.cpp.o" "gcc" "src/vehicle/CMakeFiles/rups_vehicle.dir/speed_controller.cpp.o.d"
+  "/root/repo/src/vehicle/traffic.cpp" "src/vehicle/CMakeFiles/rups_vehicle.dir/traffic.cpp.o" "gcc" "src/vehicle/CMakeFiles/rups_vehicle.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rups_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

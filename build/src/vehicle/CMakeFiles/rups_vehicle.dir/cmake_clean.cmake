@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rups_vehicle.dir/kinematics.cpp.o"
+  "CMakeFiles/rups_vehicle.dir/kinematics.cpp.o.d"
+  "CMakeFiles/rups_vehicle.dir/passing.cpp.o"
+  "CMakeFiles/rups_vehicle.dir/passing.cpp.o.d"
+  "CMakeFiles/rups_vehicle.dir/speed_controller.cpp.o"
+  "CMakeFiles/rups_vehicle.dir/speed_controller.cpp.o.d"
+  "CMakeFiles/rups_vehicle.dir/traffic.cpp.o"
+  "CMakeFiles/rups_vehicle.dir/traffic.cpp.o.d"
+  "librups_vehicle.a"
+  "librups_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rups_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_select.dir/test_channel_select.cpp.o"
+  "CMakeFiles/test_channel_select.dir/test_channel_select.cpp.o.d"
+  "test_channel_select"
+  "test_channel_select.pdb"
+  "test_channel_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convoy_sim.dir/test_convoy_sim.cpp.o"
+  "CMakeFiles/test_convoy_sim.dir/test_convoy_sim.cpp.o.d"
+  "test_convoy_sim"
+  "test_convoy_sim.pdb"
+  "test_convoy_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convoy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsm_components.dir/test_gsm_components.cpp.o"
+  "CMakeFiles/test_gsm_components.dir/test_gsm_components.cpp.o.d"
+  "test_gsm_components"
+  "test_gsm_components.pdb"
+  "test_gsm_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsm_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

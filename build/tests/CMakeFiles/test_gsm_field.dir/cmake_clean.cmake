@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsm_field.dir/test_gsm_field.cpp.o"
+  "CMakeFiles/test_gsm_field.dir/test_gsm_field.cpp.o.d"
+  "test_gsm_field"
+  "test_gsm_field.pdb"
+  "test_gsm_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsm_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsm_scanner.dir/test_gsm_scanner.cpp.o"
+  "CMakeFiles/test_gsm_scanner.dir/test_gsm_scanner.cpp.o.d"
+  "test_gsm_scanner"
+  "test_gsm_scanner.pdb"
+  "test_gsm_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsm_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

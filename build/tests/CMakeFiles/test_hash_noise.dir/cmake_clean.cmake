@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_noise.dir/test_hash_noise.cpp.o"
+  "CMakeFiles/test_hash_noise.dir/test_hash_noise.cpp.o.d"
+  "test_hash_noise"
+  "test_hash_noise.pdb"
+  "test_hash_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

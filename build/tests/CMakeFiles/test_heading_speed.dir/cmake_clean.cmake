@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heading_speed.dir/test_heading_speed.cpp.o"
+  "CMakeFiles/test_heading_speed.dir/test_heading_speed.cpp.o.d"
+  "test_heading_speed"
+  "test_heading_speed.pdb"
+  "test_heading_speed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heading_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kinematics.dir/test_kinematics.cpp.o"
+  "CMakeFiles/test_kinematics.dir/test_kinematics.cpp.o.d"
+  "test_kinematics"
+  "test_kinematics.pdb"
+  "test_kinematics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kinematics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

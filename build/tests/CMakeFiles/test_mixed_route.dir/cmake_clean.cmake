@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_route.dir/test_mixed_route.cpp.o"
+  "CMakeFiles/test_mixed_route.dir/test_mixed_route.cpp.o.d"
+  "test_mixed_route"
+  "test_mixed_route.pdb"
+  "test_mixed_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obd_hall.dir/test_obd_hall.cpp.o"
+  "CMakeFiles/test_obd_hall.dir/test_obd_hall.cpp.o.d"
+  "test_obd_hall"
+  "test_obd_hall.pdb"
+  "test_obd_hall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obd_hall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

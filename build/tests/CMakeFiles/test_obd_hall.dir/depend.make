@@ -1,0 +1,2 @@
+# Empty dependencies file for test_obd_hall.
+# This may be replaced when dependencies are built.

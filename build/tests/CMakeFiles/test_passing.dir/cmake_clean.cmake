@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passing.dir/test_passing.cpp.o"
+  "CMakeFiles/test_passing.dir/test_passing.cpp.o.d"
+  "test_passing"
+  "test_passing.pdb"
+  "test_passing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

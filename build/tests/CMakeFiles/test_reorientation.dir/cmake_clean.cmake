@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reorientation.dir/test_reorientation.cpp.o"
+  "CMakeFiles/test_reorientation.dir/test_reorientation.cpp.o.d"
+  "test_reorientation"
+  "test_reorientation.pdb"
+  "test_reorientation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reorientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

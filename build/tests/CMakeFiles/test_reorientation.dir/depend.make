@@ -1,0 +1,2 @@
+# Empty dependencies file for test_reorientation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rxlev.dir/test_rxlev.cpp.o"
+  "CMakeFiles/test_rxlev.dir/test_rxlev.cpp.o.d"
+  "test_rxlev"
+  "test_rxlev.pdb"
+  "test_rxlev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rxlev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

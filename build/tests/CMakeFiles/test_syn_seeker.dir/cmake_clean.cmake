@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syn_seeker.dir/test_syn_seeker.cpp.o"
+  "CMakeFiles/test_syn_seeker.dir/test_syn_seeker.cpp.o.d"
+  "test_syn_seeker"
+  "test_syn_seeker.pdb"
+  "test_syn_seeker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syn_seeker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_syn_seeker.
+# This may be replaced when dependencies are built.

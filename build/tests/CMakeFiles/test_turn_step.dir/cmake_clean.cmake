@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turn_step.dir/test_turn_step.cpp.o"
+  "CMakeFiles/test_turn_step.dir/test_turn_step.cpp.o.d"
+  "test_turn_step"
+  "test_turn_step.pdb"
+  "test_turn_step[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turn_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_v2v.cpp" "tests/CMakeFiles/test_v2v.dir/test_v2v.cpp.o" "gcc" "tests/CMakeFiles/test_v2v.dir/test_v2v.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/v2v/CMakeFiles/rups_v2v.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rups_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/rups_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsm/CMakeFiles/rups_gsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/rups_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/rups_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rups_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_v2v.dir/test_v2v.cpp.o"
+  "CMakeFiles/test_v2v.dir/test_v2v.cpp.o.d"
+  "test_v2v"
+  "test_v2v.pdb"
+  "test_v2v[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_v2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
