@@ -101,5 +101,8 @@ int main() {
                     full.stats.duration_s < 0.8 && tail.stats.packets == 1;
   std::printf("  shape check: ~130 packets / ~0.5 s full, 1-packet tail: %s\n",
               pass ? "PASS" : "FAIL");
+
+  bench::write_metrics_json("comm_cost");
+  bench::print_stage_breakdown();
   return pass ? 0 : 1;
 }

@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 
 namespace rups::bench {
@@ -50,5 +52,48 @@ inline void paper_vs_measured(const char* what, double paper, double measured,
 }
 
 inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+/// Dump the global metrics registry as JSON under
+/// bench_out/<name>_metrics.json (plus a flat CSV next to it). Returns the
+/// JSON path.
+inline std::filesystem::path write_metrics_json(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  const auto snap = rups::obs::Registry::global().snapshot();
+  const auto json_path =
+      std::filesystem::path("bench_out") / (name + "_metrics.json");
+  std::ofstream out(json_path);
+  out << snap.to_json() << "\n";
+  rups::util::CsvWriter csv(std::filesystem::path("bench_out") /
+                            (name + "_metrics.csv"));
+  snap.write_csv(csv);
+  return json_path;
+}
+
+/// Per-stage observability breakdown: every counter, gauge and histogram
+/// accumulated so far, grouped by name prefix (engine. / syn. / gsm. /
+/// v2v. / campaign.). Histograms print count, mean, min and max.
+inline void print_stage_breakdown() {
+  const auto snap = rups::obs::Registry::global().snapshot();
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    std::printf("  (no metrics recorded — RUPS_OBS_DISABLED build?)\n");
+    return;
+  }
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("per-stage observability breakdown (rups::obs)\n");
+  std::printf("----------------------------------------------------------------\n");
+  for (const auto& c : snap.counters) {
+    std::printf("  %-36s %16llu\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    std::printf("  %-36s %16.4f\n", g.name.c_str(), g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    std::printf("  %-36s n=%-10llu mean=%-12.2f min=%-10.2f max=%.2f\n",
+                h.name.c_str(), static_cast<unsigned long long>(h.count),
+                h.mean(), h.min, h.max);
+  }
+}
 
 }  // namespace rups::bench

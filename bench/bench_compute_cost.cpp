@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "core/syn_seeker.hpp"
 #include "util/hash_noise.hpp"
@@ -175,4 +176,18 @@ BENCHMARK(BM_Engine_OnRssi);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an observability epilogue: the per-stage counters and
+// timing histograms accumulated across every benchmark above are printed
+// and dumped to bench_out/compute_cost_metrics.json — the measured baseline
+// future perf PRs diff against (see BENCH_obs_baseline.json).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto path = rups::bench::write_metrics_json("compute_cost");
+  rups::bench::print_stage_breakdown();
+  std::printf("  metrics json: %s\n", path.c_str());
+  return 0;
+}

@@ -7,14 +7,27 @@
 //   $ ./trace_tool record <trace.csv> [seed]    # drive & record
 //   $ ./trace_tool replay <trace.csv>           # rebuild context offline
 //   $ ./trace_tool demo                         # record + replay + verify
+//   $ ./trace_tool campaign [queries]           # instrumented query campaign
+//
+// Observability flags (any mode):
+//   --metrics-out <out.json>   dump the rups::obs metrics snapshot on exit
+//   --trace-out <trace.json>   record Chrome trace_event spans; open the
+//                              file in chrome://tracing or ui.perfetto.dev
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "obs/obs.hpp"
+#include "sim/campaign.hpp"
 #include "sim/convoy_sim.hpp"
 #include "sim/trace.hpp"
+#include "util/stats.hpp"
 
 using namespace rups;
 
@@ -56,15 +69,108 @@ void summarize(const char* label, const sim::VehicleTrace& trace) {
               trace.gps.size(), trace.true_pos_of_metre.size());
 }
 
+/// Instrumented query campaign: the observability showcase. Produces
+/// non-zero SYN-search, V2V-bytes and query-latency metrics, and (with
+/// --trace-out) a span per seek/query for chrome://tracing.
+int run_campaign_mode(std::uint64_t seed, std::size_t max_queries) {
+  sim::ConvoySimulation sim(make_scenario(seed));
+  sim::CampaignConfig cfg;
+  cfg.max_queries = max_queries;
+  cfg.model_v2v_cost = true;
+  const auto result = sim::run_campaign(sim, cfg);
+
+  const auto errors = result.rups_errors();
+  std::printf("campaign: %zu queries, availability %.2f, mean |error| %.2f m\n",
+              result.queries.size(), result.rups_availability(),
+              errors.empty() ? 0.0 : util::mean(errors));
+  std::printf("key metrics:\n");
+  for (const char* name :
+       {"syn.windows_scanned", "syn.seeks", "v2v.payload_bytes",
+        "v2v.messages", "gsm.field_evals", "campaign.queries"}) {
+    if (const auto* c = result.metrics.counter(name)) {
+      std::printf("  %-24s %12llu\n", name,
+                  static_cast<unsigned long long>(c->value));
+    }
+  }
+  if (const auto* h = result.metrics.histogram("campaign.query_latency_us")) {
+    std::printf("  %-24s n=%llu mean=%.0f us max=%.0f us\n",
+                "query_latency_us", static_cast<unsigned long long>(h->count),
+                h->mean(), h->max);
+  }
+  return result.queries.empty() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off observability flags; what remains is mode + positionals.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a file path\n", arg.c_str());
+        return 2;
+      }
+      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else if (i > 0 && arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s (expected --metrics-out or --trace-out)\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_sink = std::make_unique<obs::ChromeTraceSink>(trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    obs::set_trace_sink(trace_sink.get());
+  }
+  // Write the requested artefacts no matter how a mode exits.
+  const auto finish = [&](int rc) {
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << obs::Registry::global().snapshot().to_json() << "\n";
+      if (out) {
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: failed to write %s\n",
+                     metrics_out.c_str());
+        rc = rc == 0 ? 2 : rc;
+      }
+    }
+    if (trace_sink != nullptr) {
+      obs::set_trace_sink(nullptr);
+      const auto events = trace_sink->events_written();
+      trace_sink.reset();  // closes the JSON array
+      std::printf("trace written to %s (%llu spans)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(events));
+    }
+    return rc;
+  };
+
   const std::string mode = argc > 1 ? argv[1] : "demo";
+
+  if (mode == "campaign") {
+    const std::size_t queries =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 25;
+    return finish(run_campaign_mode(3, queries));
+  }
 
   if (mode == "record") {
     if (argc < 3) {
       std::fprintf(stderr, "usage: trace_tool record <trace.csv> [seed]\n");
-      return 2;
+      return finish(2);
     }
     const std::uint64_t seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
@@ -74,13 +180,13 @@ int main(int argc, char** argv) {
     trace.save_csv(argv[2]);
     summarize("recorded", trace);
     std::printf("saved to %s\n", argv[2]);
-    return 0;
+    return finish(0);
   }
 
   if (mode == "replay") {
     if (argc < 3) {
       std::fprintf(stderr, "usage: trace_tool replay <trace.csv>\n");
-      return 2;
+      return finish(2);
     }
     const auto trace = sim::VehicleTrace::load_csv(argv[2]);
     summarize("loaded", trace);
@@ -88,7 +194,7 @@ int main(int argc, char** argv) {
     std::printf("replayed: odometer %.1f m, context %zu m, coverage %.1f%%\n",
                 engine.odometer_m(), engine.context().size(),
                 100.0 * engine.context().measured_fraction());
-    return 0;
+    return finish(0);
   }
 
   // demo: record, round-trip through CSV, replay, verify equivalence.
@@ -114,5 +220,5 @@ int main(int argc, char** argv) {
               "original drive again.\n",
               ok ? "VERIFIED" : "FAILED");
   std::filesystem::remove(path);
-  return ok ? 0 : 1;
+  return finish(ok ? 0 : 1);
 }

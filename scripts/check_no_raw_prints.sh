@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI guard: library code under src/ must not print to stdout/stderr with raw
+# streams — all diagnostics route through the rups::obs logger (RUPS_LOG)
+# so they are leveled, rate-limitable and redirectable. The obs/ subsystem
+# itself (the sink implementation) is exempt, as are formatting-only calls
+# (snprintf into buffers).
+#
+# Usage: check_no_raw_prints.sh <src-dir>
+set -u
+
+src_dir="${1:?usage: check_no_raw_prints.sh <src-dir>}"
+
+# std::cout / std::cerr / std::clog, and printf/fprintf/puts calls.
+# \b keeps snprintf/vsnprintf (buffer formatting) out of the match.
+pattern='std::cout|std::cerr|std::clog|\b(f?printf|puts)[[:space:]]*\('
+
+matches=$(grep -rnE "$pattern" \
+  --include='*.cpp' --include='*.hpp' "$src_dir" \
+  | grep -v '/obs/' || true)
+
+if [[ -n "$matches" ]]; then
+  echo "raw stream prints found in src/ (use RUPS_LOG from obs/log.hpp):"
+  echo "$matches"
+  exit 1
+fi
+
+echo "OK: src/ is free of raw stream prints outside obs/"
+exit 0

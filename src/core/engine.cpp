@@ -1,6 +1,34 @@
 #include "core/engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace rups::core {
+
+namespace {
+
+/// Front-end ingest and query-path accounting (paper Sec. V-A argues the
+/// perception overhead is negligible; these counters let benches verify).
+struct EngineMetrics {
+  obs::Counter& imu_samples =
+      obs::Registry::global().counter("engine.imu_samples");
+  obs::Counter& speed_samples =
+      obs::Registry::global().counter("engine.speed_samples");
+  obs::Counter& rssi_measurements =
+      obs::Registry::global().counter("engine.rssi_measurements");
+  obs::Counter& metres_emitted =
+      obs::Registry::global().counter("engine.metres_emitted");
+  obs::Counter& queries = obs::Registry::global().counter("engine.queries");
+  obs::Histogram& estimate_us =
+      obs::Registry::global().histogram("engine.estimate_us");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+}  // namespace
 
 RupsEngine::RupsEngine(RupsConfig config)
     : config_(config),
@@ -10,6 +38,7 @@ RupsEngine::RupsEngine(RupsConfig config)
       context_(config.channels, config.context_capacity_m) {}
 
 void RupsEngine::on_imu(const sensors::ImuSample& imu) {
+  engine_metrics().imu_samples.inc();
   double dt = 0.0;
   if (have_imu_time_) {
     dt = imu.time_s - last_imu_time_;
@@ -33,16 +62,19 @@ void RupsEngine::on_imu(const sensors::ImuSample& imu) {
   const double speed = speed_.speed_at(imu.time_s);
   const auto marks =
       reckoner_.advance(imu.time_s, heading_.heading_rad(), speed);
+  if (!marks.empty()) engine_metrics().metres_emitted.inc(marks.size());
   for (const GeoSample& geo : marks) {
     binder_.bind_metre(next_metre_++, geo, context_);
   }
 }
 
 void RupsEngine::on_speed(const sensors::SpeedSample& sample) {
+  engine_metrics().speed_samples.inc();
   speed_.add_sample(sample);
 }
 
 void RupsEngine::on_rssi(const sensors::RssiMeasurement& measurement) {
+  engine_metrics().rssi_measurements.inc();
   const double distance = reckoner_.odometer_at(measurement.time_s);
   binder_.add_measurement(measurement.channel_index, distance,
                           static_cast<float>(measurement.rssi_dbm), context_);
@@ -56,6 +88,8 @@ std::vector<SynPoint> RupsEngine::find_syn_points(
 
 std::optional<RelativeDistanceEstimate> RupsEngine::estimate_distance(
     const ContextTrajectory& neighbour, util::ThreadPool* pool) const {
+  engine_metrics().queries.inc();
+  obs::ObsTimer timer(&engine_metrics().estimate_us, "engine.estimate");
   const auto syns = find_syn_points(neighbour, pool);
   return aggregate_estimates(context_, neighbour, syns, config_.aggregation);
 }

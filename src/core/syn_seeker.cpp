@@ -7,10 +7,36 @@
 
 #include "core/channel_select.hpp"
 #include "core/turn_detector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 
 namespace rups::core {
 
 namespace {
+
+/// Sec. V-A / VI-E cost accounting for the SYN search. Handles resolve
+/// once; increments happen in bulk per slide/seek, never per position, so
+/// the packed kernel stays untouched.
+struct SynMetrics {
+  obs::Counter& seeks = obs::Registry::global().counter("syn.seeks");
+  obs::Counter& windows =
+      obs::Registry::global().counter("syn.windows_scanned");
+  obs::Counter& accepted =
+      obs::Registry::global().counter("syn.candidates_accepted");
+  obs::Counter& rejected =
+      obs::Registry::global().counter("syn.candidates_rejected");
+  obs::Counter& coherency_pass =
+      obs::Registry::global().counter("syn.coherency_pass");
+  obs::Counter& coherency_fail =
+      obs::Registry::global().counter("syn.coherency_fail");
+  obs::Histogram& seek_us =
+      obs::Registry::global().histogram("syn.seek_us");
+};
+
+SynMetrics& syn_metrics() {
+  static SynMetrics m;
+  return m;
+}
 
 /// Dense channel-major extraction of a trajectory stretch: values are
 /// pre-masked (0 where unusable) and the mask is carried as 0/1 floats, so
@@ -162,6 +188,7 @@ SynSeeker::Candidate SynSeeker::slide(
   if (config_.coarse_stride_m > 1 &&
       positions > 4 * config_.coarse_stride_m) {
     const std::size_t coarse = config_.coarse_stride_m;
+    syn_metrics().windows.inc((positions + coarse - 1) / coarse);
     Candidate coarse_best;
     for (std::size_t p = 0; p < positions; p += coarse) {
       const double r = eval(p);
@@ -173,6 +200,7 @@ SynSeeker::Candidate SynSeeker::slide(
     const std::size_t lo =
         coarse_best.position > coarse ? coarse_best.position - coarse : 0;
     const std::size_t hi = std::min(positions, coarse_best.position + coarse + 1);
+    syn_metrics().windows.inc(hi - lo);
     for (std::size_t p = lo; p < hi; ++p) {
       const double r = eval(p);
       if (!best.valid || r > best.correlation) {
@@ -182,6 +210,7 @@ SynSeeker::Candidate SynSeeker::slide(
     return best;
   }
 
+  syn_metrics().windows.inc(positions);
   if (pool_ == nullptr || positions < 64) {
     for (std::size_t p = 0; p < positions; ++p) {
       const double r = eval(p);
@@ -222,6 +251,9 @@ SynSeeker::Candidate SynSeeker::slide(
 std::optional<SynPoint> SynSeeker::find_one(
     const ContextTrajectory& a, const ContextTrajectory& b,
     std::size_t recency_offset_m) const {
+  SynMetrics& metrics = syn_metrics();
+  metrics.seeks.inc();
+  obs::ObsTimer timer(&metrics.seek_us, "syn.seek");
   if (a.empty() || b.empty()) return std::nullopt;
   if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
     return std::nullopt;
@@ -259,6 +291,11 @@ std::optional<SynPoint> SynSeeker::find_one(
   // Pass 2 (Fig 7 right): recent segment of B slides over A.
   const Candidate on_a = slide(b, b_start, a, window, channels_b);
 
+  for (const Candidate& c : {on_b, on_a}) {
+    if (!c.valid) continue;
+    (c.correlation >= threshold ? metrics.accepted : metrics.rejected).inc();
+  }
+
   SynPoint best;
   bool found = false;
   if (on_b.valid && on_b.correlation >= threshold) {
@@ -270,6 +307,7 @@ std::optional<SynPoint> SynSeeker::find_one(
     best = {on_a.position, b_start, window, on_a.correlation};
     found = true;
   }
+  (found ? metrics.coherency_pass : metrics.coherency_fail).inc();
   if (!found) return std::nullopt;
   return best;
 }

@@ -6,12 +6,30 @@
 #include <numbers>
 
 #include "gsm/path_loss.hpp"
+#include "obs/metrics.hpp"
 #include "util/hash_noise.hpp"
 #include "util/rng.hpp"
 
 namespace rups::gsm {
 
 namespace {
+
+/// Field-evaluation volume and the shadowing/segment-context cache
+/// behaviour — the dominant simulation-side compute cost.
+struct FieldMetrics {
+  obs::Counter& evals = obs::Registry::global().counter("gsm.field_evals");
+  obs::Counter& power_vectors =
+      obs::Registry::global().counter("gsm.power_vectors");
+  obs::Counter& cache_hits =
+      obs::Registry::global().counter("gsm.segment_cache_hits");
+  obs::Counter& cache_misses =
+      obs::Registry::global().counter("gsm.segment_cache_misses");
+};
+
+FieldMetrics& field_metrics() {
+  static FieldMetrics m;
+  return m;
+}
 constexpr std::uint64_t kShadowLongTag = 0x53484c4fULL;   // "SHLO"
 constexpr std::uint64_t kShadowShortTag = 0x53485348ULL;  // "SHSH"
 constexpr std::uint64_t kLaneTag = 0x4c414e45ULL;         // "LANE"
@@ -56,8 +74,12 @@ const GsmField::SegmentContext& GsmField::context_for(
   {
     std::shared_lock lock(mutex_);
     auto it = contexts_.find(segment.id);
-    if (it != contexts_.end()) return *it->second;
+    if (it != contexts_.end()) {
+      field_metrics().cache_hits.inc();
+      return *it->second;
+    }
   }
+  field_metrics().cache_misses.inc();
   auto ctx = std::make_unique<SegmentContext>(
       seed_, segment, plan_,
       profile_override_.has_value() ? &*profile_override_ : nullptr);
@@ -69,6 +91,7 @@ const GsmField::SegmentContext& GsmField::context_for(
 double GsmField::rssi_dbm(const road::RoadSegment& segment, double offset_m,
                           int lane, std::size_t channel_index,
                           double time_s) const {
+  field_metrics().evals.inc();
   const SegmentContext& ctx = context_for(segment);
   const GsmEnvProfile& prof = ctx.profile;
   const road::Point2 here = segment.point_at(offset_m);
@@ -159,6 +182,7 @@ double GsmField::rssi_dbm(const road::RoadSegment& segment, double offset_m,
 std::vector<double> GsmField::power_vector(const road::RoadSegment& segment,
                                            double offset_m, int lane,
                                            double time_s) const {
+  field_metrics().power_vectors.inc();
   std::vector<double> out(plan_.size());
   for (std::size_t c = 0; c < plan_.size(); ++c) {
     out[c] = rssi_dbm(segment, offset_m, lane, c, time_s);

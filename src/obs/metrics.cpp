@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace rups::obs {
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_bounds_us() {
+  // 1 us .. ~8.4 s in x2 steps: covers per-sample ingest (sub-us..us),
+  // SYN seeks (~ms) and whole campaigns.
+  return exponential_bounds(1.0, 2.0, 24);
+}
+
+#ifndef RUPS_OBS_DISABLED
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kCounterShards;
+  return slot;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      min_(0.0),
+      max_(0.0) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double value) noexcept {
+  // Inclusive upper edges (Prometheus "le"): bucket i counts value <=
+  // bounds[i]; lower_bound yields the first bound >= value.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // First record seeds min/max; afterwards classic CAS narrowing.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  double cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSample Histogram::sample(std::string name) const {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static dtor order
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_latency_bounds_us();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(h->sample(name));
+  }
+  return snap;  // std::map iteration order == sorted by name
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+#endif  // RUPS_OBS_DISABLED
+
+}  // namespace rups::obs

@@ -1,0 +1,233 @@
+#pragma once
+
+// Lock-cheap metrics for the RUPS pipeline: counters (per-thread sharded
+// atomics), gauges, and fixed-bucket histograms, owned by a Registry that
+// can snapshot everything into an obs::MetricsSnapshot.
+//
+// Usage at an instrumentation site (handles are resolved once, increments
+// are wait-free relaxed atomics):
+//
+//   static obs::Counter& evals =
+//       obs::Registry::global().counter("gsm.field_evals");
+//   evals.inc();
+//
+// Defining RUPS_OBS_DISABLED swaps every type below for an inline no-op
+// stub (namespace obs::noop), so instrumented hot paths compile to nothing.
+// The stubs live under a distinct namespace and the real implementations
+// are only compiled into rups_obs when enabled, so a program may mix
+// translation units of both configurations without ODR clashes as long as
+// only the always-on types (MetricsSnapshot, Logger, TraceSink) cross the
+// boundary.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace rups::obs {
+
+/// Default histogram bucketing for microsecond latencies: 1 us .. ~8.4 s in
+/// x2 steps. Shared by enabled and disabled configurations so bucket maths
+/// stays testable either way.
+[[nodiscard]] std::vector<double> exponential_bounds(double start,
+                                                     double factor,
+                                                     std::size_t count);
+[[nodiscard]] std::vector<double> default_latency_bounds_us();
+
+#ifndef RUPS_OBS_DISABLED
+
+namespace detail {
+inline constexpr std::size_t kCounterShards = 8;
+/// Stable per-thread shard slot (hashed thread id, cached thread_local).
+[[nodiscard]] std::size_t shard_index() noexcept;
+}  // namespace detail
+
+/// Monotonic event counter. inc() is wait-free: one relaxed fetch_add on a
+/// cache-line-private shard, so concurrent writers do not contend.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[detail::kCounterShards];
+};
+
+/// Last-write-wins instantaneous value (plus relaxed add()).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bounds are upper edges, the final bucket is
+/// unbounded. record() is lock-free (atomic bucket increment + atomic
+/// sum/min/max); concurrent snapshots are approximate but never torn per
+/// field.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] HistogramSample sample(std::string name) const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Owner and namespace of all metrics. Lookup/creation takes a mutex once
+/// per instrumentation site (cache the returned reference); the handles
+/// themselves are stable for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry used by the built-in instrumentation.
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Bounds are fixed on first creation; later calls with the same name
+  /// return the existing histogram regardless of `bounds`.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds = {});
+
+  /// Deterministic (name-sorted) copy of every metric.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (registration survives; handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // RUPS_OBS_DISABLED
+
+namespace noop {
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> /*bounds*/) noexcept {}
+  void record(double) noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] double sum() const noexcept { return 0.0; }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    static const std::vector<double> empty;
+    return empty;
+  }
+  [[nodiscard]] HistogramSample sample(std::string name) const {
+    HistogramSample s;
+    s.name = std::move(name);
+    return s;
+  }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  [[nodiscard]] Counter& counter(std::string_view) noexcept {
+    static Counter c;
+    return c;
+  }
+  [[nodiscard]] Gauge& gauge(std::string_view) noexcept {
+    static Gauge g;
+    return g;
+  }
+  [[nodiscard]] Histogram& histogram(std::string_view,
+                                     std::vector<double> = {}) noexcept {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+}  // namespace noop
+
+using Counter = noop::Counter;
+using Gauge = noop::Gauge;
+using Histogram = noop::Histogram;
+using Registry = noop::Registry;
+
+#endif  // RUPS_OBS_DISABLED
+
+}  // namespace rups::obs

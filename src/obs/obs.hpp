@@ -1,0 +1,12 @@
+#pragma once
+
+// Umbrella header for the rups::obs observability subsystem: metrics
+// registry (counters / gauges / fixed-bucket histograms), scoped timers
+// with Chrome trace_event spans, and the structured logger. See
+// README.md's "Observability" section for usage and DESIGN.md for how
+// metric names map onto the paper's cost metrics (Sec. VI-E).
+
+#include "obs/log.hpp"      // IWYU pragma: export
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/snapshot.hpp" // IWYU pragma: export
+#include "obs/timer.hpp"    // IWYU pragma: export

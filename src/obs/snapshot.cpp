@@ -1,0 +1,303 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace rups::obs {
+
+namespace {
+
+/// Print a double so it round-trips exactly through from_json.
+std::string num(double v) {
+  if (std::isnan(v)) return "0";  // snapshots never carry NaN; be safe
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Minimal recursive-descent parser for the subset of JSON that to_json
+/// emits (objects, arrays, strings, numbers). Good enough for round-trips
+/// and for reading snapshots back in tooling/tests.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    double v = 0.0;
+    const auto res = std::from_chars(s_.data() + start, s_.data() + pos_, v);
+    if (res.ec != std::errc{}) fail("bad number");
+    return v;
+  }
+
+  std::uint64_t parse_u64() {
+    const double v = parse_number();
+    if (v < 0) fail("expected unsigned value");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  /// Iterate "key": value pairs of an object; `field` dispatches on key.
+  template <typename Fn>
+  void parse_object(Fn&& field) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = parse_string();
+      expect(':');
+      field(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  template <typename Fn>
+  void parse_array(Fn&& element) {
+    expect('[');
+    if (consume(']')) return;
+    do {
+      element();
+    } while (consume(','));
+    expect(']');
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("MetricsSnapshot::from_json: " + what +
+                             " at offset " + std::to_string(pos_));
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  out += "{\n  \"counters\": [";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, counters[i].name);
+    out += ", \"value\": " + std::to_string(counters[i].value) + "}";
+  }
+  out += counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, gauges[i].name);
+    out += ", \"value\": " + num(gauges[i].value) + "}";
+  }
+  out += gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSample& h = histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_escaped(out, h.name);
+    out += ", \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + num(h.sum);
+    out += ", \"min\": " + num(h.min);
+    out += ", \"max\": " + num(h.max);
+    out += ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += num(h.bounds[b]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const std::string& text) {
+  MetricsSnapshot snap;
+  Parser p(text);
+  p.parse_object([&](const std::string& section) {
+    if (section == "counters") {
+      p.parse_array([&] {
+        CounterSample c;
+        p.parse_object([&](const std::string& key) {
+          if (key == "name") {
+            c.name = p.parse_string();
+          } else if (key == "value") {
+            c.value = p.parse_u64();
+          } else {
+            p.fail("unknown counter field '" + key + "'");
+          }
+        });
+        snap.counters.push_back(std::move(c));
+      });
+    } else if (section == "gauges") {
+      p.parse_array([&] {
+        GaugeSample g;
+        p.parse_object([&](const std::string& key) {
+          if (key == "name") {
+            g.name = p.parse_string();
+          } else if (key == "value") {
+            g.value = p.parse_number();
+          } else {
+            p.fail("unknown gauge field '" + key + "'");
+          }
+        });
+        snap.gauges.push_back(std::move(g));
+      });
+    } else if (section == "histograms") {
+      p.parse_array([&] {
+        HistogramSample h;
+        p.parse_object([&](const std::string& key) {
+          if (key == "name") {
+            h.name = p.parse_string();
+          } else if (key == "count") {
+            h.count = p.parse_u64();
+          } else if (key == "sum") {
+            h.sum = p.parse_number();
+          } else if (key == "min") {
+            h.min = p.parse_number();
+          } else if (key == "max") {
+            h.max = p.parse_number();
+          } else if (key == "bounds") {
+            p.parse_array([&] { h.bounds.push_back(p.parse_number()); });
+          } else if (key == "buckets") {
+            p.parse_array([&] { h.buckets.push_back(p.parse_u64()); });
+          } else {
+            p.fail("unknown histogram field '" + key + "'");
+          }
+        });
+        snap.histograms.push_back(std::move(h));
+      });
+    } else {
+      p.fail("unknown section '" + section + "'");
+    }
+  });
+  return snap;
+}
+
+void MetricsSnapshot::write_csv(util::CsvWriter& out) const {
+  out.row(std::vector<std::string>{"name", "kind", "value"});
+  for (const CounterSample& c : counters) {
+    out.row(std::vector<std::string>{c.name, "counter",
+                                     std::to_string(c.value)});
+  }
+  for (const GaugeSample& g : gauges) {
+    out.row(std::vector<std::string>{g.name, "gauge", num(g.value)});
+  }
+  for (const HistogramSample& h : histograms) {
+    out.row(std::vector<std::string>{h.name + ".count", "histogram",
+                                     std::to_string(h.count)});
+    out.row(std::vector<std::string>{h.name + ".sum", "histogram", num(h.sum)});
+    out.row(std::vector<std::string>{h.name + ".min", "histogram", num(h.min)});
+    out.row(std::vector<std::string>{h.name + ".max", "histogram", num(h.max)});
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::string le =
+          b < h.bounds.size() ? num(h.bounds[b]) : std::string("inf");
+      out.row(std::vector<std::string>{h.name + ".le_" + le, "histogram",
+                                       std::to_string(h.buckets[b])});
+    }
+  }
+}
+
+const CounterSample* MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = std::find_if(
+      counters.begin(), counters.end(),
+      [&](const CounterSample& c) { return c.name == name; });
+  return it == counters.end() ? nullptr : &*it;
+}
+
+const GaugeSample* MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it =
+      std::find_if(gauges.begin(), gauges.end(),
+                   [&](const GaugeSample& g) { return g.name == name; });
+  return it == gauges.end() ? nullptr : &*it;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = std::find_if(
+      histograms.begin(), histograms.end(),
+      [&](const HistogramSample& h) { return h.name == name; });
+  return it == histograms.end() ? nullptr : &*it;
+}
+
+}  // namespace rups::obs

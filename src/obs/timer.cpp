@@ -1,0 +1,67 @@
+#include "obs/timer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace rups::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+
+std::chrono::steady_clock::time_point process_start() noexcept {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the epoch during static init so now_us() is monotone from startup.
+[[maybe_unused]] const auto g_epoch_init = process_start();
+
+}  // namespace
+
+double now_us() noexcept {
+  const auto d = std::chrono::steady_clock::now() - process_start();
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+std::uint32_t this_thread_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void set_trace_sink(TraceSink* sink) noexcept {
+  g_trace_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* trace_sink() noexcept {
+  return g_trace_sink.load(std::memory_order_acquire);
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::filesystem::path& path)
+    : out_(path) {
+  out_ << "[\n";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  std::lock_guard lock(mutex_);
+  out_ << (events_ == 0 ? "]\n" : "\n]\n");
+}
+
+void ChromeTraceSink::emit(const TraceEvent& event) {
+  char line[256];
+  // Complete event ("ph":"X"): chrome://tracing nests overlapping spans of
+  // one tid by duration automatically.
+  std::snprintf(line, sizeof(line),
+                "{\"name\": \"%s\", \"cat\": \"rups\", \"ph\": \"X\", "
+                "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                event.name, event.ts_us, event.dur_us, event.tid);
+  std::lock_guard lock(mutex_);
+  if (events_ > 0) out_ << ",\n";
+  out_ << line;
+  ++events_;
+}
+
+}  // namespace rups::obs

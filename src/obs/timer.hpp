@@ -1,0 +1,126 @@
+#pragma once
+
+// Scoped timers and Chrome trace_event spans.
+//
+//   static obs::Histogram& h = obs::Registry::global().histogram("syn.seek_us");
+//   {
+//     obs::ObsTimer timer(&h, "syn.seek");   // span name optional
+//     ... work ...
+//   }                                        // records us + emits trace event
+//
+// Spans go to the process-wide TraceSink when one is installed
+// (obs::set_trace_sink). ChromeTraceSink writes the trace_event JSON array
+// format, one event per line, which loads directly in chrome://tracing or
+// https://ui.perfetto.dev. With RUPS_OBS_DISABLED the timer is an empty
+// stub and instrumented scopes pay nothing.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace rups::obs {
+
+/// Microseconds since process start (steady clock).
+[[nodiscard]] double now_us() noexcept;
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-use order).
+[[nodiscard]] std::uint32_t this_thread_tid() noexcept;
+
+struct TraceEvent {
+  const char* name = "";
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Install/clear the process-wide span sink (not owned). Pass nullptr to
+/// disable. Emission is already-running-span safe: timers read the pointer
+/// once at destruction.
+void set_trace_sink(TraceSink* sink) noexcept;
+[[nodiscard]] TraceSink* trace_sink() noexcept;
+
+/// chrome://tracing "JSON array format" file sink: one complete ("ph":"X")
+/// event object per line, keyed by thread id. Thread-safe; the array is
+/// closed by the destructor (chrome also tolerates a missing ']').
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::filesystem::path& path);
+  ~ChromeTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t events_ = 0;
+};
+
+#ifndef RUPS_OBS_DISABLED
+
+/// RAII scope timer: on destruction (or explicit stop()) records the
+/// elapsed microseconds into `histogram` (if any) and emits a span named
+/// `span_name` (if any) to the installed trace sink.
+class ObsTimer {
+ public:
+  explicit ObsTimer(Histogram* histogram,
+                    const char* span_name = nullptr) noexcept
+      : histogram_(histogram), name_(span_name), start_us_(now_us()) {}
+
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+  ~ObsTimer() { stop(); }
+
+  /// Record now instead of at scope exit; idempotent. Returns elapsed us.
+  double stop() noexcept {
+    if (stopped_) return dur_us_;
+    stopped_ = true;
+    dur_us_ = now_us() - start_us_;
+    if (histogram_ != nullptr) histogram_->record(dur_us_);
+    if (name_ != nullptr) {
+      if (TraceSink* sink = trace_sink()) {
+        sink->emit({name_, start_us_, dur_us_, this_thread_tid()});
+      }
+    }
+    return dur_us_;
+  }
+
+ private:
+  Histogram* histogram_;
+  const char* name_;
+  double start_us_;
+  double dur_us_ = 0.0;
+  bool stopped_ = false;
+};
+
+#else  // RUPS_OBS_DISABLED
+
+namespace noop {
+class ObsTimer {
+ public:
+  explicit ObsTimer(Histogram*, const char* = nullptr) noexcept {}
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+  double stop() noexcept { return 0.0; }
+};
+}  // namespace noop
+
+using ObsTimer = noop::ObsTimer;
+
+#endif  // RUPS_OBS_DISABLED
+
+}  // namespace rups::obs

@@ -2,7 +2,36 @@
 
 #include <cmath>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "v2v/exchange.hpp"
+#include "v2v/link.hpp"
+
 namespace rups::sim {
+
+namespace {
+
+/// Per-query latency and availability — the paper's per-query compute cost
+/// (Sec. VI-E) at campaign granularity.
+struct CampaignMetrics {
+  obs::Counter& queries = obs::Registry::global().counter("campaign.queries");
+  obs::Counter& rups_hits =
+      obs::Registry::global().counter("campaign.rups_hits");
+  obs::Counter& rups_misses =
+      obs::Registry::global().counter("campaign.rups_misses");
+  obs::Gauge& availability =
+      obs::Registry::global().gauge("campaign.last_availability");
+  obs::Histogram& latency_us =
+      obs::Registry::global().histogram("campaign.query_latency_us");
+};
+
+CampaignMetrics& campaign_metrics() {
+  static CampaignMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<double> CampaignResult::rups_errors() const {
   std::vector<double> out;
@@ -40,7 +69,17 @@ double CampaignResult::rups_availability() const {
 CampaignResult run_campaign(ConvoySimulation& sim,
                             const CampaignConfig& config,
                             util::ThreadPool* pool) {
+  CampaignMetrics& metrics = campaign_metrics();
   CampaignResult result;
+
+  // Communication-cost model (Sec. V-B): the rear vehicle pulls the front
+  // vehicle's context over a simulated DSRC link — whole journey context
+  // once, then only the newly emitted tail metres before each query.
+  v2v::DsrcLink link(/*seed=*/0xB0B5'CAFEULL);
+  v2v::ExchangeSession session(&link);
+  std::uint64_t synced_metre = 0;
+  bool have_full_context = false;
+
   sim.run_until(config.warmup_s);
   double t = config.warmup_s;
   while (result.queries.size() < config.max_queries && !sim.finished() &&
@@ -48,8 +87,32 @@ CampaignResult run_campaign(ConvoySimulation& sim,
     t += config.interval_s;
     sim.run_until(t);
     if (sim.finished()) break;
+    if (config.model_v2v_cost) {
+      const core::ContextTrajectory& front = sim.rig(0).engine().context();
+      if (!front.empty()) {
+        if (!have_full_context) {
+          (void)session.exchange_full(front);
+          have_full_context = true;
+        } else {
+          (void)session.exchange_tail(front, synced_metre);
+        }
+        synced_metre = front.first_metre() + front.size();
+      }
+    }
+    obs::ObsTimer timer(&metrics.latency_us, "campaign.query");
     result.queries.push_back(sim.query(1, 0, pool));
+    timer.stop();
+    metrics.queries.inc();
+    (result.queries.back().rups.has_value() ? metrics.rups_hits
+                                            : metrics.rups_misses)
+        .inc();
   }
+
+  metrics.availability.set(result.rups_availability());
+  RUPS_LOG(kDebug) << "campaign finished: " << result.queries.size()
+                   << " queries, availability " << result.rups_availability()
+                   << ", v2v bytes " << session.total_bytes();
+  result.metrics = obs::Registry::global().snapshot();
   return result;
 }
 

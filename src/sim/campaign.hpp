@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "sim/convoy_sim.hpp"
 
 namespace rups::sim {
@@ -17,10 +18,22 @@ struct CampaignConfig {
   std::size_t max_queries = 500;
   /// Hard stop (s); 0 = run until a vehicle finishes the route.
   double time_limit_s = 0.0;
+  /// Account the V2V communication cost of every query through a simulated
+  /// DSRC exchange (Sec. V-B): the front vehicle's context is transferred
+  /// in full before the first query, then as incremental tail updates.
+  /// Purely observational — query results are computed exactly as before.
+  bool model_v2v_cost = true;
 };
 
 struct CampaignResult {
   std::vector<ConvoySimulation::QueryResult> queries;
+
+  /// Snapshot of the global obs::Registry taken when the campaign
+  /// finished: per-query latency histogram (campaign.query_latency_us),
+  /// SYN-search work (syn.*), V2V bytes (v2v.*), field evaluations
+  /// (gsm.*). Counters are process-cumulative; diff two snapshots to
+  /// isolate one campaign. Empty under RUPS_OBS_DISABLED builds.
+  obs::MetricsSnapshot metrics;
 
   /// Absolute RUPS errors over queries that produced an estimate.
   [[nodiscard]] std::vector<double> rups_errors() const;

@@ -2,7 +2,34 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace rups::v2v {
+
+namespace {
+
+/// Sec. VI-E communication cost: every exchanged trajectory message, its
+/// encoded payload bytes, and the WSM packet/retransmission volume.
+struct ExchangeMetrics {
+  obs::Counter& messages = obs::Registry::global().counter("v2v.messages");
+  obs::Counter& bytes = obs::Registry::global().counter("v2v.payload_bytes");
+  obs::Counter& packets = obs::Registry::global().counter("v2v.packets");
+  obs::Counter& transmissions =
+      obs::Registry::global().counter("v2v.transmissions");
+  obs::Counter& transfer_us =
+      obs::Registry::global().counter("v2v.transfer_time_us");
+  obs::Histogram& exchange_us =
+      obs::Registry::global().histogram("v2v.exchange_us");
+};
+
+ExchangeMetrics& exchange_metrics() {
+  static ExchangeMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ExchangeSession::ExchangeSession(DsrcLink* link, std::uint32_t next_message_id)
     : link_(link), next_message_id_(next_message_id) {
@@ -12,6 +39,8 @@ ExchangeSession::ExchangeSession(DsrcLink* link, std::uint32_t next_message_id)
 }
 
 ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded) {
+  ExchangeMetrics& metrics = exchange_metrics();
+  obs::ObsTimer timer(&metrics.exchange_us, "v2v.exchange");
   // Frame, "transmit" (timing model), reassemble, decode. Framing and
   // reassembly run for real so the byte path is exercised end to end.
   const auto packets =
@@ -20,9 +49,16 @@ ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded) {
   const auto stats = link_->transfer(encoded.size());
   const auto reassembled = WsmFraming::reassemble(packets);
   if (!reassembled.has_value()) {
+    RUPS_LOG(kError) << "WSM reassembly failed: " << packets.size()
+                     << " packets, " << encoded.size() << " payload bytes";
     throw std::runtime_error("ExchangeSession: reassembly failed");
   }
   ExchangeResult result{TrajectoryCodec::decode(*reassembled), stats};
+  metrics.messages.inc();
+  metrics.bytes.inc(stats.payload_bytes);
+  metrics.packets.inc(stats.packets);
+  metrics.transmissions.inc(stats.transmissions);
+  metrics.transfer_us.inc(static_cast<std::uint64_t>(stats.duration_s * 1e6));
   bytes_ += stats.payload_bytes;
   seconds_ += stats.duration_s;
   return result;

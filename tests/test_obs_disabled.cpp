@@ -1,0 +1,77 @@
+// Compiled with -DRUPS_OBS_DISABLED (see tests/CMakeLists.txt): proves the
+// no-op configuration builds cleanly against the full obs API surface and
+// that instrumentation statements really cost nothing — stream operands and
+// metric updates must never be evaluated.
+//
+// This binary deliberately links the enabled rups_obs library: the
+// always-on types (MetricsSnapshot, Logger, TraceSink) are shared, while
+// the stubbed types live in obs::noop, so mixing configurations in one
+// program is ODR-safe.
+
+#ifndef RUPS_OBS_DISABLED
+#error "this test must be compiled with RUPS_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace rups::obs {
+namespace {
+
+TEST(ObsDisabled, MetricsAreInertNoOps) {
+  Counter& c = Registry::global().counter("disabled.counter");
+  c.inc(1'000'000);
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge& g = Registry::global().gauge("disabled.gauge");
+  g.set(3.0);
+  g.add(4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+
+  Histogram& h = Registry::global().histogram("disabled.histogram");
+  h.record(123.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.bounds().empty());
+  EXPECT_EQ(h.sample("s").count, 0u);
+}
+
+TEST(ObsDisabled, SnapshotIsEmpty) {
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  // The snapshot type itself stays fully functional (it is shared with
+  // enabled builds, e.g. inside sim::CampaignResult).
+  EXPECT_EQ(MetricsSnapshot::from_json(snap.to_json()), snap);
+}
+
+TEST(ObsDisabled, TimerCompilesAndDoesNothing) {
+  Histogram& h = Registry::global().histogram("disabled.latency");
+  {
+    ObsTimer timer(&h, "disabled.span");
+    ObsTimer unnamed(nullptr);
+    EXPECT_DOUBLE_EQ(timer.stop(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsDisabled, LogStatementsDoNotEvaluateOperands) {
+  int evaluations = 0;
+  const auto side_effect = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  RUPS_LOG(kError) << "never emitted " << side_effect();
+  RUPS_LOG(kTrace) << side_effect() << side_effect();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabled, ExponentialBoundsStillWork) {
+  // Bucket maths is shared between configurations.
+  EXPECT_EQ(exponential_bounds(1.0, 10.0, 3),
+            (std::vector<double>{1.0, 10.0, 100.0}));
+}
+
+}  // namespace
+}  // namespace rups::obs

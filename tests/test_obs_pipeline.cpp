@@ -1,0 +1,120 @@
+// End-to-end observability: one small campaign must light up the cost
+// metrics the paper reports in Sec. VI-E — SYN-search work, V2V
+// communication bytes, per-query latency — and the snapshot must survive a
+// JSON round trip (what bench binaries write under bench_out/).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/campaign.hpp"
+#include "sim/convoy_sim.hpp"
+
+namespace rups {
+namespace {
+
+sim::CampaignResult run_small_campaign() {
+  sim::Scenario scenario =
+      sim::Scenario::two_car(7, road::EnvironmentType::kFourLaneUrban);
+  scenario.route_length_m = 6'000.0;
+  sim::ConvoySimulation sim(scenario);
+  sim::CampaignConfig cfg;
+  cfg.max_queries = 5;
+  cfg.model_v2v_cost = true;
+  return sim::run_campaign(sim, cfg);
+}
+
+TEST(ObsPipeline, CampaignProducesCostMetrics) {
+  const sim::CampaignResult result = run_small_campaign();
+  ASSERT_FALSE(result.queries.empty());
+  const obs::MetricsSnapshot& snap = result.metrics;
+
+  // SYN-point search cost (Sec. V-A).
+  const auto* windows = snap.counter("syn.windows_scanned");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_GT(windows->value, 0u);
+  const auto* seeks = snap.counter("syn.seeks");
+  ASSERT_NE(seeks, nullptr);
+  EXPECT_GE(seeks->value, result.queries.size());
+
+  // V2V communication cost (Sec. V-B): full context + incremental tails.
+  const auto* bytes = snap.counter("v2v.payload_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_GT(bytes->value, 0u);
+  const auto* messages = snap.counter("v2v.messages");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_GE(messages->value, result.queries.size());
+
+  // Simulation-side field evaluations and per-metre emissions.
+  EXPECT_GT(snap.counter("gsm.field_evals")->value, 0u);
+  EXPECT_GT(snap.counter("engine.metres_emitted")->value, 0u);
+  EXPECT_GT(snap.counter("engine.imu_samples")->value, 0u);
+
+  // Per-query latency histogram.
+  const auto* latency = snap.histogram("campaign.query_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->count, result.queries.size());
+  EXPECT_GT(latency->max, 0.0);
+
+  // The snapshot serializes and parses losslessly.
+  EXPECT_EQ(obs::MetricsSnapshot::from_json(snap.to_json()), snap);
+}
+
+TEST(ObsPipeline, V2vCostModelDoesNotChangeEstimates) {
+  // The exchange model is purely observational: the same campaign with and
+  // without it must produce identical query results.
+  sim::Scenario scenario =
+      sim::Scenario::two_car(11, road::EnvironmentType::kFourLaneUrban);
+  scenario.route_length_m = 6'000.0;
+  sim::CampaignConfig cfg;
+  cfg.max_queries = 3;
+
+  cfg.model_v2v_cost = true;
+  sim::ConvoySimulation sim_a(scenario);
+  const auto with_v2v = sim::run_campaign(sim_a, cfg);
+
+  cfg.model_v2v_cost = false;
+  sim::ConvoySimulation sim_b(scenario);
+  const auto without_v2v = sim::run_campaign(sim_b, cfg);
+
+  ASSERT_EQ(with_v2v.queries.size(), without_v2v.queries.size());
+  for (std::size_t i = 0; i < with_v2v.queries.size(); ++i) {
+    EXPECT_EQ(with_v2v.queries[i].truth, without_v2v.queries[i].truth);
+    EXPECT_EQ(with_v2v.queries[i].rups.has_value(),
+              without_v2v.queries[i].rups.has_value());
+    if (with_v2v.queries[i].rups.has_value()) {
+      EXPECT_DOUBLE_EQ(with_v2v.queries[i].rups->distance_m,
+                       without_v2v.queries[i].rups->distance_m);
+    }
+  }
+}
+
+TEST(ObsPipeline, ChromeTraceCapturesCampaignSpans) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rups_campaign_trace.json";
+  std::uint64_t events = 0;
+  {
+    obs::ChromeTraceSink sink(path);
+    obs::set_trace_sink(&sink);
+    (void)run_small_campaign();
+    obs::set_trace_sink(nullptr);
+    events = sink.events_written();
+  }
+  EXPECT_GT(events, 0u);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"name\": \"syn.seek\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"campaign.query\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"v2v.exchange\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rups
