@@ -71,7 +71,8 @@ inline std::filesystem::path write_metrics_json(const std::string& name) {
 
 /// Per-stage observability breakdown: every counter, gauge and histogram
 /// accumulated so far, grouped by name prefix (engine. / syn. / gsm. /
-/// v2v. / campaign.). Histograms print count, mean, min and max.
+/// v2v. / campaign.). Histograms print count, mean, and the interpolated
+/// p50/p95/p99 (obs::histogram_quantile) bracketed by min/max.
 inline void print_stage_breakdown() {
   const auto snap = rups::obs::Registry::global().snapshot();
   if (snap.counters.empty() && snap.gauges.empty() &&
@@ -90,9 +91,13 @@ inline void print_stage_breakdown() {
     std::printf("  %-36s %16.4f\n", g.name.c_str(), g.value);
   }
   for (const auto& h : snap.histograms) {
-    std::printf("  %-36s n=%-10llu mean=%-12.2f min=%-10.2f max=%.2f\n",
-                h.name.c_str(), static_cast<unsigned long long>(h.count),
-                h.mean(), h.min, h.max);
+    std::printf(
+        "  %-36s n=%-8llu mean=%-10.2f p50=%-10.2f p95=%-10.2f "
+        "p99=%-10.2f min=%-8.2f max=%.2f\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.count), h.mean(),
+        rups::obs::histogram_quantile(h, 0.50),
+        rups::obs::histogram_quantile(h, 0.95),
+        rups::obs::histogram_quantile(h, 0.99), h.min, h.max);
   }
 }
 

@@ -100,6 +100,26 @@ int run_campaign_mode(std::uint64_t seed, std::size_t max_queries) {
   return result.queries.empty() ? 1 : 0;
 }
 
+void print_help() {
+  std::printf(
+      "usage: trace_tool [mode] [args] [flags]\n"
+      "\n"
+      "modes:\n"
+      "  demo                 record + CSV round trip + replay + verify\n"
+      "                       (default when no mode is given)\n"
+      "  record <trace.csv> [seed]\n"
+      "                       drive the simulated convoy and save the rear\n"
+      "                       vehicle's raw sensor streams\n"
+      "  replay <trace.csv>   rebuild journey context offline from a trace\n"
+      "  campaign [queries]   instrumented query campaign (default 25)\n"
+      "\n"
+      "flags (any mode):\n"
+      "  --metrics-out FILE   dump the rups::obs metrics snapshot on exit\n"
+      "  --trace-out FILE     record Chrome trace_event spans (open in\n"
+      "                       chrome://tracing or ui.perfetto.dev)\n"
+      "  --help               this text\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,14 +129,18 @@ int main(int argc, char** argv) {
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--metrics-out" || arg == "--trace-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file path\n", arg.c_str());
         return 2;
       }
       (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown flag %s (expected --metrics-out or --trace-out)\n",
+      std::fprintf(stderr,
+                   "error: unknown flag %s (see trace_tool --help)\n",
                    arg.c_str());
       return 2;
     } else {

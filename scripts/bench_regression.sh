@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the comm and compute benches in quick mode and
+# diff the results against the committed baseline with obs_diff. Two passes
+# with very different tolerances:
+#
+#  1. bench_comm_cost is fixed-size and seeded, so its metric COUNTERS are
+#     deterministic — diffed tightly (2%). Any drift means the byte path,
+#     framing or cost model actually changed.
+#  2. bench_compute_cost timings are machine- and load-dependent (this
+#     container has 1 CPU and ±10-25% noise), so cpu times are diffed
+#     one-sided with a 100% tolerance: only a >2x slowdown fails. Its
+#     counters are iteration-adaptive (google-benchmark picks iteration
+#     counts) and are NOT compared.
+#
+# Usage:
+#   bench_regression.sh <bench_compute_cost> <bench_comm_cost> <obs_diff> \
+#                       <baseline.json> <workdir>
+set -eu
+
+if [[ $# -ne 5 ]]; then
+  echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
+       "<obs_diff> <baseline.json> <workdir>" >&2
+  exit 2
+fi
+
+compute_bin=$(realpath "$1")
+comm_bin=$(realpath "$2")
+obs_diff_bin=$(realpath "$3")
+baseline=$(realpath "$4")
+workdir="$5"
+
+mkdir -p "$workdir"
+workdir=$(realpath "$workdir")
+
+echo "== pass 1/2: comm-cost counters (deterministic, tight) =="
+comm_dir="$workdir/comm"
+rm -rf "$comm_dir"
+mkdir -p "$comm_dir"
+(cd "$comm_dir" && "$comm_bin" > bench_comm_cost.log)
+"$obs_diff_bin" --section comm_metrics \
+  --counter-tol 0.02 --skip-histograms --skip-benchmarks \
+  "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
+
+echo ""
+echo "== pass 2/2: compute-cost timings (noisy, one-sided 100%) =="
+compute_dir="$workdir/compute"
+rm -rf "$compute_dir"
+mkdir -p "$compute_dir"
+(cd "$compute_dir" && RUPS_BENCH_SCALE=0.3 "$compute_bin" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$compute_dir/compute_bench.json" \
+    --benchmark_out_format=json > bench_compute_cost.log)
+"$obs_diff_bin" \
+  --skip-counters --skip-gauges --skip-histograms --bench-tol 1.0 \
+  "$baseline" "$compute_dir/compute_bench.json"
+
+echo ""
+echo "bench regression gate: PASS"

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# CLI contract test for trace_tool and obs_diff:
+#  - --help exits 0 and documents the modes/flags,
+#  - unknown flags exit 2 and NAME the offending flag,
+#  - obs_diff passes on identical inputs and fails (exit 1) on a
+#    deliberate 2x slowdown fixture — the regression-gate acceptance case.
+#
+# Usage: test_cli_flags.sh <trace_tool> <obs_diff>
+set -u
+
+trace_tool="${1:?usage: test_cli_flags.sh <trace_tool> <obs_diff>}"
+obs_diff="${2:?usage: test_cli_flags.sh <trace_tool> <obs_diff>}"
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+check() {
+  local desc="$1"
+  local want_rc="$2"
+  shift 2
+  local out rc
+  out=$("$@" 2>&1)
+  rc=$?
+  if [[ $rc -ne $want_rc ]]; then
+    echo "FAIL: $desc — expected exit $want_rc, got $rc"
+    echo "$out" | head -5
+    fail=1
+  else
+    echo "ok: $desc"
+  fi
+  last_output="$out"
+}
+
+expect_in_output() {
+  local desc="$1"
+  local needle="$2"
+  if [[ "$last_output" != *"$needle"* ]]; then
+    echo "FAIL: $desc — output does not mention '$needle'"
+    echo "$last_output" | head -5
+    fail=1
+  else
+    echo "ok: $desc"
+  fi
+}
+
+# ---- trace_tool ----
+check "trace_tool --help exits 0" 0 "$trace_tool" --help
+expect_in_output "help lists campaign mode" "campaign"
+expect_in_output "help lists record mode" "record"
+expect_in_output "help lists --metrics-out" "--metrics-out"
+expect_in_output "help lists --trace-out" "--trace-out"
+
+check "trace_tool unknown flag exits 2" 2 "$trace_tool" demo --frobnicate
+expect_in_output "error names the flag" "--frobnicate"
+
+check "trace_tool --metrics-out without value exits 2" 2 \
+  "$trace_tool" demo --metrics-out
+
+# ---- obs_diff ----
+check "obs_diff --help exits 0" 0 "$obs_diff" --help
+expect_in_output "help lists --section" "--section"
+expect_in_output "help lists --counter-tol" "--counter-tol"
+expect_in_output "help lists --bench-tol" "--bench-tol"
+
+check "obs_diff unknown flag exits 2" 2 "$obs_diff" --wibble a.json b.json
+expect_in_output "error names the flag" "--wibble"
+
+check "obs_diff without inputs exits 2" 2 "$obs_diff"
+check "obs_diff with missing file exits 2" 2 \
+  "$obs_diff" "$work/nope.json" "$work/nope2.json"
+
+# Identical snapshots: exit 0.
+cat > "$work/base.json" <<'JSON'
+{
+  "counters": [{"name": "syn.seeks", "value": 100}],
+  "gauges": [{"name": "campaign.last_availability", "value": 0.9}],
+  "histograms": [{"name": "syn.seek_us", "count": 10, "sum": 500.0,
+                  "min": 10.0, "max": 90.0,
+                  "bounds": [100.0], "buckets": [10, 0]}],
+  "benchmarks": [{"name": "BM_SynSearch", "cpu_time_ns": 1000000.0}]
+}
+JSON
+cp "$work/base.json" "$work/same.json"
+check "obs_diff identical inputs exits 0" 0 \
+  "$obs_diff" "$work/base.json" "$work/same.json"
+
+# Deliberate 2x slowdown of every timed stage: must trip the gate.
+cat > "$work/slow.json" <<'JSON'
+{
+  "counters": [{"name": "syn.seeks", "value": 100}],
+  "gauges": [{"name": "campaign.last_availability", "value": 0.9}],
+  "histograms": [{"name": "syn.seek_us", "count": 10, "sum": 1000.0,
+                  "min": 20.0, "max": 180.0,
+                  "bounds": [100.0], "buckets": [9, 1]}],
+  "benchmarks": [{"name": "BM_SynSearch", "cpu_time_ns": 2000000.0}]
+}
+JSON
+check "obs_diff flags a 2x slowdown (exit 1)" 1 \
+  "$obs_diff" "$work/base.json" "$work/slow.json"
+expect_in_output "slowdown verdict is FAIL" "FAIL"
+
+# The same 2x candidate passes when benchmarks/histograms are excluded —
+# the counters did not move.
+check "obs_diff --skip-histograms --skip-benchmarks passes" 0 \
+  "$obs_diff" --skip-histograms --skip-benchmarks \
+  "$work/base.json" "$work/slow.json"
+
+# --section falls back per file; a bogus section in both inputs errors.
+check "obs_diff bogus --section exits 2" 2 \
+  "$obs_diff" --section no_such_section_anywhere \
+  "$work/base.json" "$work/same.json"
+
+if [[ $fail -ne 0 ]]; then
+  echo "cli flags test: FAIL"
+  exit 1
+fi
+echo "cli flags test: PASS"
+exit 0

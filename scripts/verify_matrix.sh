@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Build-and-test matrix for the two non-default configurations:
+#
+#  1. obs-disabled — RUPS_OBS_DISABLED=ON compiles rups::obs to no-ops
+#     behind the same headers. Full ctest must pass (recorder/health
+#     instrumentation statements evaluate nothing; the bench regression
+#     gate is excluded by CMake in this config).
+#  2. asan-ubsan  — Address + UB sanitizers over the observability test
+#     binaries (sharded atomics, recorder ring concurrency, JSON parser)
+#     plus a small end-to-end campaign smoke.
+#
+# Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
+set -eu
+
+jobs="${1:-2}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+echo "== obs-disabled: configure + build + ctest =="
+cmake --preset obs-disabled
+cmake --build --preset obs-disabled -j"$jobs"
+ctest --preset obs-disabled -j"$jobs"
+
+echo ""
+echo "== asan-ubsan: configure + build obs/json/campaign surfaces =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$jobs" --target \
+  test_obs test_obs_disabled test_obs_recorder test_obs_health \
+  test_obs_pipeline test_json trace_tool
+
+echo ""
+echo "== asan-ubsan: run sanitized binaries =="
+for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
+           test_obs_pipeline test_json; do
+  echo "-- $bin"
+  "build-asan/tests/$bin"
+done
+
+echo "-- trace_tool campaign smoke"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+build-asan/examples/trace_tool campaign 5 \
+  --metrics-out "$smoke_dir/metrics.json" \
+  --trace-out "$smoke_dir/trace.json"
+test -s "$smoke_dir/metrics.json"
+test -s "$smoke_dir/trace.json"
+
+echo ""
+echo "verify matrix: PASS"

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/timer.hpp"
 
 namespace rups::core {
@@ -91,7 +92,19 @@ std::optional<RelativeDistanceEstimate> RupsEngine::estimate_distance(
   engine_metrics().queries.inc();
   obs::ObsTimer timer(&engine_metrics().estimate_us, "engine.estimate");
   const auto syns = find_syn_points(neighbour, pool);
-  return aggregate_estimates(context_, neighbour, syns, config_.aggregation);
+  auto estimate =
+      aggregate_estimates(context_, neighbour, syns, config_.aggregation);
+  if (estimate.has_value()) {
+    obs::FlightRecorder::global().record(
+        obs::EventType::kEstimateEmitted, "engine.estimate",
+        estimate->distance_m, estimate->confidence,
+        static_cast<double>(syns.size()));
+  } else {
+    obs::FlightRecorder::global().record(obs::EventType::kEstimateMissing,
+                                         "engine.estimate", 0.0, 0.0,
+                                         static_cast<double>(syns.size()));
+  }
+  return estimate;
 }
 
 }  // namespace rups::core

@@ -8,6 +8,7 @@
 #include "core/channel_select.hpp"
 #include "core/turn_detector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/timer.hpp"
 
 namespace rups::core {
@@ -254,8 +255,16 @@ std::optional<SynPoint> SynSeeker::find_one(
   SynMetrics& metrics = syn_metrics();
   metrics.seeks.inc();
   obs::ObsTimer timer(&metrics.seek_us, "syn.seek");
-  if (a.empty() || b.empty()) return std::nullopt;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.record(obs::EventType::kSeekStarted, "syn.seek",
+                  static_cast<double>(a.size()), static_cast<double>(b.size()),
+                  static_cast<double>(recency_offset_m));
+  if (a.empty() || b.empty()) {
+    recorder.record(obs::EventType::kSeekRejected, "syn.empty");
+    return std::nullopt;
+  }
   if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
+    recorder.record(obs::EventType::kSeekRejected, "syn.recency_overflow");
     return std::nullopt;
   }
   // Post-turn limiting (Sec. V-C): the RECENT fixed segment must not span
@@ -268,13 +277,19 @@ std::optional<SynPoint> SynSeeker::find_one(
     const auto tail_b =
         static_cast<std::size_t>(TurnDetector::straight_tail_metres(b));
     if (tail_a <= recency_offset_m || tail_b <= recency_offset_m) {
+      recorder.record(obs::EventType::kSeekRejected, "syn.turn_limited");
       return std::nullopt;
     }
     avail_a = std::min(avail_a, tail_a - recency_offset_m);
     avail_b = std::min(avail_b, tail_b - recency_offset_m);
   }
   const auto [window, threshold] = effective_window(avail_a, avail_b);
-  if (window == 0) return std::nullopt;
+  if (window == 0) {
+    recorder.record(obs::EventType::kSeekRejected, "syn.no_window", 0.0,
+                    static_cast<double>(std::min(avail_a, avail_b)),
+                    threshold);
+    return std::nullopt;
+  }
 
   const std::size_t a_start = a.size() - recency_offset_m - window;
   const std::size_t b_start = b.size() - recency_offset_m - window;
@@ -284,7 +299,11 @@ std::optional<SynPoint> SynSeeker::find_one(
       select_top_channels(a, a_start, window, config_.top_channels);
   const auto channels_b =
       select_top_channels(b, b_start, window, config_.top_channels);
-  if (channels_a.empty() || channels_b.empty()) return std::nullopt;
+  if (channels_a.empty() || channels_b.empty()) {
+    recorder.record(obs::EventType::kSeekRejected, "syn.no_channels", 0.0,
+                    static_cast<double>(window), threshold);
+    return std::nullopt;
+  }
 
   // Pass 1 (Fig 7 left): recent segment of A slides over B.
   const Candidate on_b = slide(a, a_start, b, window, channels_a);
@@ -308,7 +327,15 @@ std::optional<SynPoint> SynSeeker::find_one(
     found = true;
   }
   (found ? metrics.coherency_pass : metrics.coherency_fail).inc();
-  if (!found) return std::nullopt;
+  if (!found) {
+    const double best_corr = std::max(on_b.valid ? on_b.correlation : -2.0,
+                                      on_a.valid ? on_a.correlation : -2.0);
+    recorder.record(obs::EventType::kSeekRejected, "syn.below_threshold",
+                    best_corr, static_cast<double>(window), threshold);
+    return std::nullopt;
+  }
+  recorder.record(obs::EventType::kSeekAccepted, "syn.seek", best.correlation,
+                  static_cast<double>(window), threshold);
   return best;
 }
 

@@ -1,0 +1,154 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timer.hpp"
+
+namespace rups::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Linear-interpolated order statistic of a rolling window, q in [0, 1].
+double window_quantile(const util::RingBuffer<double>& window, double q) {
+  if (window.empty()) return 0.0;
+  std::vector<double> sorted = window.to_vector();
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string HealthReport::to_json() const {
+  std::string out = "{\n";
+  out += "    \"samples\": " + std::to_string(samples) + ",\n";
+  out += "    \"availability\": " + num(availability) + ",\n";
+  out += "    \"error_p95_m\": " + num(error_p95_m) + ",\n";
+  out += "    \"latency_p99_us\": " + num(latency_p99_us) + ",\n";
+  out += "    \"miss_streak\": " + std::to_string(miss_streak) + ",\n";
+  out += "    \"healthy\": " + std::string(healthy() ? "true" : "false") +
+         ",\n";
+  out += "    \"alerts\": [";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const HealthAlert& a = alerts[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"rule\": \"" + a.rule + "\", \"value\": " + num(a.value) +
+           ", \"threshold\": " + num(a.threshold) +
+           ", \"ts_us\": " + num(a.ts_us) +
+           ", \"sample_index\": " + std::to_string(a.sample_index) + "}";
+  }
+  out += alerts.empty() ? "]\n" : "\n    ]\n";
+  out += "  }";
+  return out;
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config)
+    : config_(config),
+      hits_(config.window == 0 ? 1 : config.window),
+      errors_(config.window == 0 ? 1 : config.window),
+      latencies_(config.window == 0 ? 1 : config.window) {
+  config_.window = hits_.capacity();
+}
+
+void HealthMonitor::on_query(bool hit, std::optional<double> abs_error_m,
+                             double latency_us) {
+  ++samples_;
+  hits_.push(hit ? 1 : 0);
+  if (abs_error_m.has_value()) errors_.push(std::abs(*abs_error_m));
+  latencies_.push(latency_us);
+  miss_streak_ = hit ? 0 : miss_streak_ + 1;
+  evaluate();
+}
+
+void HealthMonitor::evaluate() {
+  double window_hits = 0.0;
+  for (std::size_t i = 0; i < hits_.size(); ++i) window_hits += hits_[i];
+  const double availability =
+      hits_.empty() ? 0.0 : window_hits / static_cast<double>(hits_.size());
+  const double error_p95 = window_quantile(errors_, 0.95);
+  const double latency_p99 = window_quantile(latencies_, 0.99);
+
+  Registry& reg = Registry::global();
+  reg.gauge("health.availability").set(availability);
+  reg.gauge("health.error_p95_m").set(error_p95);
+  reg.gauge("health.latency_p99_us").set(latency_p99);
+  reg.gauge("health.miss_streak").set(static_cast<double>(miss_streak_));
+  reg.gauge("health.alerts").set(static_cast<double>(alerts_.size()));
+
+  if (samples_ < config_.min_samples) return;
+
+  fire("availability", "health.availability", armed_availability_,
+       config_.min_availability > 0.0 && availability < config_.min_availability,
+       availability, config_.min_availability);
+  fire("error_p95", "health.error_p95", armed_error_,
+       config_.max_error_p95_m > 0.0 && !errors_.empty() &&
+           error_p95 > config_.max_error_p95_m,
+       error_p95, config_.max_error_p95_m);
+  fire("latency_p99", "health.latency_p99", armed_latency_,
+       config_.max_latency_p99_us > 0.0 &&
+           latency_p99 > config_.max_latency_p99_us,
+       latency_p99, config_.max_latency_p99_us);
+  fire("miss_streak", "health.miss_streak", armed_streak_,
+       config_.max_miss_streak > 0 && miss_streak_ >= config_.max_miss_streak,
+       static_cast<double>(miss_streak_),
+       static_cast<double>(config_.max_miss_streak));
+}
+
+void HealthMonitor::fire(const char* rule, const char* anomaly_label,
+                         bool& armed, bool violated, double value,
+                         double threshold) {
+  if (!violated) {
+    armed = true;  // excursion over; the rule may fire again
+    return;
+  }
+  if (!armed) return;  // already reported this excursion
+  armed = false;
+
+  HealthAlert alert;
+  alert.rule = rule;
+  alert.value = value;
+  alert.threshold = threshold;
+  alert.ts_us = now_us();
+  alert.sample_index = samples_;
+  alerts_.push_back(alert);
+  Registry::global().gauge("health.alerts").set(
+      static_cast<double>(alerts_.size()));
+
+  const std::string detail = std::string(rule) + " " + num(value) +
+                             " violates threshold " + num(threshold) +
+                             " at query " + std::to_string(samples_);
+  FlightRecorder::global().anomaly(anomaly_label, detail);
+  RUPS_LOG(kWarn) << "health alert: " << detail;
+}
+
+HealthReport HealthMonitor::report() const {
+  HealthReport r;
+  r.samples = samples_;
+  double window_hits = 0.0;
+  for (std::size_t i = 0; i < hits_.size(); ++i) window_hits += hits_[i];
+  r.availability =
+      hits_.empty() ? 0.0 : window_hits / static_cast<double>(hits_.size());
+  r.error_p95_m = window_quantile(errors_, 0.95);
+  r.latency_p99_us = window_quantile(latencies_, 0.99);
+  r.miss_streak = miss_streak_;
+  r.alerts = alerts_;
+  return r;
+}
+
+}  // namespace rups::obs

@@ -1,0 +1,95 @@
+#pragma once
+
+// Health/SLO monitor: rolling-window gauges plus declarative alert rules
+// evaluated in-process, mirroring the paper's evaluation axes (Sec. VI):
+// SYN/estimate availability (Fig. 10), estimate-error p95 (Figs. 11–12)
+// and per-query latency p99 (Sec. V-A). A violated rule fires once per
+// excursion — a FlightRecorder anomaly (which may dump a diagnostics
+// bundle) and a RUPS_LOG warning — then re-arms after recovery.
+//
+// The monitor is feed-based rather than ambient: a driver with ground
+// truth (sim::run_campaign, ConvoySimulation::query) reports each query's
+// hit/miss, absolute error and latency. Because the feeds are explicit,
+// HealthMonitor works identically under RUPS_OBS_DISABLED — only the
+// side effects (anomaly bundles, warnings, health.* gauges) compile away —
+// so sim::CampaignResult can embed a HealthReport in every configuration.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ring_buffer.hpp"
+
+namespace rups::obs {
+
+/// Alert thresholds. A rule is disabled when its threshold is <= 0 (or 0
+/// for the streak rule); no rule fires before `min_samples` queries.
+struct HealthConfig {
+  std::size_t window = 64;           ///< rolling window (queries)
+  std::size_t min_samples = 8;       ///< warm-up before rules evaluate
+  double min_availability = 0.25;    ///< alert when hit rate drops below
+  double max_error_p95_m = 50.0;     ///< alert when |error| p95 exceeds
+  double max_latency_p99_us = 0.0;   ///< alert when latency p99 exceeds
+                                     ///< (machine-dependent; off by default)
+  std::size_t max_miss_streak = 32;  ///< alert on consecutive misses
+};
+
+struct HealthAlert {
+  std::string rule;             ///< "availability", "error_p95", ...
+  double value = 0.0;           ///< observed value at firing time
+  double threshold = 0.0;
+  double ts_us = 0.0;           ///< microseconds since process start
+  std::uint64_t sample_index = 0;  ///< queries seen when the rule fired
+
+  friend bool operator==(const HealthAlert&, const HealthAlert&) = default;
+};
+
+/// Point-in-time health summary. Plain data, configuration-independent.
+struct HealthReport {
+  std::uint64_t samples = 0;      ///< queries observed in total
+  double availability = 0.0;      ///< hit rate over the rolling window
+  double error_p95_m = 0.0;       ///< |error| p95 over the window (0 = none)
+  double latency_p99_us = 0.0;    ///< latency p99 over the window
+  std::size_t miss_streak = 0;    ///< current consecutive-miss run
+  std::vector<HealthAlert> alerts;
+
+  [[nodiscard]] bool healthy() const noexcept { return alerts.empty(); }
+  [[nodiscard]] std::string to_json() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {});
+
+  /// Observe one query: whether RUPS produced an estimate, its absolute
+  /// error versus ground truth when known, and end-to-end latency.
+  /// Evaluates every rule; not thread-safe (one driver feeds one monitor).
+  void on_query(bool hit, std::optional<double> abs_error_m,
+                double latency_us);
+
+  [[nodiscard]] HealthReport report() const;
+  [[nodiscard]] const HealthConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void evaluate();
+  /// `anomaly_label` must be a literal: the recorder retains the pointer.
+  void fire(const char* rule, const char* anomaly_label, bool& armed,
+            bool violated, double value, double threshold);
+
+  HealthConfig config_;
+  util::RingBuffer<unsigned char> hits_;  ///< not bool: vector<bool> proxies
+  util::RingBuffer<double> errors_;     ///< only queries with known error
+  util::RingBuffer<double> latencies_;
+  std::uint64_t samples_ = 0;
+  std::size_t miss_streak_ = 0;
+  std::vector<HealthAlert> alerts_;
+  bool armed_availability_ = true;
+  bool armed_error_ = true;
+  bool armed_latency_ = true;
+  bool armed_streak_ = true;
+};
+
+}  // namespace rups::obs

@@ -147,6 +147,35 @@ class Parser {
 
 }  // namespace
 
+double histogram_quantile(const HistogramSample& h, double q) {
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(h.count);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cumulative += h.buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    // The unbounded final bucket has no upper edge; the observed max is
+    // the tightest honest answer there.
+    if (i >= h.bounds.size()) return h.max;
+
+    const double upper = h.bounds[i];
+    const double lower = i == 0 ? std::min(h.min, upper) : h.bounds[i - 1];
+    const std::uint64_t in_bucket = h.buckets[i];
+    double value = upper;
+    if (in_bucket > 0) {
+      const double below =
+          static_cast<double>(cumulative) - static_cast<double>(in_bucket);
+      const double frac = (rank - below) / static_cast<double>(in_bucket);
+      value = lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    return std::clamp(value, h.min, h.max);
+  }
+  return h.max;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out;
   out += "{\n  \"counters\": [";

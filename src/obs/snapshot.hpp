@@ -47,6 +47,13 @@ struct HistogramSample {
                          const HistogramSample&) = default;
 };
 
+/// Prometheus-style quantile estimate from a histogram sample: finds the
+/// bucket containing rank q*count and linearly interpolates within its
+/// inclusive [lower, upper] edge range. q is clamped to [0, 1]; an empty
+/// histogram yields 0. The result is clamped to the recorded [min, max],
+/// which also resolves the unbounded +Inf bucket to the observed max.
+[[nodiscard]] double histogram_quantile(const HistogramSample& h, double q);
+
 /// A deterministic (name-sorted) snapshot of every metric in a registry.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;

@@ -1,9 +1,11 @@
 #include "sim/campaign.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/timer.hpp"
 #include "v2v/exchange.hpp"
 #include "v2v/link.hpp"
@@ -29,6 +31,31 @@ struct CampaignMetrics {
 CampaignMetrics& campaign_metrics() {
   static CampaignMetrics m;
   return m;
+}
+
+/// Minimal JSON view of the campaign + health configuration, embedded in
+/// diagnostics bundles so a dump is interpretable on its own.
+std::string config_json(const CampaignConfig& config) {
+  std::string out = "{";
+  out += "\"warmup_s\": " + std::to_string(config.warmup_s);
+  out += ", \"interval_s\": " + std::to_string(config.interval_s);
+  out += ", \"max_queries\": " + std::to_string(config.max_queries);
+  out += ", \"time_limit_s\": " + std::to_string(config.time_limit_s);
+  out += ", \"model_v2v_cost\": ";
+  out += config.model_v2v_cost ? "true" : "false";
+  out += ", \"health\": {";
+  out += "\"window\": " + std::to_string(config.health.window);
+  out += ", \"min_samples\": " + std::to_string(config.health.min_samples);
+  out += ", \"min_availability\": " +
+         std::to_string(config.health.min_availability);
+  out += ", \"max_error_p95_m\": " +
+         std::to_string(config.health.max_error_p95_m);
+  out += ", \"max_latency_p99_us\": " +
+         std::to_string(config.health.max_latency_p99_us);
+  out += ", \"max_miss_streak\": " +
+         std::to_string(config.health.max_miss_streak);
+  out += "}}";
+  return out;
 }
 
 }  // namespace
@@ -72,6 +99,18 @@ CampaignResult run_campaign(ConvoySimulation& sim,
   CampaignMetrics& metrics = campaign_metrics();
   CampaignResult result;
 
+  // Health monitoring: the sim feeds ground-truth-checked results into the
+  // monitor after every query; diagnostics bundles land in diagnostics_dir
+  // (the recorder's previous dump dir is restored on exit).
+  obs::HealthMonitor monitor(config.health);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  const std::filesystem::path previous_dump_dir = recorder.dump_dir();
+  if (!config.diagnostics_dir.empty()) {
+    recorder.set_dump_dir(config.diagnostics_dir);
+    recorder.set_config_text(config_json(config));
+  }
+  if (config.enable_health) sim.set_health_monitor(&monitor);
+
   // Communication-cost model (Sec. V-B): the rear vehicle pulls the front
   // vehicle's context over a simulated DSRC link — whole journey context
   // once, then only the newly emitted tail metres before each query.
@@ -112,6 +151,11 @@ CampaignResult run_campaign(ConvoySimulation& sim,
   RUPS_LOG(kDebug) << "campaign finished: " << result.queries.size()
                    << " queries, availability " << result.rups_availability()
                    << ", v2v bytes " << session.total_bytes();
+  if (config.enable_health) sim.set_health_monitor(nullptr);
+  if (!config.diagnostics_dir.empty()) {
+    recorder.set_dump_dir(previous_dump_dir);
+  }
+  result.health = monitor.report();
   result.metrics = obs::Registry::global().snapshot();
   return result;
 }

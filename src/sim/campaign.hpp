@@ -1,7 +1,9 @@
 #pragma once
 
+#include <filesystem>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/convoy_sim.hpp"
 
@@ -23,6 +25,13 @@ struct CampaignConfig {
   /// in full before the first query, then as incremental tail updates.
   /// Purely observational — query results are computed exactly as before.
   bool model_v2v_cost = true;
+  /// Health/SLO rules evaluated after every query (Sec. VI availability and
+  /// error axes); alerts fire flight-recorder anomalies.
+  obs::HealthConfig health{};
+  bool enable_health = true;
+  /// When non-empty, the flight recorder dumps a JSON diagnostics bundle
+  /// here on each anomaly (restored to its previous setting afterwards).
+  std::filesystem::path diagnostics_dir{};
 };
 
 struct CampaignResult {
@@ -34,6 +43,11 @@ struct CampaignResult {
   /// (gsm.*). Counters are process-cumulative; diff two snapshots to
   /// isolate one campaign. Empty under RUPS_OBS_DISABLED builds.
   obs::MetricsSnapshot metrics;
+
+  /// Health summary at campaign end: rolling availability / error p95 /
+  /// latency p99 and every alert that fired. Identical in all build
+  /// configurations (the monitor runs on explicit ground-truth feeds).
+  obs::HealthReport health;
 
   /// Absolute RUPS errors over queries that produced an estimate.
   [[nodiscard]] std::vector<double> rups_errors() const;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+#include "obs/timer.hpp"
 #include "road/route_builder.hpp"
 #include "util/angle.hpp"
 
@@ -206,11 +208,30 @@ ConvoySimulation::QueryResult ConvoySimulation::query(
   QueryResult result;
   result.truth = rear.state().position_m - front.state().position_m;
 
+  const double started_us = obs::now_us();
   result.syn_points = rear.engine().find_syn_points(front.engine().context(),
                                                     pool);
   result.rups = core::aggregate_estimates(
       rear.engine().context(), front.engine().context(), result.syn_points,
       rear.engine().config().aggregation);
+  const double latency_us = obs::now_us() - started_us;
+
+  // The simulator knows ground truth, so every estimate can be checked
+  // the moment it is produced — the recorder keeps the verdicts and an
+  // attached health monitor turns sustained degradation into alerts.
+  if (result.rups.has_value()) {
+    obs::FlightRecorder::global().record(
+        obs::EventType::kEstimateChecked, "sim.query",
+        result.rups->distance_m, result.truth,
+        std::abs(result.rups->distance_m - result.truth));
+  } else {
+    obs::FlightRecorder::global().record(obs::EventType::kEstimateMissing,
+                                         "sim.query", result.truth);
+  }
+  if (health_ != nullptr) {
+    health_->on_query(result.rups.has_value(), result.rups_error(),
+                      latency_us);
+  }
 
   // SYN position error: true route positions of the matched window ends.
   if (result.syn_points.empty()) {

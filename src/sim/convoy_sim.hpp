@@ -6,6 +6,7 @@
 
 #include "core/engine.hpp"
 #include "gsm/gsm_field.hpp"
+#include "obs/health.hpp"
 #include "road/route.hpp"
 #include "sensors/gps.hpp"
 #include "sensors/gsm_scanner.hpp"
@@ -138,6 +139,13 @@ class ConvoySimulation {
                                   std::size_t front_index,
                                   util::ThreadPool* pool = nullptr) const;
 
+  /// Attach a health monitor: every query() feeds it hit/miss, the absolute
+  /// RUPS error versus ground truth, and the compute latency. Non-owning;
+  /// nullptr detaches. The caller keeps the monitor alive across queries.
+  void set_health_monitor(obs::HealthMonitor* monitor) noexcept {
+    health_ = monitor;
+  }
+
  private:
   Scenario scenario_;
   road::Route route_;
@@ -146,6 +154,7 @@ class ConvoySimulation {
   std::unique_ptr<gsm::GsmField> field_;
   std::vector<std::unique_ptr<VehicleRig>> rigs_;
   double now_ = 0.0;
+  obs::HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace rups::sim

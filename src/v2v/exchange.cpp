@@ -4,6 +4,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/timer.hpp"
 
 namespace rups::v2v {
@@ -61,6 +62,13 @@ ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded) {
   metrics.transfer_us.inc(static_cast<std::uint64_t>(stats.duration_s * 1e6));
   bytes_ += stats.payload_bytes;
   seconds_ += stats.duration_s;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.record(obs::EventType::kExchangeSent, "v2v.exchange",
+                  static_cast<double>(stats.payload_bytes),
+                  static_cast<double>(stats.packets), stats.duration_s);
+  recorder.record(obs::EventType::kExchangeReceived, "v2v.exchange",
+                  static_cast<double>(stats.payload_bytes),
+                  static_cast<double>(result.trajectory.size()));
   return result;
 }
 

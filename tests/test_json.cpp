@@ -1,0 +1,90 @@
+// util::JsonValue: the generic JSON reader behind obs_diff and diagnostics
+// bundle inspection. Unlike MetricsSnapshot::from_json (strict, schema-
+// bound), this must accept any well-formed document and reject malformed
+// ones with a useful error.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace rups::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesContainers) {
+  const auto doc = JsonValue::parse(
+      R"({"a": [1, 2, 3], "b": {"c": "x"}, "empty_arr": [], "empty_obj": {}})");
+  ASSERT_TRUE(doc.is_object());
+  const auto& a = doc.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+  EXPECT_EQ(doc.find_path("b.c")->as_string(), "x");
+  EXPECT_TRUE(doc.find("empty_arr")->as_array().empty());
+  EXPECT_TRUE(doc.find("empty_obj")->as_object().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.find_path("b.missing"), nullptr);
+  EXPECT_EQ(doc.find_path("a.c"), nullptr);  // array is not an object
+}
+
+TEST(Json, StringEscapes) {
+  const auto doc = JsonValue::parse(R"("line\nquote\"back\\slash\tuA")");
+  EXPECT_EQ(doc.as_string(), "line\nquote\"back\\slash\tuA");
+  // Non-ASCII \u escapes decode to UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(Json, Helpers) {
+  const auto doc = JsonValue::parse(R"({"n": 7, "s": "str", "x": null})");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("s", -1.0), -1.0);  // wrong type -> fallback
+  EXPECT_EQ(doc.string_or("s", "d"), "str");
+  EXPECT_EQ(doc.string_or("x", "d"), "d");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("1 2"), std::runtime_error);  // trailing
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("\"bad\\u00g1\""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("--3"), std::runtime_error);
+}
+
+TEST(Json, DepthLimitGuardsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_THROW((void)JsonValue::parse(deep), std::runtime_error);
+  // Reasonable nesting is fine.
+  EXPECT_NO_THROW((void)JsonValue::parse("[[[[[[[[[[1]]]]]]]]]]"));
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const auto doc = JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW((void)doc.as_array(), std::runtime_error);
+  EXPECT_THROW((void)doc.as_number(), std::runtime_error);
+  EXPECT_THROW((void)doc.find("a")->as_string(), std::runtime_error);
+}
+
+TEST(Json, DuplicateKeysKeepLastValue) {
+  const auto doc = JsonValue::parse(R"({"k": 1, "k": 2})");
+  EXPECT_DOUBLE_EQ(doc.number_or("k", 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace rups::util

@@ -276,6 +276,76 @@ TEST(Logger, RateLimitDropsAndReports) {
   log.set_min_level(LogLevel::kWarn);
 }
 
+TEST(HistogramQuantile, EmptyHistogramYieldsZero) {
+  HistogramSample h;
+  h.bounds = {1.0, 2.0};
+  h.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(HistogramSample{}, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesBetweenEdges) {
+  // All 5 samples landed in (min..10]; min is the effective lower edge.
+  HistogramSample h;
+  h.count = 5;
+  h.min = 2.0;
+  h.max = 8.0;
+  h.bounds = {10.0};
+  h.buckets = {5, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 6.0);  // 2 + 0.5*(10-2)
+  // Quantiles clamp to the observed range: no estimate above max...
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 8.0);
+  // ...or below min (q clamped to [0, 1] too).
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, -3.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 7.0), 8.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketResolvesToObservedMax) {
+  // Samples beyond the last bound live in the unbounded +Inf bucket; the
+  // only honest value there is the recorded max.
+  HistogramSample h;
+  h.count = 4;
+  h.min = 12.0;
+  h.max = 20.0;
+  h.bounds = {10.0};
+  h.buckets = {0, 4};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 20.0);
+}
+
+TEST(HistogramQuantile, WalksCumulativeBuckets) {
+  // 10 samples: 5 in (0..10], 4 in (10..20], 1 beyond 20.
+  HistogramSample h;
+  h.count = 10;
+  h.min = 1.0;
+  h.max = 30.0;
+  h.bounds = {10.0, 20.0};
+  h.buckets = {5, 4, 1};
+  // p50: rank 5 is the last sample of bucket 0 -> its upper edge region.
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 10.0, 1e-9);
+  // p80: rank 8 = 3rd of 4 samples in (10..20] -> 10 + (3/4)*10.
+  EXPECT_NEAR(histogram_quantile(h, 0.8), 17.5, 1e-9);
+  // p99 lands in the overflow bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 30.0);
+}
+
+TEST(HistogramQuantile, MatchesLiveHistogramSamples) {
+  Histogram h(exponential_bounds(1.0, 2.0, 12));
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto sample = h.sample("quantile.live");
+  const double p50 = histogram_quantile(sample, 0.50);
+  const double p95 = histogram_quantile(sample, 0.95);
+  const double p99 = histogram_quantile(sample, 0.99);
+  // Bucketed estimates are coarse (x2 buckets) but must be ordered and
+  // inside the right buckets.
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, sample.max);
+}
+
 TEST(GlobalRegistry, IsSingleProcessWideInstance) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
   Counter& c = Registry::global().counter("test_obs.unique_counter");

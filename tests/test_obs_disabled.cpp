@@ -67,6 +67,38 @@ TEST(ObsDisabled, LogStatementsDoNotEvaluateOperands) {
   EXPECT_EQ(evaluations, 0);
 }
 
+TEST(ObsDisabled, FlightRecorderIsInert) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.set_dump_dir("/nonexistent/should/never/be/written");
+  rec.record(EventType::kSeekAccepted, "disabled.event", 1.0, 2.0, 3.0);
+  EXPECT_TRUE(rec.recent().empty());
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.capacity(), 0u);
+  EXPECT_TRUE(rec.anomaly("disabled.anomaly", "detail").empty());
+  EXPECT_EQ(rec.anomalies(), 0u);
+  EXPECT_TRUE(rec.dump_dir().empty());
+  // The always-on event vocabulary survives for tooling.
+  EXPECT_STREQ(event_type_name(EventType::kSeekRejected), "seek_rejected");
+  EXPECT_EQ(events_to_json({}), "[]");
+}
+
+TEST(ObsDisabled, HealthMonitorStaysFunctional) {
+  // The monitor runs on explicit ground-truth feeds, so it works (and
+  // reports identical results) without the metrics machinery — only the
+  // anomaly-bundle / gauge / log side effects compile away.
+  HealthConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 2;
+  cfg.min_availability = 0.5;
+  HealthMonitor monitor(cfg);
+  for (int i = 0; i < 5; ++i) monitor.on_query(false, std::nullopt, 10.0);
+  const HealthReport report = monitor.report();
+  EXPECT_EQ(report.samples, 5u);
+  EXPECT_DOUBLE_EQ(report.availability, 0.0);
+  EXPECT_FALSE(report.healthy());
+  EXPECT_FALSE(report.to_json().empty());
+}
+
 TEST(ObsDisabled, ExponentialBoundsStillWork) {
   // Bucket maths is shared between configurations.
   EXPECT_EQ(exponential_bounds(1.0, 10.0, 3),

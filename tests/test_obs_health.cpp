@@ -1,0 +1,181 @@
+// Health/SLO monitor: rule evaluation, edge-triggered alerts, report JSON,
+// and the end-to-end acceptance path — a campaign with an injected SYN
+// drought must raise alerts and leave a diagnostics bundle explaining the
+// failing seeks.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/health.hpp"
+#include "obs/recorder.hpp"
+#include "sim/campaign.hpp"
+#include "sim/convoy_sim.hpp"
+#include "util/json.hpp"
+
+namespace rups {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+obs::HealthConfig tight_config() {
+  obs::HealthConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.min_availability = 0.5;
+  cfg.max_error_p95_m = 10.0;
+  cfg.max_latency_p99_us = 0.0;  // off
+  cfg.max_miss_streak = 4;
+  return cfg;
+}
+
+TEST(HealthMonitor, AvailabilityAndStreakAlertsAreEdgeTriggered) {
+  obs::HealthMonitor monitor(tight_config());
+  for (int i = 0; i < 10; ++i) monitor.on_query(false, std::nullopt, 100.0);
+
+  auto report = monitor.report();
+  EXPECT_EQ(report.samples, 10u);
+  EXPECT_DOUBLE_EQ(report.availability, 0.0);
+  EXPECT_EQ(report.miss_streak, 10u);
+  EXPECT_FALSE(report.healthy());
+
+  // One alert per rule per excursion, not one per violating sample.
+  std::size_t availability_alerts = 0;
+  std::size_t streak_alerts = 0;
+  for (const auto& a : report.alerts) {
+    if (a.rule == "availability") ++availability_alerts;
+    if (a.rule == "miss_streak") ++streak_alerts;
+  }
+  EXPECT_EQ(availability_alerts, 1u);
+  EXPECT_EQ(streak_alerts, 1u);
+
+  // Recovery re-arms: a second drought fires a second alert.
+  for (int i = 0; i < 8; ++i) monitor.on_query(true, 1.0, 100.0);
+  EXPECT_TRUE(monitor.report().miss_streak == 0);
+  for (int i = 0; i < 8; ++i) monitor.on_query(false, std::nullopt, 100.0);
+  report = monitor.report();
+  streak_alerts = 0;
+  for (const auto& a : report.alerts) {
+    if (a.rule == "miss_streak") ++streak_alerts;
+  }
+  EXPECT_EQ(streak_alerts, 2u);
+}
+
+TEST(HealthMonitor, ErrorAndLatencyRules) {
+  auto cfg = tight_config();
+  cfg.max_latency_p99_us = 1000.0;
+  obs::HealthMonitor monitor(cfg);
+
+  for (int i = 0; i < 8; ++i) monitor.on_query(true, 50.0, 5000.0);
+  const auto report = monitor.report();
+  EXPECT_GT(report.error_p95_m, 10.0);
+  EXPECT_GT(report.latency_p99_us, 1000.0);
+
+  bool error_alert = false;
+  bool latency_alert = false;
+  for (const auto& a : report.alerts) {
+    if (a.rule == "error_p95") error_alert = true;
+    if (a.rule == "latency_p99") latency_alert = true;
+  }
+  EXPECT_TRUE(error_alert);
+  EXPECT_TRUE(latency_alert);
+}
+
+TEST(HealthMonitor, DisabledRulesNeverFire) {
+  obs::HealthConfig cfg;
+  cfg.window = 8;
+  cfg.min_samples = 1;
+  cfg.min_availability = 0.0;  // all rules off
+  cfg.max_error_p95_m = 0.0;
+  cfg.max_latency_p99_us = 0.0;
+  cfg.max_miss_streak = 0;
+  obs::HealthMonitor monitor(cfg);
+  for (int i = 0; i < 20; ++i) monitor.on_query(false, 1e9, 1e9);
+  EXPECT_TRUE(monitor.report().healthy());
+}
+
+TEST(HealthMonitor, NoAlertsBeforeMinSamples) {
+  obs::HealthMonitor monitor(tight_config());  // min_samples = 4
+  for (int i = 0; i < 3; ++i) monitor.on_query(false, std::nullopt, 1.0);
+  EXPECT_TRUE(monitor.report().healthy());
+}
+
+TEST(HealthMonitor, ReportJsonParses) {
+  obs::HealthMonitor monitor(tight_config());
+  for (int i = 0; i < 6; ++i) monitor.on_query(false, std::nullopt, 250.0);
+  const auto doc = util::JsonValue::parse(monitor.report().to_json());
+  EXPECT_DOUBLE_EQ(doc.number_or("samples", -1.0), 6.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("availability", -1.0), 0.0);
+  EXPECT_EQ(doc.find("healthy")->as_bool(), false);
+  EXPECT_GE(doc.find("alerts")->as_array().size(), 1u);
+  const auto& alert = doc.find("alerts")->as_array()[0];
+  EXPECT_FALSE(alert.string_or("rule", "").empty());
+  EXPECT_GE(alert.number_or("sample_index", 0.0), 4.0);
+}
+
+// Acceptance: a campaign with a forced SYN drought (scanner deafness, as
+// in test_failure_injection) produces health alerts in CampaignResult AND
+// a diagnostics bundle whose recorder events show the failing seeks.
+TEST(HealthMonitor, CampaignSynDroughtProducesDiagnosticsBundle) {
+  const fs::path dir = fs::temp_directory_path() / "rups_health_drought";
+  fs::remove_all(dir);
+
+  sim::Scenario scenario =
+      sim::Scenario::two_car(31, road::EnvironmentType::kFourLaneUrban);
+  scenario.route_length_m = 6'000.0;
+  scenario.scanner_base.sensitivity_dbm = 0.0;  // total GSM deafness
+  sim::ConvoySimulation sim(scenario);
+
+  sim::CampaignConfig cfg;
+  cfg.warmup_s = 350.0;
+  cfg.interval_s = 3.0;
+  cfg.max_queries = 8;
+  cfg.model_v2v_cost = false;
+  cfg.health = tight_config();
+  cfg.diagnostics_dir = dir;
+
+  const auto result = sim::run_campaign(sim, cfg);
+  ASSERT_GE(result.queries.size(), 6u);
+  EXPECT_DOUBLE_EQ(result.rups_availability(), 0.0);
+  EXPECT_FALSE(result.health.healthy());
+  EXPECT_DOUBLE_EQ(result.health.availability, 0.0);
+  EXPECT_GE(result.health.miss_streak, 6u);
+
+  // At least one bundle, and it must contain the seek rejections that
+  // explain the drought plus the unanswered-estimate verdicts.
+  bool found_bundle = false;
+  bool found_seek_event = false;
+  bool found_estimate_missing = false;
+  ASSERT_TRUE(fs::exists(dir));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const auto doc = util::JsonValue::parse(slurp(entry.path()));
+    EXPECT_EQ(doc.string_or("kind", ""), "rups_diagnostics_bundle");
+    ASSERT_NE(doc.find("config"), nullptr);
+    EXPECT_NE(doc.find("config")->find("health"), nullptr);
+    found_bundle = true;
+    for (const auto& event : doc.find("events")->as_array()) {
+      const std::string type = event.string_or("type", "");
+      if (type == "seek_rejected" || type == "seek_started") {
+        found_seek_event = true;
+      }
+      if (type == "estimate_missing") found_estimate_missing = true;
+    }
+  }
+  EXPECT_TRUE(found_bundle);
+  EXPECT_TRUE(found_seek_event);
+  EXPECT_TRUE(found_estimate_missing);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rups
