@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Bench regression gate: run the comm and compute benches in quick mode and
-# diff the results against the committed baseline with obs_diff. Two passes
-# with very different tolerances:
+# Bench regression gate: run the comm, compute and fleet benches in quick
+# mode and diff the results against the committed baseline with obs_diff.
+# Three passes with very different tolerances:
 #
 #  1. bench_comm_cost is fixed-size and seeded, so its metric COUNTERS are
 #     deterministic — diffed tightly (2%). Any drift means the byte path,
@@ -11,28 +11,35 @@
 #     one-sided with a 100% tolerance: only a >2x slowdown fails. Its
 #     counters are iteration-adaptive (google-benchmark picks iteration
 #     counts) and are NOT compared.
+#  3. bench_fleet_scaling replays a fixed synthetic fleet (rounds and
+#     vehicle counts are hard-coded, RUPS_BENCH_SCALE is ignored by its
+#     sweep), so its cache/batch COUNTERS are deterministic — diffed at 2%
+#     like the comm pass. The binary itself also exits non-zero when the
+#     warm-vs-cold results diverge or the cache stops hitting.
 #
 # Usage:
-#   bench_regression.sh <bench_compute_cost> <bench_comm_cost> <obs_diff> \
-#                       <baseline.json> <workdir>
+#   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
+#                       <bench_fleet_scaling> <obs_diff> <baseline.json> \
+#                       <workdir>
 set -eu
 
-if [[ $# -ne 5 ]]; then
+if [[ $# -ne 6 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
-       "<obs_diff> <baseline.json> <workdir>" >&2
+       "<bench_fleet_scaling> <obs_diff> <baseline.json> <workdir>" >&2
   exit 2
 fi
 
 compute_bin=$(realpath "$1")
 comm_bin=$(realpath "$2")
-obs_diff_bin=$(realpath "$3")
-baseline=$(realpath "$4")
-workdir="$5"
+fleet_bin=$(realpath "$3")
+obs_diff_bin=$(realpath "$4")
+baseline=$(realpath "$5")
+workdir="$6"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/2: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/3: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -42,7 +49,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/2: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/3: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -53,6 +60,16 @@ mkdir -p "$compute_dir"
 "$obs_diff_bin" \
   --skip-counters --skip-gauges --skip-histograms --bench-tol 1.0 \
   "$baseline" "$compute_dir/compute_bench.json"
+
+echo ""
+echo "== pass 3/3: fleet cache/batch counters (deterministic, tight) =="
+fleet_dir="$workdir/fleet"
+rm -rf "$fleet_dir"
+mkdir -p "$fleet_dir"
+(cd "$fleet_dir" && "$fleet_bin" > bench_fleet_scaling.log)
+"$obs_diff_bin" --section fleet_metrics \
+  --counter-tol 0.02 --skip-histograms --skip-benchmarks \
+  "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

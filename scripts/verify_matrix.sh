@@ -6,7 +6,9 @@
 #     instrumentation statements evaluate nothing; the bench regression
 #     gate is excluded by CMake in this config).
 #  2. asan-ubsan  — Address + UB sanitizers over the observability test
-#     binaries (sharded atomics, recorder ring concurrency, JSON parser)
+#     binaries (sharded atomics, recorder ring concurrency, JSON parser),
+#     the codec fuzz tests (decoder fed random/truncated/bit-flipped
+#     buffers must fail by exception, never by out-of-bounds reads),
 #     plus a small end-to-end campaign smoke.
 #
 # Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
@@ -26,12 +28,12 @@ echo "== asan-ubsan: configure + build obs/json/campaign surfaces =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_obs test_obs_disabled test_obs_recorder test_obs_health \
-  test_obs_pipeline test_json trace_tool
+  test_obs_pipeline test_json test_codec_fuzz trace_tool
 
 echo ""
 echo "== asan-ubsan: run sanitized binaries =="
 for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
-           test_obs_pipeline test_json; do
+           test_obs_pipeline test_json test_codec_fuzz; do
   echo "-- $bin"
   "build-asan/tests/$bin"
 done

@@ -84,7 +84,10 @@ void RupsEngine::on_rssi(const sensors::RssiMeasurement& measurement) {
 std::vector<SynPoint> RupsEngine::find_syn_points(
     const ContextTrajectory& neighbour, util::ThreadPool* pool) const {
   const SynSeeker seeker(config_.syn, pool);
-  return seeker.find(context_, neighbour);
+  // The local pack only changes by the metres driven since the last query;
+  // sync extends it incrementally instead of re-extracting per query.
+  context_pack_.sync(context_);
+  return seeker.find(context_, neighbour, &context_pack_, nullptr);
 }
 
 std::optional<RelativeDistanceEstimate> RupsEngine::estimate_distance(

@@ -97,6 +97,10 @@ class RupsEngine {
   DeadReckoner reckoner_;
   TrajectoryBinder binder_;
   ContextTrajectory context_;
+  /// Packed copy of context_, extended incrementally at query time instead
+  /// of being rebuilt per query (mutable: packing is a cache, queries stay
+  /// const).
+  mutable PackedContext context_pack_;
   std::uint64_t next_metre_ = 0;
   double last_imu_time_ = 0.0;
   bool have_imu_time_ = false;

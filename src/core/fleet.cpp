@@ -1,0 +1,119 @@
+#include "core/fleet.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace rups::core {
+
+namespace {
+
+struct FleetMetrics {
+  obs::Counter& batches = obs::Registry::global().counter("fleet.batches");
+  obs::Counter& queries = obs::Registry::global().counter("fleet.queries");
+  obs::Counter& pooled_batches =
+      obs::Registry::global().counter("fleet.pooled_batches");
+  obs::Gauge& neighbours = obs::Registry::global().gauge("fleet.neighbours");
+  obs::Gauge& hit_rate =
+      obs::Registry::global().gauge("fleet.cache_hit_rate");
+  obs::Histogram& batch_us =
+      obs::Registry::global().histogram("fleet.batch_us");
+};
+
+FleetMetrics& fleet_metrics() {
+  static FleetMetrics m;
+  return m;
+}
+
+}  // namespace
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(config) {
+  config_.cache.enabled = config_.use_cache;
+}
+
+void FleetEngine::forget(std::uint64_t id) { shards_.erase(id); }
+
+void FleetEngine::clear() {
+  shards_.clear();
+  ego_pack_.clear();
+}
+
+SynCache::Stats FleetEngine::cache_stats() const noexcept {
+  SynCache::Stats total;
+  for (const auto& [id, shard] : shards_) {
+    const SynCache::Stats& s = shard->stats();
+    total.queries += s.queries;
+    total.tracking_hits += s.tracking_hits;
+    total.tracking_misses += s.tracking_misses;
+    total.full_searches += s.full_searches;
+    total.invalidations += s.invalidations;
+  }
+  return total;
+}
+
+std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
+    const ContextTrajectory& ego,
+    std::span<const ContextTrajectory* const> neighbours,
+    std::span<const std::uint64_t> ids, util::ThreadPool* pool) {
+  if (neighbours.size() != ids.size()) {
+    throw std::invalid_argument("FleetEngine: neighbours/ids size mismatch");
+  }
+  FleetMetrics& m = fleet_metrics();
+  m.batches.inc();
+  m.queries.inc(neighbours.size());
+  m.neighbours.set(static_cast<double>(neighbours.size()));
+  obs::ObsTimer timer(&m.batch_us, "fleet.batch");
+
+  // The ego pack is synced once, single-threaded, then read-only for the
+  // whole batch; per-id shards are materialized up front because the map
+  // must not be mutated from worker threads.
+  ego_pack_.sync(ego, config_.cache.volatile_suffix_m);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto [it, inserted] = shards_.try_emplace(ids[i]);
+    if (inserted) {
+      it->second =
+          std::make_unique<SynCache>(config_.rups.syn, config_.cache);
+    }
+  }
+  // Duplicate ids would race two workers on one shard — reject them.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (ids[i] == ids[j]) {
+        throw std::invalid_argument("FleetEngine: duplicate neighbour id");
+      }
+    }
+  }
+
+  std::vector<NeighbourResult> results(neighbours.size());
+  const auto query_one = [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    SynCache& shard = *shards_.find(ids[i])->second;
+    NeighbourResult& r = results[i];
+    r.syn_points = shard.find(ego, *neighbours[i], &ego_pack_);
+    r.estimate = aggregate_estimates(ego, *neighbours[i], r.syn_points,
+                                     config_.rups.aggregation);
+    r.latency_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  };
+
+  if (pool != nullptr && neighbours.size() > 1) {
+    m.pooled_batches.inc();
+    pool->parallel_for(0, neighbours.size(), query_one);
+  } else {
+    for (std::size_t i = 0; i < neighbours.size(); ++i) query_one(i);
+  }
+
+  const SynCache::Stats stats = cache_stats();
+  const std::uint64_t resolved =
+      stats.tracking_hits + stats.tracking_misses + stats.full_searches;
+  if (resolved > 0) {
+    m.hit_rate.set(static_cast<double>(stats.tracking_hits) /
+                   static_cast<double>(resolved));
+  }
+  return results;
+}
+
+}  // namespace rups::core

@@ -1,0 +1,188 @@
+#include "core/packed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+// NOTE: this translation unit carries the same vectorization flags as
+// syn_seeker.cpp (see src/core/CMakeLists.txt). packed_correlation() must
+// have exactly one compiled definition so the full search, the SynCache
+// tracking verify, and the tests all score identical inputs bit-identically.
+
+namespace rups::core {
+
+std::size_t PackedContext::sync(const ContextTrajectory& t,
+                                std::size_t volatile_suffix_m) {
+  if (t.empty()) {
+    channels_ = t.channels();
+    clear();
+    return 0;
+  }
+  const std::uint64_t t_first = t.first_metre();
+  const std::uint64_t t_end = t_first + t.size();
+  const std::uint64_t packed_end = first_metre_ + metres_;
+
+  // Incremental only when the trajectory is the packed range plus front
+  // evictions and/or appended metres; anything else (width change, rebase,
+  // shrink, gap) falls back to a full repack.
+  const bool incremental = metres_ != 0 && channels_ == t.channels() &&
+                           t_first >= first_metre_ && t_first <= packed_end &&
+                           t_end >= packed_end && t.size() <= stride_;
+  if (!incremental) {
+    channels_ = t.channels();
+    // Slack so eviction-driven compaction is amortized across appends.
+    const std::size_t want = std::max(t.capacity_m(), t.size());
+    stride_ = want + std::max<std::size_t>(64, want / 4);
+    x_.assign(channels_ * stride_, 0.0f);
+    x2_.assign(channels_ * stride_, 0.0f);
+    v_.assign(channels_ * stride_, 0.0f);
+    base_ = 0;
+    first_metre_ = t_first;
+    metres_ = t.size();
+    for (std::size_t i = 0; i < metres_; ++i) pack_column(t, i);
+    return metres_;
+  }
+
+  // Front eviction: advance the view base, no data movement.
+  const auto evicted = static_cast<std::size_t>(t_first - first_metre_);
+  base_ += evicted;
+  metres_ -= evicted;
+  first_metre_ = t_first;
+
+  if (base_ + t.size() > stride_) compact();
+
+  // Append the new columns plus the trailing volatile region — the binder
+  // retro-fills interpolated channels behind the newest metre, so recently
+  // packed columns may be stale.
+  const std::size_t keep =
+      metres_ > volatile_suffix_m ? metres_ - volatile_suffix_m : 0;
+  metres_ = t.size();
+  for (std::size_t i = keep; i < metres_; ++i) pack_column(t, i);
+  return metres_ - keep;
+}
+
+void PackedContext::compact() noexcept {
+  if (base_ == 0) return;
+  const std::size_t bytes = metres_ * sizeof(float);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    std::memmove(x_.data() + c * stride_, x_.data() + c * stride_ + base_,
+                 bytes);
+    std::memmove(x2_.data() + c * stride_, x2_.data() + c * stride_ + base_,
+                 bytes);
+    std::memmove(v_.data() + c * stride_, v_.data() + c * stride_ + base_,
+                 bytes);
+  }
+  base_ = 0;
+}
+
+void PackedContext::pack_column(const ContextTrajectory& t, std::size_t index) {
+  const std::size_t col = base_ + index;
+  const PowerVector& pv = t.power(index);
+  const std::size_t width = pv.channels();
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float val = 0.0f;
+    float sq = 0.0f;
+    float mask = 0.0f;
+    if (c < width && pv.usable(c)) {
+      val = pv.at(c) + kPackShiftDbm;
+      sq = val * val;
+      mask = 1.0f;
+    }
+    x_[c * stride_ + col] = val;
+    x2_[c * stride_ + col] = sq;
+    v_[c * stride_ + col] = mask;
+  }
+}
+
+SubsetPack::SubsetPack(const ContextTrajectory& t,
+                       std::span<const std::size_t> channels, std::size_t from,
+                       std::size_t len)
+    : metres_(len), k_(channels.size()) {
+  x_.assign(k_ * len, 0.0f);
+  x2_.assign(k_ * len, 0.0f);
+  v_.assign(k_ * len, 0.0f);
+  const std::size_t width = t.channels();
+  for (std::size_t i = 0; i < len; ++i) {
+    const PowerVector& pv = t.power(from + i);
+    for (std::size_t kk = 0; kk < k_; ++kk) {
+      const std::size_t c = channels[kk];
+      if (c < width && pv.usable(c)) {
+        const float val = pv.at(c) + kPackShiftDbm;
+        x_[kk * len + i] = val;
+        x2_[kk * len + i] = val * val;
+        v_[kk * len + i] = 1.0f;
+      }
+    }
+  }
+}
+
+double packed_correlation(const PackedView& fixed, std::size_t fixed_start,
+                          const PackedView& sliding, std::size_t pos,
+                          std::size_t window,
+                          const TrajectoryCorrelationConfig& config) {
+  const std::size_t w = window;
+  double channel_corr_sum = 0.0;
+  std::size_t channels_used = 0;
+  double pn = 0, psx = 0, psy = 0, psxx = 0, psyy = 0, psxy = 0;
+
+  const std::size_t k = std::min(fixed.rows.size(), sliding.rows.size());
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const std::size_t fc = fixed.rows[kk];
+    const std::size_t sc = sliding.rows[kk];
+    // A channel outside either pack contributes nothing (an all-masked row
+    // would be skipped by min_channel_overlap below anyway).
+    if (fc >= fixed.span.channels || sc >= sliding.span.channels) continue;
+    const float* fx = fixed.span.x + fc * fixed.span.stride + fixed_start;
+    const float* fx2 = fixed.span.x2 + fc * fixed.span.stride + fixed_start;
+    const float* fv = fixed.span.v + fc * fixed.span.stride + fixed_start;
+    const float* sx_ = sliding.span.x + sc * sliding.span.stride + pos;
+    const float* sx2_ = sliding.span.x2 + sc * sliding.span.stride + pos;
+    const float* sv_ = sliding.span.v + sc * sliding.span.stride + pos;
+
+    float n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const float m = fv[i] * sv_[i];
+      n += m;
+      sx += m * fx[i];
+      sy += m * sx_[i];
+      sxx += m * fx2[i];
+      syy += m * sx2_[i];
+      sxy += m * fx[i] * sx_[i];
+    }
+    if (n < static_cast<float>(config.min_channel_overlap)) continue;
+    const double dn = n;
+    const double vx =
+        static_cast<double>(sxx) - static_cast<double>(sx) * sx / dn;
+    const double vy =
+        static_cast<double>(syy) - static_cast<double>(sy) * sy / dn;
+    const double cov =
+        static_cast<double>(sxy) - static_cast<double>(sx) * sy / dn;
+    // Variance guard: a (near-)constant channel carries no alignment
+    // information, and float residues below ~1e-2 dB^2 are pure rounding
+    // noise — count the channel with zero correlation.
+    if (vx > 1e-2 && vy > 1e-2) {
+      channel_corr_sum += std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
+    }
+    ++channels_used;
+    const double ma = sx / dn;
+    const double mb = sy / dn;
+    pn += 1.0;
+    psx += ma;
+    psy += mb;
+    psxx += ma * ma;
+    psyy += mb * mb;
+    psxy += ma * mb;
+  }
+
+  if (channels_used < config.min_channels) return -2.0;
+  double profile_corr = 0.0;
+  if (pn >= 2.0) {
+    const double vx = psxx - psx * psx / pn;
+    const double vy = psyy - psy * psy / pn;
+    const double cov = psxy - psx * psy / pn;
+    if (vx > 0.0 && vy > 0.0) profile_corr = cov / std::sqrt(vx * vy);
+  }
+  return channel_corr_sum / static_cast<double>(channels_used) + profile_corr;
+}
+
+}  // namespace rups::core

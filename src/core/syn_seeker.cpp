@@ -39,109 +39,11 @@ SynMetrics& syn_metrics() {
   return m;
 }
 
-/// Dense channel-major extraction of a trajectory stretch: values are
-/// pre-masked (0 where unusable) and the mask is carried as 0/1 floats, so
-/// the sliding correlation kernel below is branch-free and vectorizable.
-/// This packed path is what makes the O(m*w*k) search run at the paper's
-/// ~millisecond scale (Sec. V-A).
-struct Packed {
-  std::size_t metres = 0;
-  std::size_t k = 0;
-  std::vector<float> x;   // x[c*metres + i], masked
-  std::vector<float> x2;  // squares, masked
-  std::vector<float> v;   // validity 1/0
-};
-
-/// RSSI values are shifted by this at pack time so the float moment sums
-/// below centre near zero — without it, sxx - sx^2/n cancels catastrophically
-/// in single precision (values ~-90 dBm, windows of ~100 samples) and
-/// near-constant channels produce garbage correlations.
-constexpr float kPackShiftDbm = 80.0f;
-
-Packed pack(const ContextTrajectory& t, std::span<const std::size_t> channels,
-            std::size_t from, std::size_t len) {
-  Packed p;
-  p.metres = len;
-  p.k = channels.size();
-  p.x.assign(p.k * len, 0.0f);
-  p.x2.assign(p.k * len, 0.0f);
-  p.v.assign(p.k * len, 0.0f);
-  const std::size_t width = t.channels();
-  for (std::size_t i = 0; i < len; ++i) {
-    const PowerVector& pv = t.power(from + i);
-    for (std::size_t kk = 0; kk < p.k; ++kk) {
-      const std::size_t c = channels[kk];
-      if (c < width && pv.usable(c)) {
-        const float val = pv.at(c) + kPackShiftDbm;
-        p.x[kk * len + i] = val;
-        p.x2[kk * len + i] = val * val;
-        p.v[kk * len + i] = 1.0f;
-      }
-    }
-  }
-  return p;
-}
-
-/// eq.(2) between the (whole) fixed pack and the sliding pack's window
-/// starting at `pos`. Identical semantics to trajectory_correlation().
-double packed_correlation(const Packed& fixed, const Packed& sliding,
-                          std::size_t pos,
-                          const TrajectoryCorrelationConfig& config) {
-  const std::size_t w = fixed.metres;
-  double channel_corr_sum = 0.0;
-  std::size_t channels_used = 0;
-  double pn = 0, psx = 0, psy = 0, psxx = 0, psyy = 0, psxy = 0;
-
-  for (std::size_t kk = 0; kk < fixed.k; ++kk) {
-    const float* fx = &fixed.x[kk * w];
-    const float* fx2 = &fixed.x2[kk * w];
-    const float* fv = &fixed.v[kk * w];
-    const float* sx_ = &sliding.x[kk * sliding.metres + pos];
-    const float* sx2_ = &sliding.x2[kk * sliding.metres + pos];
-    const float* sv_ = &sliding.v[kk * sliding.metres + pos];
-
-    float n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
-    for (std::size_t i = 0; i < w; ++i) {
-      const float m = fv[i] * sv_[i];
-      n += m;
-      sx += m * fx[i];
-      sy += m * sx_[i];
-      sxx += m * fx2[i];
-      syy += m * sx2_[i];
-      sxy += m * fx[i] * sx_[i];
-    }
-    if (n < static_cast<float>(config.min_channel_overlap)) continue;
-    const double dn = n;
-    const double vx = static_cast<double>(sxx) - static_cast<double>(sx) * sx / dn;
-    const double vy = static_cast<double>(syy) - static_cast<double>(sy) * sy / dn;
-    const double cov =
-        static_cast<double>(sxy) - static_cast<double>(sx) * sy / dn;
-    // Variance guard: a (near-)constant channel carries no alignment
-    // information, and float residues below ~1e-2 dB^2 are pure rounding
-    // noise — count the channel with zero correlation.
-    if (vx > 1e-2 && vy > 1e-2) {
-      channel_corr_sum += std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
-    }
-    ++channels_used;
-    const double ma = sx / dn;
-    const double mb = sy / dn;
-    pn += 1.0;
-    psx += ma;
-    psy += mb;
-    psxx += ma * ma;
-    psyy += mb * mb;
-    psxy += ma * mb;
-  }
-
-  if (channels_used < config.min_channels) return -2.0;
-  double profile_corr = 0.0;
-  if (pn >= 2.0) {
-    const double vx = psxx - psx * psx / pn;
-    const double vy = psyy - psy * psy / pn;
-    const double cov = psxy - psx * psy / pn;
-    if (vx > 0.0 && vy > 0.0) profile_corr = cov / std::sqrt(vx * vy);
-  }
-  return channel_corr_sum / static_cast<double>(channels_used) + profile_corr;
+/// Identity row map 0..k-1 for SubsetPack views.
+std::vector<std::size_t> iota_rows(std::size_t k) {
+  std::vector<std::size_t> rows(k);
+  for (std::size_t i = 0; i < k; ++i) rows[i] = i;
+  return rows;
 }
 
 }  // namespace
@@ -168,21 +70,87 @@ std::pair<std::size_t, double> SynSeeker::effective_window(
   return {avail, config_.coherency_threshold * scale};
 }
 
-SynSeeker::Candidate SynSeeker::slide(
-    const ContextTrajectory& fixed, std::size_t fixed_start,
-    const ContextTrajectory& sliding, std::size_t window,
-    std::span<const std::size_t> channels) const {
+SynSeeker::SeekPlan SynSeeker::plan(const ContextTrajectory& a,
+                                    const ContextTrajectory& b,
+                                    std::size_t recency_offset_m) const {
+  SeekPlan p;
+  if (a.empty() || b.empty()) {
+    p.reject = "syn.empty";
+    return p;
+  }
+  if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
+    p.reject = "syn.recency_overflow";
+    return p;
+  }
+  // Post-turn limiting (Sec. V-C): the RECENT fixed segment must not span
+  // a turn — the metres before it belong to a different road.
+  std::size_t avail_a = a.size() - recency_offset_m;
+  std::size_t avail_b = b.size() - recency_offset_m;
+  if (config_.respect_turns) {
+    const auto tail_a =
+        static_cast<std::size_t>(TurnDetector::straight_tail_metres(a));
+    const auto tail_b =
+        static_cast<std::size_t>(TurnDetector::straight_tail_metres(b));
+    if (tail_a <= recency_offset_m || tail_b <= recency_offset_m) {
+      p.reject = "syn.turn_limited";
+      return p;
+    }
+    avail_a = std::min(avail_a, tail_a - recency_offset_m);
+    avail_b = std::min(avail_b, tail_b - recency_offset_m);
+  }
+  const auto [window, threshold] = effective_window(avail_a, avail_b);
+  p.threshold = threshold;
+  if (window == 0) {
+    p.reject = "syn.no_window";
+    p.reject_v1 = static_cast<double>(std::min(avail_a, avail_b));
+    p.reject_v2 = threshold;
+    return p;
+  }
+  p.window = window;
+  p.a_start = a.size() - recency_offset_m - window;
+  p.b_start = b.size() - recency_offset_m - window;
+
+  // Channel selection from the fixed segments (top-k strongest).
+  p.channels_a =
+      select_top_channels(a, p.a_start, window, config_.top_channels);
+  p.channels_b =
+      select_top_channels(b, p.b_start, window, config_.top_channels);
+  if (p.channels_a.empty() || p.channels_b.empty()) {
+    p.reject = "syn.no_channels";
+    p.reject_v1 = static_cast<double>(window);
+    p.reject_v2 = threshold;
+    return p;
+  }
+  return p;
+}
+
+SynSeeker::Candidate SynSeeker::best_over_positions(
+    const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
+    std::size_t window, std::size_t pos_lo, std::size_t pos_hi) const {
   Candidate best;
-  if (sliding.size() < window) return best;
-  const std::size_t positions = (sliding.size() - window) / config_.stride_m + 1;
+  if (sliding.span.metres < window) return best;
+  const std::size_t positions =
+      (sliding.span.metres - window) / config_.stride_m + 1;
+  pos_hi = std::min(pos_hi, positions);
+  for (std::size_t p = pos_lo; p < pos_hi; ++p) {
+    const double r =
+        packed_correlation(fixed, fixed_start, sliding, p * config_.stride_m,
+                           window, config_.correlation);
+    if (!best.valid || r > best.correlation) {
+      best = {r, p * config_.stride_m, true};
+    }
+  }
+  return best;
+}
 
-  const Packed fixed_pack = pack(fixed, channels, fixed_start, window);
-  const Packed sliding_pack = pack(sliding, channels, 0, sliding.size());
-
-  auto eval = [&](std::size_t p) {
-    return packed_correlation(fixed_pack, sliding_pack, p * config_.stride_m,
-                              config_.correlation);
-  };
+SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
+                                      std::size_t fixed_start,
+                                      const PackedView& sliding,
+                                      std::size_t window) const {
+  Candidate best;
+  if (sliding.span.metres < window) return best;
+  const std::size_t positions =
+      (sliding.span.metres - window) / config_.stride_m + 1;
 
   // Coarse-to-fine: scan every coarse_stride-th position, then refine the
   // neighbourhood of the best coarse hit exhaustively.
@@ -192,7 +160,9 @@ SynSeeker::Candidate SynSeeker::slide(
     syn_metrics().windows.inc((positions + coarse - 1) / coarse);
     Candidate coarse_best;
     for (std::size_t p = 0; p < positions; p += coarse) {
-      const double r = eval(p);
+      const double r =
+          packed_correlation(fixed, fixed_start, sliding, p * config_.stride_m,
+                             window, config_.correlation);
       if (!coarse_best.valid || r > coarse_best.correlation) {
         coarse_best = {r, p, true};  // position index, not metres
       }
@@ -200,26 +170,16 @@ SynSeeker::Candidate SynSeeker::slide(
     if (!coarse_best.valid) return best;
     const std::size_t lo =
         coarse_best.position > coarse ? coarse_best.position - coarse : 0;
-    const std::size_t hi = std::min(positions, coarse_best.position + coarse + 1);
+    const std::size_t hi =
+        std::min(positions, coarse_best.position + coarse + 1);
     syn_metrics().windows.inc(hi - lo);
-    for (std::size_t p = lo; p < hi; ++p) {
-      const double r = eval(p);
-      if (!best.valid || r > best.correlation) {
-        best = {r, p * config_.stride_m, true};
-      }
-    }
-    return best;
+    return best_over_positions(fixed, fixed_start, sliding, window, lo, hi);
   }
 
   syn_metrics().windows.inc(positions);
   if (pool_ == nullptr || positions < 64) {
-    for (std::size_t p = 0; p < positions; ++p) {
-      const double r = eval(p);
-      if (!best.valid || r > best.correlation) {
-        best = {r, p * config_.stride_m, true};
-      }
-    }
-    return best;
+    return best_over_positions(fixed, fixed_start, sliding, window, 0,
+                               positions);
   }
 
   // Parallel: per-chunk maxima reduced deterministically (ties resolve to
@@ -230,14 +190,8 @@ SynSeeker::Candidate SynSeeker::slide(
   pool_->parallel_for(0, chunks, [&](std::size_t ci) {
     const std::size_t lo = ci * chunk_len;
     const std::size_t hi = std::min(positions, lo + chunk_len);
-    Candidate local;
-    for (std::size_t p = lo; p < hi; ++p) {
-      const double r = eval(p);
-      if (!local.valid || r > local.correlation) {
-        local = {r, p * config_.stride_m, true};
-      }
-    }
-    chunk_best[ci] = local;
+    chunk_best[ci] =
+        best_over_positions(fixed, fixed_start, sliding, window, lo, hi);
   });
   for (const Candidate& c : chunk_best) {
     if (!c.valid) continue;
@@ -252,6 +206,13 @@ SynSeeker::Candidate SynSeeker::slide(
 std::optional<SynPoint> SynSeeker::find_one(
     const ContextTrajectory& a, const ContextTrajectory& b,
     std::size_t recency_offset_m) const {
+  return find_one(a, b, recency_offset_m, nullptr, nullptr);
+}
+
+std::optional<SynPoint> SynSeeker::find_one(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    std::size_t recency_offset_m, const PackedContext* pack_a,
+    const PackedContext* pack_b) const {
   SynMetrics& metrics = syn_metrics();
   metrics.seeks.inc();
   obs::ObsTimer timer(&metrics.seek_us, "syn.seek");
@@ -259,71 +220,70 @@ std::optional<SynPoint> SynSeeker::find_one(
   recorder.record(obs::EventType::kSeekStarted, "syn.seek",
                   static_cast<double>(a.size()), static_cast<double>(b.size()),
                   static_cast<double>(recency_offset_m));
-  if (a.empty() || b.empty()) {
-    recorder.record(obs::EventType::kSeekRejected, "syn.empty");
-    return std::nullopt;
-  }
-  if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
-    recorder.record(obs::EventType::kSeekRejected, "syn.recency_overflow");
-    return std::nullopt;
-  }
-  // Post-turn limiting (Sec. V-C): the RECENT fixed segment must not span
-  // a turn — the metres before it belong to a different road.
-  std::size_t avail_a = a.size() - recency_offset_m;
-  std::size_t avail_b = b.size() - recency_offset_m;
-  if (config_.respect_turns) {
-    const auto tail_a =
-        static_cast<std::size_t>(TurnDetector::straight_tail_metres(a));
-    const auto tail_b =
-        static_cast<std::size_t>(TurnDetector::straight_tail_metres(b));
-    if (tail_a <= recency_offset_m || tail_b <= recency_offset_m) {
-      recorder.record(obs::EventType::kSeekRejected, "syn.turn_limited");
-      return std::nullopt;
-    }
-    avail_a = std::min(avail_a, tail_a - recency_offset_m);
-    avail_b = std::min(avail_b, tail_b - recency_offset_m);
-  }
-  const auto [window, threshold] = effective_window(avail_a, avail_b);
-  if (window == 0) {
-    recorder.record(obs::EventType::kSeekRejected, "syn.no_window", 0.0,
-                    static_cast<double>(std::min(avail_a, avail_b)),
-                    threshold);
+  const SeekPlan p = plan(a, b, recency_offset_m);
+  if (p.reject != nullptr) {
+    recorder.record(obs::EventType::kSeekRejected, p.reject, 0.0, p.reject_v1,
+                    p.reject_v2);
     return std::nullopt;
   }
 
-  const std::size_t a_start = a.size() - recency_offset_m - window;
-  const std::size_t b_start = b.size() - recency_offset_m - window;
+  // Each side either reuses a caller-maintained all-channel pack (row map =
+  // selected channel ids) or falls back to the historical per-pass subset
+  // packs (row map = 0..k-1). A stale caller pack is ignored — correctness
+  // never depends on the caller keeping packs fresh.
+  const bool have_a = pack_a != nullptr && pack_a->in_sync_with(a);
+  const bool have_b = pack_b != nullptr && pack_b->in_sync_with(b);
+  const std::vector<std::size_t> rows_ka =
+      have_a && have_b ? std::vector<std::size_t>{}
+                       : iota_rows(p.channels_a.size());
+  const std::vector<std::size_t> rows_kb =
+      have_a && have_b ? std::vector<std::size_t>{}
+                       : iota_rows(p.channels_b.size());
 
-  // Channel selection from the fixed segments (top-k strongest).
-  const auto channels_a =
-      select_top_channels(a, a_start, window, config_.top_channels);
-  const auto channels_b =
-      select_top_channels(b, b_start, window, config_.top_channels);
-  if (channels_a.empty() || channels_b.empty()) {
-    recorder.record(obs::EventType::kSeekRejected, "syn.no_channels", 0.0,
-                    static_cast<double>(window), threshold);
-    return std::nullopt;
+  SubsetPack fixed_a, slide_b, fixed_b, slide_a;
+  PackedView f1, s1, f2, s2;
+  std::size_t f1_start = 0;
+  std::size_t f2_start = 0;
+  if (have_a) {
+    f1 = {pack_a->span(), p.channels_a};
+    f1_start = p.a_start;
+    s2 = {pack_a->span(), p.channels_b};
+  } else {
+    fixed_a = SubsetPack(a, p.channels_a, p.a_start, p.window);
+    f1 = {fixed_a.span(), rows_ka};
+    slide_a = SubsetPack(a, p.channels_b, 0, a.size());
+    s2 = {slide_a.span(), rows_kb};
+  }
+  if (have_b) {
+    s1 = {pack_b->span(), p.channels_a};
+    f2 = {pack_b->span(), p.channels_b};
+    f2_start = p.b_start;
+  } else {
+    slide_b = SubsetPack(b, p.channels_a, 0, b.size());
+    s1 = {slide_b.span(), rows_ka};
+    fixed_b = SubsetPack(b, p.channels_b, p.b_start, p.window);
+    f2 = {fixed_b.span(), rows_kb};
   }
 
   // Pass 1 (Fig 7 left): recent segment of A slides over B.
-  const Candidate on_b = slide(a, a_start, b, window, channels_a);
+  const Candidate on_b = slide(f1, f1_start, s1, p.window);
   // Pass 2 (Fig 7 right): recent segment of B slides over A.
-  const Candidate on_a = slide(b, b_start, a, window, channels_b);
+  const Candidate on_a = slide(f2, f2_start, s2, p.window);
 
   for (const Candidate& c : {on_b, on_a}) {
     if (!c.valid) continue;
-    (c.correlation >= threshold ? metrics.accepted : metrics.rejected).inc();
+    (c.correlation >= p.threshold ? metrics.accepted : metrics.rejected).inc();
   }
 
   SynPoint best;
   bool found = false;
-  if (on_b.valid && on_b.correlation >= threshold) {
-    best = {a_start, on_b.position, window, on_b.correlation};
+  if (on_b.valid && on_b.correlation >= p.threshold) {
+    best = {p.a_start, on_b.position, p.window, on_b.correlation};
     found = true;
   }
-  if (on_a.valid && on_a.correlation >= threshold &&
+  if (on_a.valid && on_a.correlation >= p.threshold &&
       (!found || on_a.correlation > best.correlation)) {
-    best = {on_a.position, b_start, window, on_a.correlation};
+    best = {on_a.position, p.b_start, p.window, on_a.correlation};
     found = true;
   }
   (found ? metrics.coherency_pass : metrics.coherency_fail).inc();
@@ -331,21 +291,28 @@ std::optional<SynPoint> SynSeeker::find_one(
     const double best_corr = std::max(on_b.valid ? on_b.correlation : -2.0,
                                       on_a.valid ? on_a.correlation : -2.0);
     recorder.record(obs::EventType::kSeekRejected, "syn.below_threshold",
-                    best_corr, static_cast<double>(window), threshold);
+                    best_corr, static_cast<double>(p.window), p.threshold);
     return std::nullopt;
   }
   recorder.record(obs::EventType::kSeekAccepted, "syn.seek", best.correlation,
-                  static_cast<double>(window), threshold);
+                  static_cast<double>(p.window), p.threshold);
   return best;
 }
 
 std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
                                       const ContextTrajectory& b) const {
+  return find(a, b, nullptr, nullptr);
+}
+
+std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
+                                      const ContextTrajectory& b,
+                                      const PackedContext* pack_a,
+                                      const PackedContext* pack_b) const {
   std::vector<SynPoint> out;
   for (std::size_t k = 0; k < std::max<std::size_t>(1, config_.syn_points);
        ++k) {
     const std::size_t offset = k * config_.syn_segment_spacing_m;
-    const auto syn = find_one(a, b, offset);
+    const auto syn = find_one(a, b, offset, pack_a, pack_b);
     if (syn.has_value()) out.push_back(*syn);
   }
   std::sort(out.begin(), out.end(), [](const SynPoint& x, const SynPoint& y) {

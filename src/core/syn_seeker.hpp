@@ -2,9 +2,12 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/correlation.hpp"
+#include "core/packed.hpp"
 #include "core/types.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,42 +65,91 @@ struct SynPoint {
 /// most recent window of B slides over all of A; the best position at or
 /// above the coherency threshold wins. Complexity O(m * w * k) per recent
 /// segment; optionally parallelized over slide positions with a ThreadPool.
+///
+/// Callers that query repeatedly against slowly-growing trajectories should
+/// pass pre-synced PackedContexts to find()/find_one() — the search then
+/// skips the per-query dense extraction entirely (and a shared ego pack can
+/// serve every neighbour in a batch, see FleetEngine).
 class SynSeeker {
  public:
-  explicit SynSeeker(SynConfig config = {},
-                     util::ThreadPool* pool = nullptr) noexcept;
-
-  /// Find up to config.syn_points SYN points between two trajectories,
-  /// best-correlation first. Empty if the trajectories are unrelated.
-  [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
-                                           const ContextTrajectory& b) const;
-
-  /// One double-sliding pass where the fixed recent segments END
-  /// `recency_offset_m` metres before the newest entry.
-  [[nodiscard]] std::optional<SynPoint> find_one(
-      const ContextTrajectory& a, const ContextTrajectory& b,
-      std::size_t recency_offset_m = 0) const;
-
-  [[nodiscard]] const SynConfig& config() const noexcept { return config_; }
-
- private:
   struct Candidate {
     double correlation = -2.0;
     std::size_t position = 0;
     bool valid = false;
   };
 
-  /// Slide a fixed window of `fixed` (starting at fixed_start) across all
-  /// of `sliding`; returns the best position.
-  [[nodiscard]] Candidate slide(const ContextTrajectory& fixed,
-                                std::size_t fixed_start,
-                                const ContextTrajectory& sliding,
-                                std::size_t window,
-                                std::span<const std::size_t> channels) const;
+  /// Window sizing, threshold and channel selection for one recency offset
+  /// — exactly the accept/reject preamble of find_one(), factored out so
+  /// SynCache's tracking mode reproduces the full search's semantics.
+  /// `reject != nullptr` means the search cannot run; the label is the
+  /// flight-recorder reason ("syn.empty", "syn.no_window", ...).
+  struct SeekPlan {
+    std::size_t window = 0;
+    double threshold = 0.0;
+    std::size_t a_start = 0;
+    std::size_t b_start = 0;
+    std::vector<std::size_t> channels_a;
+    std::vector<std::size_t> channels_b;
+    const char* reject = nullptr;
+    double reject_v1 = 0.0;
+    double reject_v2 = 0.0;
+  };
 
-  /// Effective window and threshold after the adaptive-window rule.
+  explicit SynSeeker(SynConfig config = {},
+                     util::ThreadPool* pool = nullptr) noexcept;
+
+  /// Find up to config.syn_points SYN points between two trajectories,
+  /// best-correlation first. Empty if the trajectories are unrelated.
+  /// The 4-argument overload reuses caller-maintained packs (packed once,
+  /// shared by both slide passes and all recency offsets); pass nullptr —
+  /// or an out-of-sync pack — and a temporary pack is built per call.
+  [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
+                                           const ContextTrajectory& b) const;
+  [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
+                                           const ContextTrajectory& b,
+                                           const PackedContext* pack_a,
+                                           const PackedContext* pack_b) const;
+
+  /// One double-sliding pass where the fixed recent segments END
+  /// `recency_offset_m` metres before the newest entry.
+  [[nodiscard]] std::optional<SynPoint> find_one(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      std::size_t recency_offset_m = 0) const;
+  [[nodiscard]] std::optional<SynPoint> find_one(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      std::size_t recency_offset_m, const PackedContext* pack_a,
+      const PackedContext* pack_b) const;
+
+  [[nodiscard]] SeekPlan plan(const ContextTrajectory& a,
+                              const ContextTrajectory& b,
+                              std::size_t recency_offset_m) const;
+
+  /// Effective window and threshold after the adaptive-window rule
+  /// (window 0 = cannot search).
   [[nodiscard]] std::pair<std::size_t, double> effective_window(
       std::size_t available_a, std::size_t available_b) const;
+
+  /// Best correlation over the slide-position indices [pos_lo, pos_hi) on
+  /// the stride grid (position metres = index * stride_m); serial ascending
+  /// scan, ties resolve to the lowest position. pos_hi is clamped to the
+  /// valid position count. Used by the pool chunks, the coarse-to-fine
+  /// refinement, and SynCache's narrow tracking re-verification.
+  [[nodiscard]] Candidate best_over_positions(const PackedView& fixed,
+                                              std::size_t fixed_start,
+                                              const PackedView& sliding,
+                                              std::size_t window,
+                                              std::size_t pos_lo,
+                                              std::size_t pos_hi) const;
+
+  [[nodiscard]] const SynConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Slide a fixed window (starting at fixed_start in the fixed pack)
+  /// across all of the sliding pack; returns the best position in metres.
+  [[nodiscard]] Candidate slide(const PackedView& fixed,
+                                std::size_t fixed_start,
+                                const PackedView& sliding,
+                                std::size_t window) const;
 
   SynConfig config_;
   util::ThreadPool* pool_;

@@ -49,6 +49,8 @@ const char* event_type_name(EventType type) noexcept {
     case EventType::kExchangeSent: return "exchange_sent";
     case EventType::kExchangeReceived: return "exchange_received";
     case EventType::kAnomaly: return "anomaly";
+    case EventType::kTrackVerified: return "track_verified";
+    case EventType::kTrackLost: return "track_lost";
   }
   return "unknown";
 }

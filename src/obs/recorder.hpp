@@ -36,6 +36,8 @@ enum class EventType : std::uint8_t {
   kExchangeSent,       ///< v0 = payload bytes, v1 = packets, v2 = duration s
   kExchangeReceived,   ///< v0 = payload bytes, v1 = trajectory metres
   kAnomaly,            ///< v0 = anomaly ordinal; label names the trigger
+  kTrackVerified,      ///< v0 = correlation, v1 = recency offset, v2 = window
+  kTrackLost,          ///< v0 = best correlation seen, v1 = recency offset
 };
 
 /// Stable wire name of an event type ("seek_accepted", ...).

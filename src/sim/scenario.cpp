@@ -17,4 +17,19 @@ Scenario Scenario::two_car(std::uint64_t seed, road::EnvironmentType env,
   return s;
 }
 
+Scenario Scenario::fleet(std::uint64_t seed, road::EnvironmentType env,
+                         std::size_t vehicle_count, double gap_m) {
+  Scenario s;
+  s.seed = seed;
+  s.env = env;
+  for (std::size_t i = 0; i < vehicle_count; ++i) {
+    VehicleSetup v;
+    v.seed = seed * vehicle_count + i + 1;
+    v.start_offset_m =
+        gap_m * static_cast<double>(vehicle_count - 1 - i);
+    s.vehicles.push_back(v);
+  }
+  return s;
+}
+
 }  // namespace rups::sim

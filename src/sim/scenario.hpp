@@ -62,6 +62,15 @@ struct Scenario {
   [[nodiscard]] static Scenario two_car(std::uint64_t seed,
                                         road::EnvironmentType env,
                                         double gap_m = 40.0);
+
+  /// N-vehicle convoy on one route: vehicle 0 leads, each following
+  /// vehicle starts `gap_m` behind the previous one (vehicle n-1 is the
+  /// rear car — the default fleet ego). Per-vehicle seeds stay distinct so
+  /// every rig keeps its own driving style and sensor noise.
+  [[nodiscard]] static Scenario fleet(std::uint64_t seed,
+                                      road::EnvironmentType env,
+                                      std::size_t vehicle_count,
+                                      double gap_m = 40.0);
 };
 
 }  // namespace rups::sim

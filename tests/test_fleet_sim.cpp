@@ -1,0 +1,110 @@
+#include "sim/fleet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rups::sim {
+namespace {
+
+Scenario small_fleet_scenario(std::size_t vehicles) {
+  Scenario s = Scenario::fleet(5, road::EnvironmentType::kFourLaneUrban,
+                               vehicles, /*gap_m=*/30.0);
+  s.route_length_m = 6'000.0;
+  return s;
+}
+
+TEST(ScenarioFleet, LaysVehiclesOutFrontToBack) {
+  const Scenario s =
+      Scenario::fleet(3, road::EnvironmentType::kFourLaneUrban, 4, 25.0);
+  ASSERT_EQ(s.vehicles.size(), 4u);
+  // Vehicle 0 leads; offsets decrease towards the rear car at 0.
+  EXPECT_DOUBLE_EQ(s.vehicles[0].start_offset_m, 75.0);
+  EXPECT_DOUBLE_EQ(s.vehicles[1].start_offset_m, 50.0);
+  EXPECT_DOUBLE_EQ(s.vehicles[2].start_offset_m, 25.0);
+  EXPECT_DOUBLE_EQ(s.vehicles[3].start_offset_m, 0.0);
+  // Distinct per-vehicle seeds.
+  EXPECT_NE(s.vehicles[0].seed, s.vehicles[1].seed);
+  EXPECT_NE(s.vehicles[1].seed, s.vehicles[2].seed);
+}
+
+TEST(FleetSimulation, CampaignQueriesEveryNeighbourEachRound) {
+  FleetCampaignConfig cfg;
+  cfg.base.warmup_s = 350.0;
+  cfg.base.interval_s = 5.0;
+  cfg.base.max_queries = 6;  // rounds
+  FleetSimulation fleet(small_fleet_scenario(4), cfg);
+  EXPECT_EQ(fleet.ego_index(), 3u);  // rear car by default
+
+  const FleetCampaignResult result = run_fleet_campaign(fleet, cfg);
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.outcomes.size(), 3u);  // every neighbour, every round
+    for (const auto& o : round.outcomes) {
+      EXPECT_NE(o.neighbour_index, fleet.ego_index());
+      EXPECT_LT(o.neighbour_index, 4u);
+      // The ego is the rear car: every neighbour is ahead, truth < 0.
+      EXPECT_LT(o.truth_m, 0.0);
+    }
+  }
+
+  // The convoy drives the same road, so the fleet should resolve most
+  // neighbours once contexts are built.
+  EXPECT_GT(result.availability(), 0.5);
+  // Cache sanity: queries flowed through the shards, and after round one
+  // the tracker carries the bulk of them.
+  EXPECT_EQ(result.cache.queries, 6u * 3u);
+  EXPECT_GT(result.cache.tracking_hits, 0u);
+  // V2V sessions moved real bytes (full context + tails, per neighbour).
+  EXPECT_GT(result.v2v_bytes, 0u);
+  // Accuracy: fleet estimates against ground truth stay street-level.
+  for (const double e : result.rups_errors()) EXPECT_LT(e, 50.0);
+}
+
+TEST(FleetSimulation, ExplicitEgoIndexIsRespected) {
+  FleetCampaignConfig cfg;
+  cfg.base.warmup_s = 300.0;
+  cfg.base.interval_s = 5.0;
+  cfg.base.max_queries = 2;
+  cfg.ego_index = 0;  // the FRONT car queries backwards
+  FleetSimulation fleet(small_fleet_scenario(3), cfg);
+  EXPECT_EQ(fleet.ego_index(), 0u);
+  const auto result = run_fleet_campaign(fleet, cfg);
+  for (const auto& round : result.rounds) {
+    for (const auto& o : round.outcomes) {
+      EXPECT_NE(o.neighbour_index, 0u);
+      // Ego leads: neighbours are behind, truth > 0.
+      EXPECT_GT(o.truth_m, 0.0);
+    }
+  }
+}
+
+TEST(FleetSimulation, CacheDisabledStillAnswers) {
+  FleetCampaignConfig cfg;
+  cfg.base.warmup_s = 350.0;
+  cfg.base.interval_s = 5.0;
+  cfg.base.max_queries = 3;
+  cfg.use_cache = false;
+  FleetSimulation fleet(small_fleet_scenario(3), cfg);
+  const auto result = run_fleet_campaign(fleet, cfg);
+  ASSERT_EQ(result.rounds.size(), 3u);
+  EXPECT_EQ(result.cache.tracking_hits, 0u);
+  EXPECT_GT(result.cache.full_searches, 0u);
+  EXPECT_GT(result.availability(), 0.0);
+}
+
+TEST(FleetSimulation, HealthMonitorSeesEveryOutcome) {
+  FleetCampaignConfig cfg;
+  cfg.base.warmup_s = 350.0;
+  cfg.base.interval_s = 5.0;
+  cfg.base.max_queries = 4;
+  cfg.base.enable_health = true;
+  FleetSimulation fleet(small_fleet_scenario(3), cfg);
+  const auto result = run_fleet_campaign(fleet, cfg);
+  std::size_t outcomes = 0;
+  for (const auto& round : result.rounds) outcomes += round.outcomes.size();
+  EXPECT_EQ(result.health.samples, outcomes);
+}
+
+}  // namespace
+}  // namespace rups::sim
