@@ -35,6 +35,7 @@ struct Options {
   double gauge_tol = 0.25;      // two-sided, relative with abs floor 1.0
   double mean_tol = 0.50;       // one-sided on histogram means
   double bench_tol = 0.50;      // one-sided on benchmark cpu times
+  bool gauge_one_sided = false;  // only increases beyond gauge_tol fail
   bool skip_counters = false;
   bool skip_gauges = false;
   bool skip_histograms = false;
@@ -61,6 +62,9 @@ void print_help() {
       "                      (default 0.25)\n"
       "  --gauge-tol F       tolerance for gauges: |diff| <= F*max(|base|,1)\n"
       "                      (default 0.25)\n"
+      "  --gauge-one-sided   gauges fail only on INCREASES beyond the\n"
+      "                      tolerance (for timing-style gauges where\n"
+      "                      smaller is better)\n"
       "  --mean-tol F        one-sided tolerance for histogram-mean\n"
       "                      regressions (default 0.5)\n"
       "  --bench-tol F       one-sided tolerance for benchmark cpu-time\n"
@@ -191,13 +195,16 @@ class DiffTable {
   }
 
   /// Gauges: relative with an absolute floor of 1.0 so near-zero gauges
-  /// (e.g. an availability of 0.0 vs 0.01) do not explode the ratio.
+  /// (e.g. an availability of 0.0 vs 0.01) do not explode the ratio. With
+  /// --gauge-one-sided only increases count (timing-style gauges).
   void compare_gauge(const std::string& name, double base, double cand) {
     if (ignored(opt_, name)) return;
-    const double diff = std::abs(cand - base);
+    const double diff = cand - base;
     const double allowed = opt_.gauge_tol * std::max(std::abs(base), 1.0);
-    const double delta = base != 0.0 ? (cand - base) / std::abs(base) : diff;
-    row("gauge", name, base, cand, delta, opt_.gauge_tol, diff > allowed);
+    const double delta = base != 0.0 ? diff / std::abs(base) : diff;
+    const bool fail =
+        opt_.gauge_one_sided ? diff > allowed : std::abs(diff) > allowed;
+    row("gauge", name, base, cand, delta, opt_.gauge_tol, fail);
   }
 
   void missing(const char* kind, const std::string& name, double base) {
@@ -267,6 +274,8 @@ int main(int argc, char** argv) {
       if (!next_value(&opt.mean_tol)) return 2;
     } else if (arg == "--bench-tol") {
       if (!next_value(&opt.bench_tol)) return 2;
+    } else if (arg == "--gauge-one-sided") {
+      opt.gauge_one_sided = true;
     } else if (arg == "--skip-counters") {
       opt.skip_counters = true;
     } else if (arg == "--skip-gauges") {

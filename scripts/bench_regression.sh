@@ -16,30 +16,39 @@
 #     sweep), so its cache/batch COUNTERS are deterministic — diffed at 2%
 #     like the comm pass. The binary itself also exits non-zero when the
 #     warm-vs-cold results diverge or the cache stops hitting.
+#  4. bench_syn_kernel: sweep-shape COUNTERS are pure functions of the
+#     registered grid — diffed at 2% (catches accidental sweep edits).
+#     The paper-point per-position timing GAUGES are machine-dependent,
+#     so they are diffed one-sided at 100%: only a >2x slowdown fails.
+#     The speedup gauge is informational (its floor is enforced by the
+#     kernel_speedup_gate ctest) and improvements must not fail the gate,
+#     so it is excluded here.
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
-#                       <bench_fleet_scaling> <obs_diff> <baseline.json> \
-#                       <workdir>
+#                       <bench_fleet_scaling> <bench_syn_kernel> <obs_diff> \
+#                       <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 6 ]]; then
+if [[ $# -ne 7 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
-       "<bench_fleet_scaling> <obs_diff> <baseline.json> <workdir>" >&2
+       "<bench_fleet_scaling> <bench_syn_kernel> <obs_diff>" \
+       "<baseline.json> <workdir>" >&2
   exit 2
 fi
 
 compute_bin=$(realpath "$1")
 comm_bin=$(realpath "$2")
 fleet_bin=$(realpath "$3")
-obs_diff_bin=$(realpath "$4")
-baseline=$(realpath "$5")
-workdir="$6"
+kernel_bin=$(realpath "$4")
+obs_diff_bin=$(realpath "$5")
+baseline=$(realpath "$6")
+workdir="$7"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/3: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/4: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -49,7 +58,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/3: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/4: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -62,7 +71,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/3: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/4: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -70,6 +79,20 @@ mkdir -p "$fleet_dir"
 "$obs_diff_bin" --section fleet_metrics \
   --counter-tol 0.02 --skip-histograms --skip-benchmarks \
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
+
+echo ""
+echo "== pass 4/4: kernel sweep counters (tight) + timings (one-sided) =="
+kernel_dir="$workdir/kernel"
+rm -rf "$kernel_dir"
+mkdir -p "$kernel_dir"
+(cd "$kernel_dir" && RUPS_BENCH_SCALE=0.3 "$kernel_bin" \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='w:100/k:45' > bench_syn_kernel.log)
+"$obs_diff_bin" --section kernel_metrics \
+  --counter-tol 0.02 --gauge-tol 1.0 --gauge-one-sided \
+  --ignore kernel.paper.speedup \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

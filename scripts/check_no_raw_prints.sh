@@ -23,7 +23,7 @@ allowlist=(
   bench_fig3_uniqueness.cpp bench_fig4_resolution.cpp
   bench_fig9_radio_config.cpp bench_fig10_aggregation.cpp
   bench_fig11_environments.cpp bench_fig12_vs_gps.cpp
-  bench_comm_cost.cpp bench_compute_cost.cpp
+  bench_comm_cost.cpp bench_compute_cost.cpp bench_syn_kernel.cpp
   bench_ablation_channels.cpp bench_ablation_interpolation.cpp
   bench_ablation_window.cpp bench_ablation_field_scales.cpp
   bench_ablation_gap.cpp bench_ext_multiband.cpp bench_fleet_scaling.cpp

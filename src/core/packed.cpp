@@ -4,10 +4,14 @@
 #include <cmath>
 #include <cstring>
 
-// NOTE: this translation unit carries the same vectorization flags as
-// syn_seeker.cpp (see src/core/CMakeLists.txt). packed_correlation() must
-// have exactly one compiled definition so the full search, the SynCache
-// tracking verify, and the tests all score identical inputs bit-identically.
+// NOTE: this translation unit is compiled WITHOUT value-changing FP options
+// (no -ffast-math; -ffp-contract=off — see src/core/CMakeLists.txt), so the
+// lane kernel below evaluates IEEE source-order semantics exactly. That is
+// what upgrades the repo's determinism invariant from "single TU, same
+// flags" (bit-identity by compiler accident) to a language-level guarantee:
+// every lane accumulates its moment sums over the window metres in source
+// order, independent of the block width or how the compiler vectorizes
+// ACROSS lanes. Speed comes from batching lags, not from reassociation.
 
 namespace rups::core {
 
@@ -116,14 +120,44 @@ SubsetPack::SubsetPack(const ContextTrajectory& t,
   }
 }
 
-double packed_correlation(const PackedView& fixed, std::size_t fixed_start,
-                          const PackedView& sliding, std::size_t pos,
-                          std::size_t window,
-                          const TrajectoryCorrelationConfig& config) {
-  const std::size_t w = window;
-  double channel_corr_sum = 0.0;
-  std::size_t channels_used = 0;
-  double pn = 0, psx = 0, psy = 0, psxx = 0, psyy = 0, psxy = 0;
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lane kernel. lag_block_body<B> scores the B sliding positions
+//   pos0, pos0 + step, ..., pos0 + (B-1)*step     (in metres)
+// in one traversal of the checking window. The outer loop runs over window
+// metres i; fixed-row values fv[i]/fx[i]/fx2[i] are loaded once per metre
+// and broadcast; the B sliding-side loads sx_[i + b*step] are contiguous
+// across the block when step == 1 (SIMD lanes across lags). Each lane's six
+// float moment sums accumulate over i in source order, which is the SAME
+// order the historical per-position kernel used — so every lane is
+// bit-identical to a single-position call regardless of B, step, or target
+// ISA (the TU is compiled without value-changing FP options).
+//
+// step == 0 is the degenerate single-position block (all lanes score pos0;
+// lane 0 is the answer) — packed_correlation() routes through it so there
+// is exactly ONE compiled accumulation loop in the whole system.
+//
+// The per-channel epilogue is branchless on purpose: every lane computes
+// the variance/covariance reduction with a safe denominator (dn = 1 when
+// the lane's overlap is below min_channel_overlap) and then SELECTS either
+// the real contribution or 0.0 / +0. Adding a selected +0.0 to a lane's
+// running double sums cannot change their bits (the sums are never -0.0:
+// they start at +0.0 and x + (-0.0) == x for any x != -0.0), so an
+// excluded lane's sums stay bit-equal to the scalar path that skipped the
+// channel with `continue`. A lane whose guard fails may compute NaN/Inf in
+// `r`; the select discards it before it can touch an accumulator.
+// ---------------------------------------------------------------------------
+template <int B>
+[[gnu::always_inline]] inline void lag_block_body(
+    const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
+    std::size_t pos0, std::size_t step, std::size_t window,
+    const TrajectoryCorrelationConfig& config, double* out) {
+  double channel_corr_sum[B] = {};
+  std::size_t channels_used[B] = {};
+  double pn[B] = {}, psx[B] = {}, psy[B] = {}, psxx[B] = {}, psyy[B] = {},
+         psxy[B] = {};
+  const float min_overlap = static_cast<float>(config.min_channel_overlap);
 
   const std::size_t k = std::min(fixed.rows.size(), sliding.rows.size());
   for (std::size_t kk = 0; kk < k; ++kk) {
@@ -135,54 +169,218 @@ double packed_correlation(const PackedView& fixed, std::size_t fixed_start,
     const float* fx = fixed.span.x + fc * fixed.span.stride + fixed_start;
     const float* fx2 = fixed.span.x2 + fc * fixed.span.stride + fixed_start;
     const float* fv = fixed.span.v + fc * fixed.span.stride + fixed_start;
-    const float* sx_ = sliding.span.x + sc * sliding.span.stride + pos;
-    const float* sx2_ = sliding.span.x2 + sc * sliding.span.stride + pos;
-    const float* sv_ = sliding.span.v + sc * sliding.span.stride + pos;
+    const float* sx_ = sliding.span.x + sc * sliding.span.stride + pos0;
+    const float* sx2_ = sliding.span.x2 + sc * sliding.span.stride + pos0;
+    const float* sv_ = sliding.span.v + sc * sliding.span.stride + pos0;
 
-    float n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
-    for (std::size_t i = 0; i < w; ++i) {
-      const float m = fv[i] * sv_[i];
-      n += m;
-      sx += m * fx[i];
-      sy += m * sx_[i];
-      sxx += m * fx2[i];
-      syy += m * sx2_[i];
-      sxy += m * fx[i] * sx_[i];
+    float n[B] = {}, sx[B] = {}, sy[B] = {}, sxx[B] = {}, syy[B] = {},
+          sxy[B] = {};
+    if (step == 1) {
+      // Contiguous lanes: per metre i the block reads sliding columns
+      // [i, i+B) — one unaligned vector load per stream.
+      for (std::size_t i = 0; i < window; ++i) {
+        const float fvi = fv[i];
+        const float fxi = fx[i];
+        const float fx2i = fx2[i];
+        for (int b = 0; b < B; ++b) {
+          const std::size_t j = i + static_cast<std::size_t>(b);
+          const float m = fvi * sv_[j];
+          n[b] += m;
+          sx[b] += m * fxi;
+          sy[b] += m * sx_[j];
+          sxx[b] += m * fx2i;
+          syy[b] += m * sx2_[j];
+          sxy[b] += m * fxi * sx_[j];
+        }
+      }
+    } else {
+      // Strided (coarse-scan) or degenerate (step == 0) lanes: gathered
+      // loads, same per-lane arithmetic and order.
+      for (std::size_t i = 0; i < window; ++i) {
+        const float fvi = fv[i];
+        const float fxi = fx[i];
+        const float fx2i = fx2[i];
+        for (int b = 0; b < B; ++b) {
+          const std::size_t j = i + static_cast<std::size_t>(b) * step;
+          const float m = fvi * sv_[j];
+          n[b] += m;
+          sx[b] += m * fxi;
+          sy[b] += m * sx_[j];
+          sxx[b] += m * fx2i;
+          syy[b] += m * sx2_[j];
+          sxy[b] += m * fxi * sx_[j];
+        }
+      }
     }
-    if (n < static_cast<float>(config.min_channel_overlap)) continue;
-    const double dn = n;
-    const double vx =
-        static_cast<double>(sxx) - static_cast<double>(sx) * sx / dn;
-    const double vy =
-        static_cast<double>(syy) - static_cast<double>(sy) * sy / dn;
-    const double cov =
-        static_cast<double>(sxy) - static_cast<double>(sx) * sy / dn;
-    // Variance guard: a (near-)constant channel carries no alignment
-    // information, and float residues below ~1e-2 dB^2 are pure rounding
-    // noise — count the channel with zero correlation.
-    if (vx > 1e-2 && vy > 1e-2) {
-      channel_corr_sum += std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
+    for (int b = 0; b < B; ++b) {
+      const bool use = n[b] >= min_overlap;
+      const double dn = use ? static_cast<double>(n[b]) : 1.0;
+      const double vx =
+          static_cast<double>(sxx[b]) - static_cast<double>(sx[b]) * sx[b] / dn;
+      const double vy =
+          static_cast<double>(syy[b]) - static_cast<double>(sy[b]) * sy[b] / dn;
+      const double cov =
+          static_cast<double>(sxy[b]) - static_cast<double>(sx[b]) * sy[b] / dn;
+      // Variance guard: a (near-)constant channel carries no alignment
+      // information, and float residues below ~1e-2 dB^2 are pure rounding
+      // noise — count the channel with zero correlation.
+      const bool informative = use && vx > 1e-2 && vy > 1e-2;
+      const double r = std::clamp(cov / std::sqrt(vx * vy), -1.0, 1.0);
+      channel_corr_sum[b] += informative ? r : 0.0;
+      channels_used[b] += use ? 1u : 0u;
+      const double ma = sx[b] / dn;
+      const double mb = sy[b] / dn;
+      pn[b] += use ? 1.0 : 0.0;
+      psx[b] += use ? ma : 0.0;
+      psy[b] += use ? mb : 0.0;
+      psxx[b] += use ? ma * ma : 0.0;
+      psyy[b] += use ? mb * mb : 0.0;
+      psxy[b] += use ? ma * mb : 0.0;
     }
-    ++channels_used;
-    const double ma = sx / dn;
-    const double mb = sy / dn;
-    pn += 1.0;
-    psx += ma;
-    psy += mb;
-    psxx += ma * ma;
-    psyy += mb * mb;
-    psxy += ma * mb;
   }
 
-  if (channels_used < config.min_channels) return -2.0;
-  double profile_corr = 0.0;
-  if (pn >= 2.0) {
-    const double vx = psxx - psx * psx / pn;
-    const double vy = psyy - psy * psy / pn;
-    const double cov = psxy - psx * psy / pn;
-    if (vx > 0.0 && vy > 0.0) profile_corr = cov / std::sqrt(vx * vy);
+  for (int b = 0; b < B; ++b) {
+    if (channels_used[b] < config.min_channels) {
+      out[b] = -2.0;
+      continue;
+    }
+    double profile_corr = 0.0;
+    if (pn[b] >= 2.0) {
+      const double vx = psxx[b] - psx[b] * psx[b] / pn[b];
+      const double vy = psyy[b] - psy[b] * psy[b] / pn[b];
+      const double cov = psxy[b] - psx[b] * psy[b] / pn[b];
+      if (vx > 0.0 && vy > 0.0) profile_corr = cov / std::sqrt(vx * vy);
+    }
+    out[b] =
+        channel_corr_sum[b] / static_cast<double>(channels_used[b]) +
+        profile_corr;
   }
-  return channel_corr_sum / static_cast<double>(channels_used) + profile_corr;
+}
+
+// Runtime ISA dispatch: GCC emits default/AVX2/AVX-512 clones of each block
+// width and an ifunc resolver picks once at load time. The clone attribute
+// must sit on a concrete (non-template) function, hence the macro. Every
+// caller of a given width runs the same resolved clone, and all clones
+// evaluate the same strict-FP source semantics, so dispatch cannot break
+// bit-identity.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define RUPS_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
+#else
+#define RUPS_KERNEL_CLONES
+#endif
+
+#define RUPS_DEFINE_LAG_BLOCK(B)                                          \
+  RUPS_KERNEL_CLONES __attribute__((noinline)) void lag_block_##B(        \
+      const PackedView& fixed, std::size_t fixed_start,                   \
+      const PackedView& sliding, std::size_t pos0, std::size_t step,      \
+      std::size_t window, const TrajectoryCorrelationConfig& config,      \
+      double* out) {                                                      \
+    lag_block_body<B>(fixed, fixed_start, sliding, pos0, step, window,    \
+                      config, out);                                       \
+  }
+
+RUPS_DEFINE_LAG_BLOCK(1)
+RUPS_DEFINE_LAG_BLOCK(4)
+RUPS_DEFINE_LAG_BLOCK(8)
+RUPS_DEFINE_LAG_BLOCK(16)
+#undef RUPS_DEFINE_LAG_BLOCK
+#undef RUPS_KERNEL_CLONES
+
+/// Full blocks of B ascending positions, then either an overlapped tail
+/// block (recomputes up to B-1 already-scored positions on the same stride
+/// grid — bit-identical, so harmless) or, when the whole batch is smaller
+/// than B, degenerate single-position blocks.
+template <int B>
+void batch_blocks(const PackedView& fixed, std::size_t fixed_start,
+                  const PackedView& sliding, std::size_t pos_lo,
+                  std::size_t pos_count, std::size_t window,
+                  const TrajectoryCorrelationConfig& config,
+                  double* out_scores, std::size_t pos_stride) {
+  const auto block = [&](std::size_t pos0, std::size_t step, double* out) {
+    if constexpr (B == 4) {
+      lag_block_4(fixed, fixed_start, sliding, pos0, step, window, config,
+                  out);
+    } else if constexpr (B == 8) {
+      lag_block_8(fixed, fixed_start, sliding, pos0, step, window, config,
+                  out);
+    } else {
+      lag_block_16(fixed, fixed_start, sliding, pos0, step, window, config,
+                   out);
+    }
+  };
+  constexpr auto kB = static_cast<std::size_t>(B);
+  std::size_t q = 0;
+  for (; q + kB <= pos_count; q += kB) {
+    block(pos_lo + q * pos_stride, pos_stride, out_scores + q);
+  }
+  if (q == pos_count) return;
+  double tmp[kB];
+  if (pos_count >= kB) {
+    const std::size_t start = pos_count - kB;
+    block(pos_lo + start * pos_stride, pos_stride, tmp);
+    for (std::size_t b = q - start; b < kB; ++b) {
+      out_scores[start + b] = tmp[b];
+    }
+  } else {
+    // Fewer positions than lanes: score one at a time through the B=1
+    // block (identical per-lane arithmetic, so still bit-exact). Running
+    // the wide block at step 0 instead would compute the same position in
+    // every lane — B× redundant work through the slow generic nest.
+    for (; q < pos_count; ++q) {
+      lag_block_1(fixed, fixed_start, sliding, pos_lo + q * pos_stride, 0,
+                  window, config, tmp);
+      out_scores[q] = tmp[0];
+    }
+  }
+}
+
+}  // namespace
+
+double packed_correlation(const PackedView& fixed, std::size_t fixed_start,
+                          const PackedView& sliding, std::size_t pos,
+                          std::size_t window,
+                          const TrajectoryCorrelationConfig& config) {
+  double out[1];
+  lag_block_1(fixed, fixed_start, sliding, pos, 0, window, config, out);
+  return out[0];
+}
+
+void packed_correlation_batch(const PackedView& fixed, std::size_t fixed_start,
+                              const PackedView& sliding, std::size_t pos_lo,
+                              std::size_t pos_count, std::size_t window,
+                              const TrajectoryCorrelationConfig& config,
+                              double* out_scores, std::size_t pos_stride_m) {
+  batch_blocks<16>(fixed, fixed_start, sliding, pos_lo, pos_count, window,
+                   config, out_scores, pos_stride_m);
+}
+
+void packed_correlation_batch_lanes(
+    std::size_t lanes, const PackedView& fixed, std::size_t fixed_start,
+    const PackedView& sliding, std::size_t pos_lo, std::size_t pos_count,
+    std::size_t window, const TrajectoryCorrelationConfig& config,
+    double* out_scores, std::size_t pos_stride_m) {
+  switch (lanes) {
+    case 1:
+      for (std::size_t q = 0; q < pos_count; ++q) {
+        out_scores[q] = packed_correlation(
+            fixed, fixed_start, sliding, pos_lo + q * pos_stride_m, window,
+            config);
+      }
+      break;
+    case 4:
+      batch_blocks<4>(fixed, fixed_start, sliding, pos_lo, pos_count, window,
+                      config, out_scores, pos_stride_m);
+      break;
+    case 8:
+      batch_blocks<8>(fixed, fixed_start, sliding, pos_lo, pos_count, window,
+                      config, out_scores, pos_stride_m);
+      break;
+    default:
+      batch_blocks<16>(fixed, fixed_start, sliding, pos_lo, pos_count, window,
+                       config, out_scores, pos_stride_m);
+      break;
+  }
 }
 
 }  // namespace rups::core

@@ -9,11 +9,17 @@
 // trajectory grows, which is what makes SYN caching and fleet-scale batching
 // (one ego pack shared by N neighbour queries) cheap.
 //
-// The kernel packed_correlation() lives in packed.cpp, which is compiled
-// with the same vectorization-friendly flags as syn_seeker.cpp. Keeping the
-// single definition in one translation unit guarantees every caller — full
-// search, cached tracking verify, tests — computes bit-identical
-// correlations for identical inputs.
+// The correlation kernels live in packed.cpp and are LAG-BATCHED: one
+// traversal of the checking window scores a block of kLagBlock sliding
+// positions, with the fixed-row values loaded once and broadcast while the
+// sliding-side loads are contiguous across the block (SIMD lanes across
+// lags). Every entry point — packed_correlation, packed_correlation_batch,
+// the tuning widths — funnels into the same per-lane accumulation loop,
+// compiled WITHOUT value-changing FP options (no -ffast-math, and
+// -ffp-contract=off), so each lag's moment sums accumulate over the window
+// metres in source order regardless of batch shape. Bit-identical scores
+// for identical inputs are therefore a language-level guarantee, not a
+// compiler accident (see DESIGN.md §11 "Kernel layout").
 
 #include <cstddef>
 #include <cstdint>
@@ -135,15 +141,57 @@ struct PackedView {
   std::span<const std::size_t> rows{};
 };
 
+/// Lane width of the production lag-batched kernel: one window traversal
+/// scores this many sliding positions. 16 keeps the per-channel float
+/// accumulator working set (6 sums x 16 lanes) inside the vector register
+/// file on AVX2 and x86-64-v4 targets while still amortizing the fixed-row
+/// loads 16x; callers that chunk scans should align chunk lengths to this
+/// so only the final chunk pays a partial block.
+inline constexpr std::size_t kLagBlock = 16;
+
 /// Trajectory correlation (paper eq. (2)) between the fixed window
 /// [fixed_start, fixed_start+window) of `fixed` and the sliding window
 /// [pos, pos+window) of `sliding`, over fixed.rows/sliding.rows (must have
 /// equal length: entry kk of each names the kk-th checking channel's row).
 /// Identical semantics to trajectory_correlation(); this is the float fast
-/// path the SYN search runs on.
+/// path the SYN search runs on. Single-position wrapper over the lane
+/// kernel — bit-identical to any packed_correlation_batch() lane scoring
+/// the same position.
 [[nodiscard]] double packed_correlation(
     const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
     std::size_t pos, std::size_t window,
     const TrajectoryCorrelationConfig& config);
+
+/// Lag-batched correlation: scores `pos_count` sliding positions
+///   pos_lo + q * pos_stride_m   for q in [0, pos_count)
+/// into out_scores[q], each exactly equal (bit-identical) to the
+/// corresponding packed_correlation() call. One traversal of the checking
+/// window scores kLagBlock positions at a time: fixed-row values are loaded
+/// once and broadcast, the B sliding-side loads per metre are contiguous
+/// across the block (stride 1) or strided by pos_stride_m — SIMD lanes
+/// across lags instead of across metres, which is why no value-changing FP
+/// flags are needed to vectorize. A trailing partial block is rescored as
+/// an overlapped full block ending at the last position (same stride grid,
+/// so recomputed lanes reproduce the same bits); when pos_count < kLagBlock
+/// each position runs as a degenerate single-position block.
+/// Caller must guarantee every scored window fits: pos_lo +
+/// (pos_count-1)*pos_stride_m + window <= sliding.span.metres.
+void packed_correlation_batch(const PackedView& fixed, std::size_t fixed_start,
+                              const PackedView& sliding, std::size_t pos_lo,
+                              std::size_t pos_count, std::size_t window,
+                              const TrajectoryCorrelationConfig& config,
+                              double* out_scores,
+                              std::size_t pos_stride_m = 1);
+
+/// Tuning/bench surface: packed_correlation_batch with an explicit lane
+/// width. lanes must be 1, 4, 8 or 16 (1 = per-position scalar path, the
+/// baseline the bench sweep compares against). All widths produce
+/// bit-identical scores — the per-lane accumulation order never depends on
+/// the block shape. Production callers use packed_correlation_batch().
+void packed_correlation_batch_lanes(
+    std::size_t lanes, const PackedView& fixed, std::size_t fixed_start,
+    const PackedView& sliding, std::size_t pos_lo, std::size_t pos_count,
+    std::size_t window, const TrajectoryCorrelationConfig& config,
+    double* out_scores, std::size_t pos_stride_m = 1);
 
 }  // namespace rups::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <numeric>
 
 #include "core/channel_select.hpp"
 #include "core/turn_detector.hpp"
@@ -16,12 +17,14 @@ namespace rups::core {
 namespace {
 
 /// Sec. V-A / VI-E cost accounting for the SYN search. Handles resolve
-/// once; increments happen in bulk per slide/seek, never per position, so
+/// once; increments happen in bulk per scan call, never per position, so
 /// the packed kernel stays untouched.
 struct SynMetrics {
   obs::Counter& seeks = obs::Registry::global().counter("syn.seeks");
   obs::Counter& windows =
       obs::Registry::global().counter("syn.windows_scanned");
+  obs::Counter& kernel_blocks =
+      obs::Registry::global().counter("syn.kernel_blocks");
   obs::Counter& accepted =
       obs::Registry::global().counter("syn.candidates_accepted");
   obs::Counter& rejected =
@@ -39,17 +42,29 @@ SynMetrics& syn_metrics() {
   return m;
 }
 
-/// Identity row map 0..k-1 for SubsetPack views.
-std::vector<std::size_t> iota_rows(std::size_t k) {
-  std::vector<std::size_t> rows(k);
-  for (std::size_t i = 0; i < k; ++i) rows[i] = i;
-  return rows;
+/// Deterministic merge of per-chunk scan results: ties resolve to the
+/// lowest position, matching what one ascending serial scan would return.
+SynSeeker::Candidate reduce_chunks(
+    const std::vector<SynSeeker::Candidate>& chunk_best) {
+  SynSeeker::Candidate best;
+  for (const SynSeeker::Candidate& c : chunk_best) {
+    if (!c.valid) continue;
+    if (!best.valid || c.correlation > best.correlation ||
+        (c.correlation == best.correlation && c.position < best.position)) {
+      best = c;
+    }
+  }
+  return best;
 }
 
 }  // namespace
 
-SynSeeker::SynSeeker(SynConfig config, util::ThreadPool* pool) noexcept
-    : config_(config), pool_(pool) {}
+SynSeeker::SynSeeker(SynConfig config, util::ThreadPool* pool)
+    : config_(config),
+      pool_(pool),
+      identity_rows_(std::max<std::size_t>(config.top_channels, 1)) {
+  std::iota(identity_rows_.begin(), identity_rows_.end(), std::size_t{0});
+}
 
 std::pair<std::size_t, double> SynSeeker::effective_window(
     std::size_t available_a, std::size_t available_b) const {
@@ -132,14 +147,120 @@ SynSeeker::Candidate SynSeeker::best_over_positions(
   const std::size_t positions =
       (sliding.span.metres - window) / config_.stride_m + 1;
   pos_hi = std::min(pos_hi, positions);
-  for (std::size_t p = pos_lo; p < pos_hi; ++p) {
-    const double r =
-        packed_correlation(fixed, fixed_start, sliding, p * config_.stride_m,
-                           window, config_.correlation);
-    if (!best.valid || r > best.correlation) {
-      best = {r, p * config_.stride_m, true};
+  if (pos_lo >= pos_hi) return best;
+  return best_over_grid(fixed, fixed_start, sliding, window, pos_lo, pos_hi,
+                        config_.stride_m, config_.stride_m);
+}
+
+SynSeeker::Candidate SynSeeker::best_over_grid(
+    const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
+    std::size_t window, std::size_t grid_lo, std::size_t grid_hi,
+    std::size_t metre_step, std::size_t index_step) const {
+  Candidate best;
+  if (grid_lo >= grid_hi) return best;
+  const auto reduce = [&best, index_step](const double* scores,
+                                          std::size_t first,
+                                          std::size_t count) {
+    for (std::size_t b = 0; b < count; ++b) {
+      if (!best.valid || scores[b] > best.correlation) {
+        best = {scores[b], (first + b) * index_step, true};
+      }
+    }
+  };
+
+  double scores[kLagBlock];
+
+  // Strided grids (metre_step > 1) never use the kernel's strided-lane
+  // nest for big scans: its lane loads are non-contiguous, the
+  // auto-vectorizer gives up, and the 6×kLagBlock live accumulators then
+  // cost more than per-position scoring. Instead:
+  //  - small strides (≤ kLagBlock/2): score the *contiguous covering metre
+  //    range* at full block width and reduce only the lanes landing on the
+  //    grid. Scores are bit-identical however they are batched, so the
+  //    extra lanes are semantically free, and at batch speed this beats
+  //    per-position scoring up to metre_step ≈ kLagBlock/2 (measured:
+  //    coarse stride 4 drops ~2.7x vs the strided nest).
+  //  - large strides: per-position scoring (the covering range would spend
+  //    most lanes between grid points).
+  if (metre_step > 1) {
+    const std::size_t m_lo = grid_lo * metre_step;
+    const std::size_t m_last = (grid_hi - 1) * metre_step;
+    if (metre_step <= kLagBlock / 2 && m_last - m_lo + 1 >= kLagBlock) {
+      std::size_t blocks = 0;
+      const auto reduce_cover = [&](std::size_t m0) {
+        for (std::size_t b = 0; b < kLagBlock; ++b) {
+          const std::size_t m = m0 + b;
+          if (m > m_last || m % metre_step != 0) continue;
+          if (!best.valid || scores[b] > best.correlation) {
+            best = {scores[b], (m / metre_step) * index_step, true};
+          }
+        }
+      };
+      std::size_t m = m_lo;
+      for (; m + kLagBlock <= m_last + 1; m += kLagBlock) {
+        packed_correlation_batch(fixed, fixed_start, sliding, m, kLagBlock,
+                                 window, config_.correlation, scores);
+        reduce_cover(m);
+        ++blocks;
+      }
+      if (m <= m_last) {
+        // Overlapped tail on the metre axis (same argument as below: a
+        // re-scored lane is bit-identical and cannot displace `best`).
+        const std::size_t start = m_last + 1 - kLagBlock;
+        packed_correlation_batch(fixed, fixed_start, sliding, start,
+                                 kLagBlock, window, config_.correlation,
+                                 scores);
+        reduce_cover(start);
+        ++blocks;
+      }
+      syn_metrics().kernel_blocks.inc(blocks);
+      return best;
+    }
+    if (metre_step > kLagBlock / 2) {
+      for (std::size_t g = grid_lo; g < grid_hi; ++g) {
+        const double s = packed_correlation(fixed, fixed_start, sliding,
+                                            g * metre_step, window,
+                                            config_.correlation);
+        if (!best.valid || s > best.correlation) {
+          best = {s, g * index_step, true};
+        }
+      }
+      syn_metrics().kernel_blocks.inc(grid_hi - grid_lo);
+      return best;
+    }
+    // Small-span strided grid: fall through — the generic loop below ends
+    // in degenerate per-position blocks for counts under kLagBlock.
+  }
+
+  std::size_t q = grid_lo;
+  for (; q + kLagBlock <= grid_hi; q += kLagBlock) {
+    packed_correlation_batch(fixed, fixed_start, sliding, q * metre_step,
+                             kLagBlock, window, config_.correlation, scores,
+                             metre_step);
+    reduce(scores, q, kLagBlock);
+  }
+  std::size_t blocks = (q - grid_lo) / kLagBlock;
+  if (q < grid_hi) {
+    if (grid_hi - grid_lo >= kLagBlock) {
+      // Overlapped tail: rescore the last kLagBlock grid points. The
+      // re-seen lanes are bit-identical to their full-block scores, and an
+      // equal score can never displace `best` (strict >), so the
+      // lowest-position tie-break is untouched.
+      const std::size_t start = grid_hi - kLagBlock;
+      packed_correlation_batch(fixed, fixed_start, sliding, start * metre_step,
+                               kLagBlock, window, config_.correlation, scores,
+                               metre_step);
+      reduce(scores, start, kLagBlock);
+      blocks += 1;
+    } else {
+      packed_correlation_batch(fixed, fixed_start, sliding, q * metre_step,
+                               grid_hi - q, window, config_.correlation,
+                               scores, metre_step);
+      reduce(scores, q, grid_hi - q);
+      blocks += grid_hi - q;  // degenerate single-position blocks
     }
   }
+  syn_metrics().kernel_blocks.inc(blocks);
   return best;
 }
 
@@ -152,20 +273,47 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
   const std::size_t positions =
       (sliding.span.metres - window) / config_.stride_m + 1;
 
+  // Chunk a grid of `count` scan points for the pool: chunk lengths are
+  // rounded up to whole kLagBlock batches so only each chunk's final block
+  // can be partial, and the per-chunk scans stay bit-identical to one
+  // serial ascending scan (so the deterministic reduction is exact).
+  const auto aligned_chunks = [this](std::size_t count) {
+    std::size_t chunk_len =
+        (count + pool_->size() - 1) / std::max<std::size_t>(pool_->size(), 1);
+    chunk_len = ((chunk_len + kLagBlock - 1) / kLagBlock) * kLagBlock;
+    const std::size_t chunks = (count + chunk_len - 1) / chunk_len;
+    return std::pair{chunks, chunk_len};
+  };
+
   // Coarse-to-fine: scan every coarse_stride-th position, then refine the
-  // neighbourhood of the best coarse hit exhaustively.
+  // neighbourhood of the best coarse hit exhaustively. Like the fine scan
+  // it is parallelized over the pool with the lowest-position tie-break
+  // reduction. Only engaged when the stride is wide enough to beat the
+  // exhaustive batched scan: below ~kLagBlock/2 the cheapest way to score
+  // a strided grid IS the contiguous covering scan (see best_over_grid),
+  // which costs the same as scoring every position — so a sparse pre-pass
+  // would only add its refine pass on top.
   if (config_.coarse_stride_m > 1 &&
+      config_.coarse_stride_m * config_.stride_m > kLagBlock / 2 &&
       positions > 4 * config_.coarse_stride_m) {
     const std::size_t coarse = config_.coarse_stride_m;
-    syn_metrics().windows.inc((positions + coarse - 1) / coarse);
-    Candidate coarse_best;
-    for (std::size_t p = 0; p < positions; p += coarse) {
-      const double r =
-          packed_correlation(fixed, fixed_start, sliding, p * config_.stride_m,
-                             window, config_.correlation);
-      if (!coarse_best.valid || r > coarse_best.correlation) {
-        coarse_best = {r, p, true};  // position index, not metres
-      }
+    const std::size_t coarse_count = (positions + coarse - 1) / coarse;
+    syn_metrics().windows.inc(coarse_count);
+    const std::size_t metre_step = coarse * config_.stride_m;
+    Candidate coarse_best;  // position = fine-grid index, not metres
+    if (pool_ == nullptr || coarse_count < 64) {
+      coarse_best = best_over_grid(fixed, fixed_start, sliding, window, 0,
+                                   coarse_count, metre_step, coarse);
+    } else {
+      const auto [chunks, chunk_len] = aligned_chunks(coarse_count);
+      std::vector<Candidate> chunk_best(chunks);
+      pool_->parallel_for(0, chunks, [&](std::size_t ci) {
+        const std::size_t lo = ci * chunk_len;
+        const std::size_t hi = std::min(coarse_count, lo + chunk_len);
+        chunk_best[ci] = best_over_grid(fixed, fixed_start, sliding, window,
+                                        lo, hi, metre_step, coarse);
+      });
+      coarse_best = reduce_chunks(chunk_best);
     }
     if (!coarse_best.valid) return best;
     const std::size_t lo =
@@ -184,23 +332,15 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
 
   // Parallel: per-chunk maxima reduced deterministically (ties resolve to
   // the lowest position, matching the sequential scan).
-  const std::size_t chunks = std::min<std::size_t>(pool_->size(), positions);
+  const auto [chunks, chunk_len] = aligned_chunks(positions);
   std::vector<Candidate> chunk_best(chunks);
-  const std::size_t chunk_len = (positions + chunks - 1) / chunks;
   pool_->parallel_for(0, chunks, [&](std::size_t ci) {
     const std::size_t lo = ci * chunk_len;
     const std::size_t hi = std::min(positions, lo + chunk_len);
     chunk_best[ci] =
         best_over_positions(fixed, fixed_start, sliding, window, lo, hi);
   });
-  for (const Candidate& c : chunk_best) {
-    if (!c.valid) continue;
-    if (!best.valid || c.correlation > best.correlation ||
-        (c.correlation == best.correlation && c.position < best.position)) {
-      best = c;
-    }
-  }
-  return best;
+  return reduce_chunks(chunk_best);
 }
 
 std::optional<SynPoint> SynSeeker::find_one(
@@ -229,16 +369,25 @@ std::optional<SynPoint> SynSeeker::find_one(
 
   // Each side either reuses a caller-maintained all-channel pack (row map =
   // selected channel ids) or falls back to the historical per-pass subset
-  // packs (row map = 0..k-1). A stale caller pack is ignored — correctness
+  // packs (row map = 0..k-1, a prefix of the cached identity map — no
+  // per-seek allocation). A stale caller pack is ignored — correctness
   // never depends on the caller keeping packs fresh.
   const bool have_a = pack_a != nullptr && pack_a->in_sync_with(a);
   const bool have_b = pack_b != nullptr && pack_b->in_sync_with(b);
-  const std::vector<std::size_t> rows_ka =
-      have_a && have_b ? std::vector<std::size_t>{}
-                       : iota_rows(p.channels_a.size());
-  const std::vector<std::size_t> rows_kb =
-      have_a && have_b ? std::vector<std::size_t>{}
-                       : iota_rows(p.channels_b.size());
+  std::span<const std::size_t> identity(identity_rows_);
+  std::vector<std::size_t> overflow;  // select_top_channels caps at
+                                      // top_channels, so this stays empty
+  const std::size_t need =
+      std::max(p.channels_a.size(), p.channels_b.size());
+  if (need > identity.size()) {
+    overflow.resize(need);
+    std::iota(overflow.begin(), overflow.end(), std::size_t{0});
+    identity = overflow;
+  }
+  const std::span<const std::size_t> rows_ka =
+      identity.first(p.channels_a.size());
+  const std::span<const std::size_t> rows_kb =
+      identity.first(p.channels_b.size());
 
   SubsetPack fixed_a, slide_b, fixed_b, slide_a;
   PackedView f1, s1, f2, s2;

@@ -95,8 +95,7 @@ class SynSeeker {
     double reject_v2 = 0.0;
   };
 
-  explicit SynSeeker(SynConfig config = {},
-                     util::ThreadPool* pool = nullptr) noexcept;
+  explicit SynSeeker(SynConfig config = {}, util::ThreadPool* pool = nullptr);
 
   /// Find up to config.syn_points SYN points between two trajectories,
   /// best-correlation first. Empty if the trajectories are unrelated.
@@ -130,10 +129,12 @@ class SynSeeker {
       std::size_t available_a, std::size_t available_b) const;
 
   /// Best correlation over the slide-position indices [pos_lo, pos_hi) on
-  /// the stride grid (position metres = index * stride_m); serial ascending
-  /// scan, ties resolve to the lowest position. pos_hi is clamped to the
-  /// valid position count. Used by the pool chunks, the coarse-to-fine
-  /// refinement, and SynCache's narrow tracking re-verification.
+  /// the stride grid (position metres = index * stride_m); scored through
+  /// the lag-batched kernel in ascending kLagBlock-position blocks, ties
+  /// resolve to the lowest position (bit-identical to a serial per-position
+  /// scan). pos_hi is clamped to the valid position count. Used by the pool
+  /// chunks, the coarse-to-fine refinement, and SynCache's narrow tracking
+  /// re-verification (whose ±verify_radius band is a single natural batch).
   [[nodiscard]] Candidate best_over_positions(const PackedView& fixed,
                                               std::size_t fixed_start,
                                               const PackedView& sliding,
@@ -151,8 +152,32 @@ class SynSeeker {
                                 const PackedView& sliding,
                                 std::size_t window) const;
 
+  /// Shared scan core: best over grid indices [grid_lo, grid_hi), where
+  /// grid index q scores slide position q * metre_step metres and reports
+  /// Candidate::position = q * index_step. The fine scan uses metre_step =
+  /// index_step = stride_m (position in metres); the coarse scan uses
+  /// metre_step = coarse*stride_m with index_step = coarse (position as a
+  /// fine-grid INDEX, which is what the refinement stage consumes).
+  /// Ascending blocks of kLagBlock positions through
+  /// packed_correlation_batch; the trailing partial block is rescored as an
+  /// overlapped full block — recomputed lanes are bit-identical and an
+  /// equal score can never displace an earlier (lower) position, so the
+  /// lowest-position tie-break survives.
+  [[nodiscard]] Candidate best_over_grid(const PackedView& fixed,
+                                         std::size_t fixed_start,
+                                         const PackedView& sliding,
+                                         std::size_t window,
+                                         std::size_t grid_lo,
+                                         std::size_t grid_hi,
+                                         std::size_t metre_step,
+                                         std::size_t index_step) const;
+
   SynConfig config_;
   util::ThreadPool* pool_;
+  /// Identity row map 0..top_channels-1, built once so fallback seeks
+  /// (SubsetPack views) don't heap-allocate per call; find_one takes
+  /// prefix subspans of it.
+  std::vector<std::size_t> identity_rows_;
 };
 
 }  // namespace rups::core

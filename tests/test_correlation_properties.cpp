@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/packed.hpp"
 #include "core/types.hpp"
 #include "util/hash_noise.hpp"
 #include "util/rng.hpp"
@@ -184,6 +185,64 @@ TEST(TrajectoryCorrelation, PrefixDataDoesNotAffectWindowScore) {
   const double on_short =
       trajectory_correlation({&short_a, 0}, {&short_b, 0}, 40, channels);
   EXPECT_EQ(on_long, on_short);
+}
+
+TEST(TrajectoryCorrelation, ReferenceAgreesWithPackedKernel) {
+  // The double-precision reference and the packed float kernel share the
+  // same per-channel semantics (1e-2 dB^2 variance guard + [-1, 1] clamp),
+  // so on any input — including channels the guard excludes — they must
+  // agree to float accumulation accuracy. Exercised with three channel
+  // flavours: exactly constant (vx == 0, excluded by both), sub-guard
+  // jitter (~1e-3 dB, variance orders of magnitude below 1e-2, excluded by
+  // both without straddling the boundary), and normally varying field
+  // channels (variance far above the guard).
+  const std::size_t metres = 160;
+  const std::size_t window = 60;
+  const std::size_t channels = 24;
+  const std::size_t offset = 25;
+  const auto make = [&](std::int64_t start, std::uint64_t noise_seed) {
+    ContextTrajectory t(channels, metres);
+    util::Rng rng(noise_seed);
+    const util::HashNoise chan_noise(13 ^ 0xABCDULL);
+    for (std::size_t i = 0; i < metres; ++i) {
+      PowerVector pv(channels);
+      for (std::size_t c = 0; c < channels; ++c) {
+        if (c % 5 == 0) {
+          pv.set(c, -70.0f);  // exactly constant
+        } else if (c % 5 == 1) {
+          pv.set(c, static_cast<float>(-70.0 + 1e-3 * rng.uniform()));
+        } else {
+          const util::LatticeField1D spatial(
+              util::hash_combine(13, static_cast<std::uint64_t>(c)), 8.0, 2);
+          pv.set(c, static_cast<float>(
+                        -95.0 +
+                        40.0 * chan_noise.uniform(
+                                   static_cast<std::int64_t>(c)) +
+                        6.0 * spatial.value(static_cast<double>(
+                                  start + static_cast<std::int64_t>(i))) +
+                        rng.gaussian(0.0, 0.4)));
+        }
+      }
+      t.append(GeoSample{}, std::move(pv));
+    }
+    return t;
+  };
+  const auto a = make(0, 51);
+  const auto b = make(static_cast<std::int64_t>(offset), 52);
+  const auto rows = all_channels(channels);
+  const TrajectoryCorrelationConfig config{};
+
+  const SubsetPack fixed_a(a, rows, offset, window);
+  const SubsetPack slide_b(b, rows, 0, metres);
+  const PackedView fixed{fixed_a.span(), rows};
+  const PackedView sliding{slide_b.span(), rows};
+  for (const std::size_t pos : {0UL, 10UL, 25UL, 40UL, 90UL}) {
+    const double reference = trajectory_correlation(
+        {&a, offset}, {&b, pos}, window, rows, config);
+    const double packed =
+        packed_correlation(fixed, 0, sliding, pos, window, config);
+    EXPECT_NEAR(reference, packed, 2e-3) << "pos " << pos;
+  }
 }
 
 TEST(RelativeChangeLinear, ZeroOnSelf) {
