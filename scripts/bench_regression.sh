@@ -23,17 +23,23 @@
 #     The speedup gauge is informational (its floor is enforced by the
 #     kernel_speedup_gate ctest) and improvements must not fail the gate,
 #     so it is excluded here.
+#  5. bench_fault_sweep runs a fixed seeded campaign through every fault
+#     profile (RUPS_BENCH_SCALE is ignored), so its exchange/delivery
+#     COUNTERS are deterministic — diffed at 2%. The per-profile error
+#     gauges come from the same seeded simulation and are diffed at 5%
+#     (they drift only if the channel, protocol or estimator changed).
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
-#                       <bench_fleet_scaling> <bench_syn_kernel> <obs_diff> \
+#                       <bench_fleet_scaling> <bench_syn_kernel> \
+#                       <bench_fault_sweep> <obs_diff> \
 #                       <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 7 ]]; then
+if [[ $# -ne 8 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
-       "<bench_fleet_scaling> <bench_syn_kernel> <obs_diff>" \
-       "<baseline.json> <workdir>" >&2
+       "<bench_fleet_scaling> <bench_syn_kernel> <bench_fault_sweep>" \
+       "<obs_diff> <baseline.json> <workdir>" >&2
   exit 2
 fi
 
@@ -41,14 +47,15 @@ compute_bin=$(realpath "$1")
 comm_bin=$(realpath "$2")
 fleet_bin=$(realpath "$3")
 kernel_bin=$(realpath "$4")
-obs_diff_bin=$(realpath "$5")
-baseline=$(realpath "$6")
-workdir="$7"
+fault_bin=$(realpath "$5")
+obs_diff_bin=$(realpath "$6")
+baseline=$(realpath "$7")
+workdir="$8"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/4: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/5: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -58,7 +65,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/4: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/5: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -71,7 +78,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/4: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/5: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -81,7 +88,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/4: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/5: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -93,6 +100,17 @@ mkdir -p "$kernel_dir"
   --ignore kernel.paper.speedup \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
+
+echo ""
+echo "== pass 5/5: fault-sweep delivery counters + error gauges =="
+fault_dir="$workdir/fault"
+rm -rf "$fault_dir"
+mkdir -p "$fault_dir"
+(cd "$fault_dir" && "$fault_bin" > bench_fault_sweep.log 2> /dev/null)
+"$obs_diff_bin" --section fault_metrics \
+  --counter-tol 0.02 --gauge-tol 0.05 \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

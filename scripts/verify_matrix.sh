@@ -11,7 +11,9 @@
 #     buffers must fail by exception, never by out-of-bounds reads),
 #     the lag-batched kernel bit-identity tests (overlapped tail blocks
 #     and strided lanes are exactly the kind of indexing asan vets),
-#     plus a small end-to-end campaign smoke.
+#     the fault-injection suites (FaultyChannel truncation/bit-flip paths
+#     and the salvage decoder index arithmetic), plus a small end-to-end
+#     campaign smoke.
 #
 # Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
 set -eu
@@ -30,12 +32,14 @@ echo "== asan-ubsan: configure + build obs/json/campaign surfaces =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_obs test_obs_disabled test_obs_recorder test_obs_health \
-  test_obs_pipeline test_json test_codec_fuzz test_packed_batch trace_tool
+  test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
+  test_wsm_faults test_exchange_degraded trace_tool
 
 echo ""
 echo "== asan-ubsan: run sanitized binaries =="
 for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
-           test_obs_pipeline test_json test_codec_fuzz test_packed_batch; do
+           test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
+           test_wsm_faults test_exchange_degraded; do
   echo "-- $bin"
   "build-asan/tests/$bin"
 done

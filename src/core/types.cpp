@@ -65,6 +65,29 @@ void ContextTrajectory::append(GeoSample geo, PowerVector power) {
   power_.push_back(std::move(power));
 }
 
+bool ContextTrajectory::splice_tail(const ContextTrajectory& tail) {
+  if (tail.channels() != channels_) return false;
+  if (tail.empty()) return true;
+  if (empty()) {
+    // Adopt the tail wholesale; appends start the odometer at 0, so shift
+    // it to the tail's indexing afterwards (append() already advanced
+    // first_seq_ by any evictions).
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+      append(tail.geo(i), tail.power(i));
+    }
+    first_seq_ += tail.first_metre();
+    return true;
+  }
+  const std::uint64_t next = first_seq_ + size();
+  if (tail.first_metre() > next) return false;  // gap — cannot splice
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const std::uint64_t metre = tail.first_metre() + i;
+    if (metre < next) continue;  // overlap: keep our copy
+    append(tail.geo(i), tail.power(i));
+  }
+  return true;
+}
+
 double ContextTrajectory::measured_fraction() const noexcept {
   if (empty()) return 0.0;
   std::size_t measured = 0;

@@ -111,6 +111,14 @@ class ContextTrajectory {
     return static_cast<std::size_t>(metre - first_seq_);
   }
 
+  /// Splice a received update onto this trajectory (the V2V receiver-side
+  /// cache). Entries of `tail` that extend past our newest metre are
+  /// appended (evicting the oldest as usual); overlapping metres keep our
+  /// existing entries. Returns false — leaving this trajectory untouched —
+  /// when the widths differ or `tail` starts beyond our end+1 (a gap from
+  /// failed exchanges: the caller must fall back to a full transfer).
+  bool splice_tail(const ContextTrajectory& tail);
+
   /// Fraction of channel slots measured (not missing/interpolated) over the
   /// whole retained context — a scanner coverage diagnostic.
   [[nodiscard]] double measured_fraction() const noexcept;

@@ -42,6 +42,10 @@ std::string HealthReport::to_json() const {
   out += "    \"error_p95_m\": " + num(error_p95_m) + ",\n";
   out += "    \"latency_p99_us\": " + num(latency_p99_us) + ",\n";
   out += "    \"miss_streak\": " + std::to_string(miss_streak) + ",\n";
+  out += "    \"exchanges\": " + std::to_string(exchanges) + ",\n";
+  out += "    \"delivery_failure_rate\": " + num(delivery_failure_rate) +
+         ",\n";
+  out += "    \"degraded_rate\": " + num(degraded_rate) + ",\n";
   out += "    \"healthy\": " + std::string(healthy() ? "true" : "false") +
          ",\n";
   out += "    \"alerts\": [";
@@ -62,7 +66,8 @@ HealthMonitor::HealthMonitor(HealthConfig config)
     : config_(config),
       hits_(config.window == 0 ? 1 : config.window),
       errors_(config.window == 0 ? 1 : config.window),
-      latencies_(config.window == 0 ? 1 : config.window) {
+      latencies_(config.window == 0 ? 1 : config.window),
+      deliveries_(config.window == 0 ? 1 : config.window) {
   config_.window = hits_.capacity();
 }
 
@@ -74,6 +79,29 @@ void HealthMonitor::on_query(bool hit, std::optional<double> abs_error_m,
   latencies_.push(latency_us);
   miss_streak_ = hit ? 0 : miss_streak_ + 1;
   evaluate();
+}
+
+void HealthMonitor::on_exchange(bool usable, bool degraded) {
+  ++exchanges_;
+  deliveries_.push(usable ? (degraded ? 1 : 0) : 2);
+
+  double failures = 0.0;
+  for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+    if (deliveries_[i] == 2) failures += 1.0;
+  }
+  const double failure_rate =
+      deliveries_.empty()
+          ? 0.0
+          : failures / static_cast<double>(deliveries_.size());
+  Registry& reg = Registry::global();
+  reg.gauge("health.delivery_failure_rate").set(failure_rate);
+  reg.gauge("health.exchanges").set(static_cast<double>(exchanges_));
+
+  if (exchanges_ < config_.min_exchanges) return;
+  fire("delivery_failure", "health.delivery_failure", armed_delivery_,
+       config_.max_delivery_failure_rate > 0.0 &&
+           failure_rate > config_.max_delivery_failure_rate,
+       failure_rate, config_.max_delivery_failure_rate);
 }
 
 void HealthMonitor::evaluate() {
@@ -147,6 +175,18 @@ HealthReport HealthMonitor::report() const {
   r.error_p95_m = window_quantile(errors_, 0.95);
   r.latency_p99_us = window_quantile(latencies_, 0.99);
   r.miss_streak = miss_streak_;
+  r.exchanges = exchanges_;
+  double failures = 0.0;
+  double degraded = 0.0;
+  for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+    if (deliveries_[i] == 2) failures += 1.0;
+    if (deliveries_[i] == 1) degraded += 1.0;
+  }
+  if (!deliveries_.empty()) {
+    r.delivery_failure_rate =
+        failures / static_cast<double>(deliveries_.size());
+    r.degraded_rate = degraded / static_cast<double>(deliveries_.size());
+  }
   r.alerts = alerts_;
   return r;
 }

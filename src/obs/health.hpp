@@ -33,6 +33,11 @@ struct HealthConfig {
   double max_latency_p99_us = 0.0;   ///< alert when latency p99 exceeds
                                      ///< (machine-dependent; off by default)
   std::size_t max_miss_streak = 32;  ///< alert on consecutive misses
+  /// V2V delivery rule (fed by on_exchange): alert when the fraction of
+  /// exchanges with NO usable trajectory (kFailed) over the rolling window
+  /// exceeds this. Degraded-but-usable deliveries do not count as failures.
+  double max_delivery_failure_rate = 0.5;
+  std::size_t min_exchanges = 8;     ///< warm-up before the delivery rule
 };
 
 struct HealthAlert {
@@ -52,6 +57,9 @@ struct HealthReport {
   double error_p95_m = 0.0;       ///< |error| p95 over the window (0 = none)
   double latency_p99_us = 0.0;    ///< latency p99 over the window
   std::size_t miss_streak = 0;    ///< current consecutive-miss run
+  std::uint64_t exchanges = 0;    ///< V2V exchanges observed in total
+  double delivery_failure_rate = 0.0;  ///< kFailed rate over the window
+  double degraded_rate = 0.0;     ///< degraded-delivery rate over the window
   std::vector<HealthAlert> alerts;
 
   [[nodiscard]] bool healthy() const noexcept { return alerts.empty(); }
@@ -68,6 +76,11 @@ class HealthMonitor {
   void on_query(bool hit, std::optional<double> abs_error_m,
                 double latency_us);
 
+  /// Observe one V2V exchange outcome: `usable` when a trajectory (possibly
+  /// degraded) reached the receiver, `degraded` when it was partial. The
+  /// feed is plain bools so obs stays independent of the v2v layer.
+  void on_exchange(bool usable, bool degraded);
+
   [[nodiscard]] HealthReport report() const;
   [[nodiscard]] const HealthConfig& config() const noexcept {
     return config_;
@@ -83,13 +96,17 @@ class HealthMonitor {
   util::RingBuffer<unsigned char> hits_;  ///< not bool: vector<bool> proxies
   util::RingBuffer<double> errors_;     ///< only queries with known error
   util::RingBuffer<double> latencies_;
+  /// Exchange outcomes: 0 = delivered, 1 = degraded, 2 = failed.
+  util::RingBuffer<unsigned char> deliveries_;
   std::uint64_t samples_ = 0;
+  std::uint64_t exchanges_ = 0;
   std::size_t miss_streak_ = 0;
   std::vector<HealthAlert> alerts_;
   bool armed_availability_ = true;
   bool armed_error_ = true;
   bool armed_latency_ = true;
   bool armed_streak_ = true;
+  bool armed_delivery_ = true;
 };
 
 }  // namespace rups::obs

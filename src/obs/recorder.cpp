@@ -51,6 +51,8 @@ const char* event_type_name(EventType type) noexcept {
     case EventType::kAnomaly: return "anomaly";
     case EventType::kTrackVerified: return "track_verified";
     case EventType::kTrackLost: return "track_lost";
+    case EventType::kExchangeDegraded: return "exchange_degraded";
+    case EventType::kExchangeFailed: return "exchange_failed";
   }
   return "unknown";
 }

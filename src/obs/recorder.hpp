@@ -38,6 +38,10 @@ enum class EventType : std::uint8_t {
   kAnomaly,            ///< v0 = anomaly ordinal; label names the trigger
   kTrackVerified,      ///< v0 = correlation, v1 = recency offset, v2 = window
   kTrackLost,          ///< v0 = best correlation seen, v1 = recency offset
+  kExchangeDegraded,   ///< v0 = metres recovered, v1 = metres expected,
+                       ///<   v2 = fragments missing; label = salvage kind
+  kExchangeFailed,     ///< v0 = fragments received, v1 = fragments expected,
+                       ///<   v2 = duration s; label = reject reason
 };
 
 /// Stable wire name of an event type ("seek_accepted", ...).

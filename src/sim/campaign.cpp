@@ -1,5 +1,6 @@
 #include "sim/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -43,7 +44,20 @@ std::string config_json(const CampaignConfig& config) {
   out += ", \"time_limit_s\": " + std::to_string(config.time_limit_s);
   out += ", \"model_v2v_cost\": ";
   out += config.model_v2v_cost ? "true" : "false";
-  out += ", \"health\": {";
+  out += ", \"fault\": {";
+  out += "\"loss_rate\": " + std::to_string(config.fault.loss_rate);
+  out += ", \"burst_loss\": ";
+  out += config.fault.burst_loss ? "true" : "false";
+  out += ", \"loss_rate_bad\": " + std::to_string(config.fault.loss_rate_bad);
+  out += ", \"reorder_rate\": " + std::to_string(config.fault.reorder_rate);
+  out += ", \"duplicate_rate\": " +
+         std::to_string(config.fault.duplicate_rate);
+  out += ", \"truncate_rate\": " + std::to_string(config.fault.truncate_rate);
+  out += ", \"bit_flip_rate\": " + std::to_string(config.fault.bit_flip_rate);
+  out += "}, \"exchange\": {";
+  out += "\"max_rounds\": " + std::to_string(config.exchange.max_rounds);
+  out += ", \"deadline_s\": " + std::to_string(config.exchange.deadline_s);
+  out += "}, \"health\": {";
   out += "\"window\": " + std::to_string(config.health.window);
   out += ", \"min_samples\": " + std::to_string(config.health.min_samples);
   out += ", \"min_availability\": " +
@@ -93,6 +107,41 @@ double CampaignResult::rups_availability() const {
   return static_cast<double>(hits) / static_cast<double>(queries.size());
 }
 
+V2vReceiver::V2vReceiver(std::size_t channels, std::size_t capacity_m)
+    : received(std::max<std::size_t>(1, channels),
+               std::max<std::size_t>(1, capacity_m)) {}
+
+bool V2vReceiver::ingest(const v2v::ExchangeResult& result,
+                         bool full_exchange) {
+  if (!result.usable()) {
+    // Nothing decodable arrived. A failed tail keeps the watermark, so the
+    // next round re-requests the same metres; a failed full just retries.
+    if (full_exchange) have_full = false;
+    return false;
+  }
+  const std::size_t before = received.size();
+  if (!received.splice_tail(result.trajectory)) {
+    if (full_exchange) {
+      // A salvaged full transfer may not connect to the stale cache (e.g.
+      // the prefix was lost); the full payload is authoritative, so start
+      // over from the decoded region.
+      received = core::ContextTrajectory(received.channels(),
+                                         received.capacity_m());
+      (void)received.splice_tail(result.trajectory);
+    } else {
+      // Gap between the cache and a (possibly salvaged) tail: force a full
+      // re-transfer next round rather than splicing a hole.
+      have_full = false;
+      return false;
+    }
+  }
+  have_full = !received.empty();
+  if (!received.empty()) {
+    synced_metre = received.first_metre() + received.size();
+  }
+  return received.size() != before || full_exchange;
+}
+
 CampaignResult run_campaign(ConvoySimulation& sim,
                             const CampaignConfig& config,
                             util::ThreadPool* pool) {
@@ -111,13 +160,16 @@ CampaignResult run_campaign(ConvoySimulation& sim,
   }
   if (config.enable_health) sim.set_health_monitor(&monitor);
 
-  // Communication-cost model (Sec. V-B): the rear vehicle pulls the front
-  // vehicle's context over a simulated DSRC link — whole journey context
-  // once, then only the newly emitted tail metres before each query.
+  // V2V path (Sec. V-B): the rear vehicle pulls the front vehicle's
+  // context over a simulated DSRC link — whole journey context once, then
+  // only the newly emitted tail metres before each query — through the
+  // configured fault channel, and estimates from the decoded receiver-side
+  // copy. Degraded/failed deliveries feed the health monitor.
   v2v::DsrcLink link(/*seed=*/0xB0B5'CAFEULL);
-  v2v::ExchangeSession session(&link);
-  std::uint64_t synced_metre = 0;
-  bool have_full_context = false;
+  v2v::FaultyChannel channel(config.fault_seed, config.fault);
+  v2v::ExchangeSession session(&link, &channel, config.exchange);
+  const core::RupsConfig& rups_cfg = sim.rig(0).engine().config();
+  V2vReceiver receiver(rups_cfg.channels, rups_cfg.context_capacity_m);
 
   sim.run_until(config.warmup_s);
   double t = config.warmup_s;
@@ -129,17 +181,22 @@ CampaignResult run_campaign(ConvoySimulation& sim,
     if (config.model_v2v_cost) {
       const core::ContextTrajectory& front = sim.rig(0).engine().context();
       if (!front.empty()) {
-        if (!have_full_context) {
-          (void)session.exchange_full(front);
-          have_full_context = true;
-        } else {
-          (void)session.exchange_tail(front, synced_metre);
+        const bool full = !receiver.have_full;
+        const v2v::ExchangeResult exchanged =
+            full ? session.exchange_full(front)
+                 : session.exchange_tail(front, receiver.synced_metre);
+        (void)receiver.ingest(exchanged, full);
+        if (config.enable_health) {
+          monitor.on_exchange(
+              exchanged.usable(),
+              exchanged.outcome == v2v::ExchangeOutcome::kDegraded);
         }
-        synced_metre = front.first_metre() + front.size();
       }
     }
     obs::ObsTimer timer(&metrics.latency_us, "campaign.query");
-    result.queries.push_back(sim.query(1, 0, pool));
+    result.queries.push_back(config.model_v2v_cost
+                                 ? sim.query(1, 0, receiver.received, pool)
+                                 : sim.query(1, 0, pool));
     timer.stop();
     metrics.queries.inc();
     (result.queries.back().rups.has_value() ? metrics.rups_hits

@@ -6,6 +6,7 @@
 #include "obs/health.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/convoy_sim.hpp"
+#include "v2v/exchange.hpp"
 
 namespace rups::sim {
 
@@ -20,11 +21,21 @@ struct CampaignConfig {
   std::size_t max_queries = 500;
   /// Hard stop (s); 0 = run until a vehicle finishes the route.
   double time_limit_s = 0.0;
-  /// Account the V2V communication cost of every query through a simulated
-  /// DSRC exchange (Sec. V-B): the front vehicle's context is transferred
-  /// in full before the first query, then as incremental tail updates.
-  /// Purely observational — query results are computed exactly as before.
+  /// Run every query through a simulated DSRC exchange (Sec. V-B): the
+  /// front vehicle's context is transferred in full before the first
+  /// query, then as incremental tail updates, and the rear vehicle
+  /// estimates from the DECODED receiver-side copy — codec quantization
+  /// and any channel damage genuinely reach SynSeeker. When false, queries
+  /// search the sender's pristine in-memory context (the idealized bound).
   bool model_v2v_cost = true;
+  /// Packet-fault profile applied to every exchange (clean by default;
+  /// see FaultConfig::urban()/tunnel()/congested()).
+  v2v::FaultConfig fault{};
+  /// Retry/deadline policy of the exchange protocol.
+  v2v::ExchangeConfig exchange{};
+  /// Seed of the fault channel (the link keeps its own fixed seed so
+  /// clean-channel timing stays comparable across configurations).
+  std::uint64_t fault_seed = 0xC4A77E1ULL;
   /// Health/SLO rules evaluated after every query (Sec. VI availability and
   /// error axes); alerts fire flight-recorder anomalies.
   obs::HealthConfig health{};
@@ -57,6 +68,25 @@ struct CampaignResult {
   [[nodiscard]] std::vector<double> syn_errors() const;
   /// Fraction of queries that produced a RUPS estimate.
   [[nodiscard]] double rups_availability() const;
+};
+
+/// Receiver-side view of one neighbour's trajectory, maintained across
+/// exchanges: splices delivered/degraded updates onto a cached copy,
+/// tracks the sync watermark, and falls back to a full transfer when a
+/// failed exchange leaves a gap. Shared by run_campaign and FleetSimulation.
+struct V2vReceiver {
+  core::ContextTrajectory received;
+  std::uint64_t synced_metre = 0;
+  /// False until a usable full context arrived (or after a gap forced a
+  /// re-transfer); drives the full-vs-tail decision.
+  bool have_full = false;
+
+  V2vReceiver(std::size_t channels, std::size_t capacity_m);
+
+  /// Fold one exchange outcome into the cached copy. `full_exchange` says
+  /// whether the sender encoded its whole context (vs a tail update).
+  /// Returns true when the cached copy gained metres.
+  bool ingest(const v2v::ExchangeResult& result, bool full_exchange);
 };
 
 /// Run the campaign: rear vehicle (index 1) queries the front (index 0).

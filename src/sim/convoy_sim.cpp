@@ -202,6 +202,14 @@ bool ConvoySimulation::finished() const {
 ConvoySimulation::QueryResult ConvoySimulation::query(
     std::size_t rear_index, std::size_t front_index,
     util::ThreadPool* pool) const {
+  return query(rear_index, front_index,
+               rigs_.at(front_index)->engine().context(), pool);
+}
+
+ConvoySimulation::QueryResult ConvoySimulation::query(
+    std::size_t rear_index, std::size_t front_index,
+    const core::ContextTrajectory& front_context,
+    util::ThreadPool* pool) const {
   const VehicleRig& rear = *rigs_.at(rear_index);
   const VehicleRig& front = *rigs_.at(front_index);
 
@@ -209,10 +217,9 @@ ConvoySimulation::QueryResult ConvoySimulation::query(
   result.truth = rear.state().position_m - front.state().position_m;
 
   const double started_us = obs::now_us();
-  result.syn_points = rear.engine().find_syn_points(front.engine().context(),
-                                                    pool);
+  result.syn_points = rear.engine().find_syn_points(front_context, pool);
   result.rups = core::aggregate_estimates(
-      rear.engine().context(), front.engine().context(), result.syn_points,
+      rear.engine().context(), front_context, result.syn_points,
       rear.engine().config().aggregation);
   const double latency_us = obs::now_us() - started_us;
 
@@ -243,7 +250,7 @@ ConvoySimulation::QueryResult ConvoySimulation::query(
       const auto metre_rear = static_cast<std::uint64_t>(
           rear.engine().context().distance_at(syn.index_a + syn.window_m - 1));
       const auto metre_front = static_cast<std::uint64_t>(
-          front.engine().context().distance_at(syn.index_b + syn.window_m - 1));
+          front_context.distance_at(syn.index_b + syn.window_m - 1));
       const double pa = rear.true_position_of_metre(metre_rear);
       const double pb = front.true_position_of_metre(metre_front);
       if (std::isnan(pa) || std::isnan(pb)) continue;

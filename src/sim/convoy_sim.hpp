@@ -139,6 +139,16 @@ class ConvoySimulation {
                                   std::size_t front_index,
                                   util::ThreadPool* pool = nullptr) const;
 
+  /// Same query, but searching an explicit copy of the front vehicle's
+  /// context — the V2V receiver-side trajectory, which after a lossy
+  /// exchange may hold fewer metres (or quantized values) compared to the
+  /// sender's in-memory context. Ground truth, SYN error oracle and the
+  /// GPS baseline still come from the front rig itself.
+  [[nodiscard]] QueryResult query(std::size_t rear_index,
+                                  std::size_t front_index,
+                                  const core::ContextTrajectory& front_context,
+                                  util::ThreadPool* pool = nullptr) const;
+
   /// Attach a health monitor: every query() feeds it hit/miss, the absolute
   /// RUPS error versus ground truth, and the compute latency. Non-owning;
   /// nullptr detaches. The caller keeps the monitor alive across queries.

@@ -1,6 +1,7 @@
 #include "sim/fleet_sim.hpp"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "obs/log.hpp"
@@ -91,12 +92,15 @@ FleetSimulation::FleetSimulation(Scenario scenario, FleetCampaignConfig config)
       engine_(core::FleetConfig{sim_.scenario().rups, config.cache,
                                 config.use_cache}),
       link_(/*seed=*/0xF1EE'7CA5ULL) {
+  const core::RupsConfig& rups_cfg = sim_.scenario().rups;
   for (std::size_t i = 0; i < sim_.vehicle_count(); ++i) {
     if (i == ego_) continue;
     neighbour_indices_.push_back(i);
-    sessions_.emplace_back(&link_);
-    synced_metre_.push_back(0);
-    have_full_.push_back(false);
+    channels_.push_back(std::make_unique<v2v::FaultyChannel>(
+        util::hash_combine(config_.base.fault_seed, i), config_.base.fault));
+    sessions_.emplace_back(&link_, channels_.back().get(),
+                           config_.base.exchange);
+    receivers_.emplace_back(rups_cfg.channels, rups_cfg.context_capacity_m);
   }
 }
 
@@ -122,15 +126,24 @@ FleetRound FleetSimulation::query_round(util::ThreadPool* pool) {
     const core::ContextTrajectory& ctx = sim_.rig(i).engine().context();
     if (ctx.empty()) continue;
     if (config_.base.model_v2v_cost) {
-      if (!have_full_[s]) {
-        (void)sessions_[s].exchange_full(ctx);
-        have_full_[s] = true;
-      } else {
-        (void)sessions_[s].exchange_tail(ctx, synced_metre_[s]);
+      // The ego estimates from what actually crossed the channel: the
+      // decoded receiver-side copy, not the neighbour's in-memory context.
+      V2vReceiver& receiver = receivers_[s];
+      const bool full = !receiver.have_full;
+      const v2v::ExchangeResult exchanged =
+          full ? sessions_[s].exchange_full(ctx)
+               : sessions_[s].exchange_tail(ctx, receiver.synced_metre);
+      (void)receiver.ingest(exchanged, full);
+      if (health_ != nullptr) {
+        health_->on_exchange(
+            exchanged.usable(),
+            exchanged.outcome == v2v::ExchangeOutcome::kDegraded);
       }
-      synced_metre_[s] = ctx.first_metre() + ctx.size();
+      if (receiver.received.empty()) continue;  // nothing decodable yet
+      contexts.push_back(&receiver.received);
+    } else {
+      contexts.push_back(&ctx);
     }
-    contexts.push_back(&ctx);
     ids.push_back(static_cast<std::uint64_t>(i));
     queried.push_back(i);
   }

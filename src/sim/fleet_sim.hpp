@@ -10,12 +10,15 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "core/fleet.hpp"
 #include "obs/health.hpp"
 #include "obs/snapshot.hpp"
 #include "sim/campaign.hpp"
 #include "sim/convoy_sim.hpp"
 #include "util/thread_pool.hpp"
+#include "v2v/channel.hpp"
 #include "v2v/exchange.hpp"
 #include "v2v/link.hpp"
 
@@ -102,10 +105,12 @@ class FleetSimulation {
   std::size_t ego_;
   core::FleetEngine engine_;
   v2v::DsrcLink link_;
-  /// One session + sync watermark per neighbour (index into rigs).
+  /// One fault channel + session + receiver-side context cache per
+  /// neighbour (index into rigs). Channels are heap-held: sessions keep
+  /// raw pointers to them.
+  std::vector<std::unique_ptr<v2v::FaultyChannel>> channels_;
   std::vector<v2v::ExchangeSession> sessions_;
-  std::vector<std::uint64_t> synced_metre_;
-  std::vector<bool> have_full_;
+  std::vector<V2vReceiver> receivers_;
   std::vector<std::size_t> neighbour_indices_;
   obs::HealthMonitor* health_ = nullptr;
 };

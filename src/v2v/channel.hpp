@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "v2v/wsm.hpp"
+
+namespace rups::v2v {
+
+/// Packet-level fault model for an 802.11p/DSRC channel, applied to actual
+/// WsmPacket streams (not just timing). Covers the impairments the VANET
+/// literature evaluates against: independent (i.i.d.) loss, Gilbert-Elliott
+/// burst loss, reordering, duplication, truncation, and bit-flip corruption.
+/// All draws come from one seeded util::Rng, so every run is replayable.
+struct FaultConfig {
+  /// Loss probability while the Gilbert-Elliott chain is in the GOOD state
+  /// (with burst_loss = false this is the plain i.i.d. loss rate).
+  double loss_rate = 0.0;
+
+  /// Two-state Gilbert-Elliott burst loss. Expected burst length is
+  /// 1 / p_bad_to_good packets; the stationary bad-state probability is
+  /// p_good_to_bad / (p_good_to_bad + p_bad_to_good).
+  bool burst_loss = false;
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 1.0;
+  double loss_rate_bad = 0.0;
+
+  /// Per-delivered-packet probabilities of the remaining impairments.
+  double duplicate_rate = 0.0;
+  /// A reordered packet is delayed by up to reorder_span positions.
+  double reorder_rate = 0.0;
+  std::size_t reorder_span = 4;
+  /// Truncation chops the payload to a random strict prefix.
+  double truncate_rate = 0.0;
+  /// Corruption flips one random bit of the payload.
+  double bit_flip_rate = 0.0;
+
+  /// --- Named profiles (CampaignConfig.fault, bench_fault_sweep) ---
+
+  /// Ideal channel: every packet arrives intact, in order, exactly once.
+  [[nodiscard]] static FaultConfig clean();
+  /// Urban canyon (paper Sec. VI-E): ~5% average loss concentrated in short
+  /// fading bursts, occasional reordering and corruption.
+  [[nodiscard]] static FaultConfig urban();
+  /// Tunnel / deep fade: long loss bursts approaching half the packets,
+  /// plus truncation and corruption of what does arrive.
+  [[nodiscard]] static FaultConfig tunnel();
+  /// Congested channel: moderate queue-drop loss with heavy reordering and
+  /// duplication from MAC retries.
+  [[nodiscard]] static FaultConfig congested();
+  /// Plain i.i.d. loss at `rate` with no other impairment (sweep curves).
+  [[nodiscard]] static FaultConfig iid(double rate);
+  /// Look up a profile by name ("clean", "urban", "tunnel", "congested");
+  /// returns clean() for unknown names.
+  [[nodiscard]] static FaultConfig by_name(const char* name);
+};
+
+/// Applies a FaultConfig to bursts of WSM packets. The channel is stateful:
+/// the Gilbert-Elliott chain and the reorder delay-line persist across
+/// transmit() calls, so a burst that ends inside a fade keeps fading at the
+/// start of the next retransmission round.
+class FaultyChannel {
+ public:
+  explicit FaultyChannel(std::uint64_t seed, FaultConfig config = {});
+
+  /// Push a burst of packets through the channel, returning what the
+  /// receiver sees: survivors (possibly corrupted/truncated/duplicated) in
+  /// channel order. Packets held back for reordering are released into a
+  /// later burst; flush() drains them at end of session.
+  [[nodiscard]] std::vector<WsmPacket> transmit(std::vector<WsmPacket> burst);
+
+  /// Release any packets still held in the reorder delay-line.
+  [[nodiscard]] std::vector<WsmPacket> flush();
+
+  struct Stats {
+    std::size_t offered = 0;     ///< packets pushed into the channel
+    std::size_t delivered = 0;   ///< packets handed to the receiver
+    std::size_t lost = 0;
+    std::size_t duplicated = 0;
+    std::size_t reordered = 0;
+    std::size_t truncated = 0;
+    std::size_t corrupted = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One loss coin, advancing the Gilbert-Elliott chain when enabled.
+  [[nodiscard]] bool drop_next();
+  /// Apply truncation / bit-flip impairments in place.
+  void impair(WsmPacket& packet);
+
+  FaultConfig config_;
+  util::Rng rng_;
+  bool bad_state_ = false;
+  /// Reorder delay-line: packet + remaining positions to hold it back.
+  struct Held {
+    WsmPacket packet;
+    std::size_t delay;
+  };
+  std::vector<Held> held_;
+  Stats stats_;
+};
+
+}  // namespace rups::v2v

@@ -182,4 +182,57 @@ core::ContextTrajectory TrajectoryCodec::decode(
   return out;
 }
 
+std::optional<TrajectoryCodec::SalvagedRegion> TrajectoryCodec::decode_region(
+    const std::vector<std::uint8_t>& bytes, std::size_t valid_begin,
+    std::size_t valid_end) {
+  constexpr std::size_t kHeader = 4 + 2 + 4 + 8;
+  if (bytes.size() < kHeader) return std::nullopt;
+
+  // Parse the header by hand: decode()'s Reader throws on malformed input,
+  // but salvage must degrade, not propagate.
+  auto u16_at = [&](std::size_t p) {
+    return static_cast<std::uint16_t>(bytes[p] | (bytes[p + 1] << 8));
+  };
+  auto u32_at = [&](std::size_t p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(bytes[p + i]) << (8 * i);
+    return v;
+  };
+  auto u64_at = [&](std::size_t p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(bytes[p + i]) << (8 * i);
+    return v;
+  };
+  if (u32_at(0) != kMagic) return std::nullopt;
+  const std::size_t channels = u16_at(4);
+  const std::size_t metres = u32_at(6);
+  const std::uint64_t first_metre = u64_at(10);
+  if (channels == 0 || metres == 0) return std::nullopt;
+  if (bytes.size() != encoded_size(metres, channels)) return std::nullopt;
+
+  const std::size_t per_metre = 2 + 4 + state_bytes(channels) + channels;
+  const std::size_t data_lo = std::max(valid_begin, kHeader);
+  const std::size_t data_hi = std::min(valid_end, bytes.size());
+  if (data_hi <= data_lo) return std::nullopt;
+  // First record fully inside the region, one past the last.
+  const std::size_t r0 = (data_lo - kHeader + per_metre - 1) / per_metre;
+  const std::size_t r1 = (data_hi - kHeader) / per_metre;
+  if (r1 <= r0) return std::nullopt;
+
+  // Re-frame the surviving records as a complete encoding and reuse the
+  // strict decoder — the salvage path cannot drift from the normal one.
+  std::vector<std::uint8_t> synthetic;
+  synthetic.reserve(encoded_size(r1 - r0, channels));
+  put_u32(synthetic, kMagic);
+  put_u16(synthetic, static_cast<std::uint16_t>(channels));
+  put_u32(synthetic, static_cast<std::uint32_t>(r1 - r0));
+  put_u64(synthetic, first_metre + r0);
+  synthetic.insert(synthetic.end(),
+                   bytes.begin() + static_cast<long>(kHeader + r0 * per_metre),
+                   bytes.begin() + static_cast<long>(kHeader + r1 * per_metre));
+  return SalvagedRegion{decode(synthetic), metres};
+}
+
 }  // namespace rups::v2v

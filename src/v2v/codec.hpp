@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/types.hpp"
@@ -40,6 +42,21 @@ class TrajectoryCodec {
   /// Exact encoded size for a trajectory of `metres` x `channels`.
   [[nodiscard]] static std::size_t encoded_size(std::size_t metres,
                                                 std::size_t channels) noexcept;
+
+  /// Salvage decode of a partially-received encoding. `bytes` is the
+  /// full-size buffer with the header (first 18 bytes) intact and only
+  /// [valid_begin, valid_end) known-good; per-metre records are fixed-size,
+  /// so every record wholly inside the valid region decodes cleanly.
+  struct SalvagedRegion {
+    core::ContextTrajectory trajectory;  ///< the contiguous decodable metres
+    std::size_t metres_total = 0;        ///< metre count the header promised
+  };
+  /// Returns nullopt when the header is malformed or the region contains no
+  /// complete record. Never throws on missing data — this is the degraded
+  /// path of the exchange protocol.
+  [[nodiscard]] static std::optional<SalvagedRegion> decode_region(
+      const std::vector<std::uint8_t>& bytes, std::size_t valid_begin,
+      std::size_t valid_end);
 
   static constexpr std::uint32_t kMagic = 0x52555053;  // "RUPS"
 

@@ -9,22 +9,39 @@ DsrcLink::DsrcLink(std::uint64_t seed) : DsrcLink(seed, Config{}) {}
 DsrcLink::DsrcLink(std::uint64_t seed, Config config)
     : config_(config), rng_(util::hash_combine(seed, 0x4453524bULL)) {}
 
+DsrcLink::Attempt DsrcLink::attempt_packet() {
+  Attempt a;
+  if (!rng_.bernoulli(config_.loss_rate)) {
+    a.delivered = true;
+    a.elapsed_s =
+        std::max(0.0, config_.rtt_s + rng_.gaussian(0.0, config_.rtt_jitter_s));
+  } else {
+    a.elapsed_s = config_.retransmit_timeout_s;
+  }
+  return a;
+}
+
 DsrcLink::TransferStats DsrcLink::transfer(std::size_t payload_bytes) {
   TransferStats stats;
   stats.payload_bytes = payload_bytes;
   if (payload_bytes == 0 || config_.max_payload == 0) return stats;
   stats.packets =
       (payload_bytes + config_.max_payload - 1) / config_.max_payload;
+  const std::size_t budget = std::max<std::size_t>(1, config_.max_transmissions);
   for (std::size_t p = 0; p < stats.packets; ++p) {
-    for (;;) {
+    bool got_through = false;
+    for (std::size_t attempt = 0; attempt < budget; ++attempt) {
       ++stats.transmissions;
-      if (!rng_.bernoulli(config_.loss_rate)) {
-        stats.duration_s +=
-            std::max(0.0, config_.rtt_s +
-                              rng_.gaussian(0.0, config_.rtt_jitter_s));
+      const Attempt a = attempt_packet();
+      stats.duration_s += a.elapsed_s;
+      if (a.delivered) {
+        got_through = true;
         break;
       }
-      stats.duration_s += config_.retransmit_timeout_s;
+    }
+    if (!got_through) {
+      ++stats.packets_lost;
+      stats.delivered = false;
     }
   }
   return stats;

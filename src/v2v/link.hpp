@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/rng.hpp"
@@ -9,7 +10,9 @@ namespace rups::v2v {
 /// Timing/reliability model of a DSRC (802.11p) unicast exchange. The paper
 /// measured an average WSM round-trip of ~4 ms, giving 130 packets / 1 km
 /// context ~= 0.52 s (Sec. V-B). Each packet is delivered with probability
-/// (1 - loss_rate); a lost packet is retransmitted after a timeout.
+/// (1 - loss_rate); a lost packet is retransmitted after a timeout, at most
+/// max_transmissions times — a saturated link (loss_rate = 1.0) therefore
+/// terminates with a delivery failure instead of spinning forever.
 class DsrcLink {
  public:
   struct Config {
@@ -18,6 +21,11 @@ class DsrcLink {
     double loss_rate = 0.0;
     double retransmit_timeout_s = 0.02;
     std::size_t max_payload = 1400;
+    /// Per-packet transmission budget (first attempt + retries). At the
+    /// default 16 a packet survives loss rates well past the paper's urban
+    /// measurements (p_fail = loss^16), while loss_rate >= 1.0 gives up
+    /// after 16 * retransmit_timeout_s of simulated time.
+    std::size_t max_transmissions = 16;
   };
 
   explicit DsrcLink(std::uint64_t seed);
@@ -27,11 +35,26 @@ class DsrcLink {
     std::size_t payload_bytes = 0;
     std::size_t packets = 0;          ///< unique packets
     std::size_t transmissions = 0;    ///< including retransmissions
+    std::size_t packets_lost = 0;     ///< packets that exhausted the budget
+    bool delivered = true;            ///< every packet got through
     double duration_s = 0.0;
   };
 
+  /// One MAC-level attempt for one packet: draws the loss coin and either
+  /// the delivery latency (rtt + jitter) or the retransmit timeout. The
+  /// exchange protocol composes these into ARQ rounds; transfer() composes
+  /// them into the paper's stop-and-wait accounting. Draw order (bernoulli,
+  /// then gaussian on success) is the determinism contract for seeded runs.
+  struct Attempt {
+    bool delivered = false;
+    double elapsed_s = 0.0;
+  };
+  [[nodiscard]] Attempt attempt_packet();
+
   /// Simulate transferring `payload_bytes` as a stop-and-wait sequence of
-  /// WSM packets (the paper's accounting).
+  /// WSM packets (the paper's accounting). Packets that exhaust the
+  /// per-packet transmission budget are reported via packets_lost /
+  /// delivered rather than retried forever.
   [[nodiscard]] TransferStats transfer(std::size_t payload_bytes);
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }

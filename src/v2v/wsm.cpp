@@ -1,13 +1,48 @@
 #include "v2v/wsm.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace rups::v2v {
+
+namespace {
+
+constexpr std::uint32_t kFnvOffset = 0x811c9dc5u;
+constexpr std::uint32_t kFnvPrime = 0x01000193u;
+
+inline void fnv_byte(std::uint32_t& h, std::uint8_t b) noexcept {
+  h ^= b;
+  h *= kFnvPrime;
+}
+
+inline void fnv_u32(std::uint32_t& h, std::uint32_t v) noexcept {
+  fnv_byte(h, static_cast<std::uint8_t>(v & 0xffu));
+  fnv_byte(h, static_cast<std::uint8_t>((v >> 8) & 0xffu));
+  fnv_byte(h, static_cast<std::uint8_t>((v >> 16) & 0xffu));
+  fnv_byte(h, static_cast<std::uint8_t>((v >> 24) & 0xffu));
+}
+
+}  // namespace
 
 std::size_t WsmFraming::packet_count(std::size_t payload_bytes,
                                      std::size_t max_payload) {
   if (max_payload == 0) return 0;
   return (payload_bytes + max_payload - 1) / max_payload;
+}
+
+std::uint32_t WsmFraming::checksum(const WsmPacket& packet) noexcept {
+  std::uint32_t h = kFnvOffset;
+  fnv_u32(h, packet.message_id);
+  fnv_u32(h, static_cast<std::uint32_t>(packet.seq) |
+                 (static_cast<std::uint32_t>(packet.total) << 16));
+  fnv_u32(h, static_cast<std::uint32_t>(packet.payload.size()));
+  for (std::uint8_t b : packet.payload) fnv_byte(h, b);
+  return h;
+}
+
+bool WsmFraming::validate(const WsmPacket& packet) noexcept {
+  if (packet.total == 0 || packet.seq >= packet.total) return false;
+  return packet.crc == checksum(packet);
 }
 
 std::vector<WsmPacket> WsmFraming::fragment(
@@ -16,6 +51,11 @@ std::vector<WsmPacket> WsmFraming::fragment(
   std::vector<WsmPacket> out;
   if (payload.empty() || max_payload == 0) return out;
   const std::size_t total = packet_count(payload.size(), max_payload);
+  if (total > kMaxFragments) {
+    throw std::length_error(
+        "WsmFraming::fragment: payload needs more fragments than the 16-bit "
+        "seq/total fields can address");
+  }
   out.reserve(total);
   for (std::size_t i = 0; i < total; ++i) {
     WsmPacket p;
@@ -26,6 +66,7 @@ std::vector<WsmPacket> WsmFraming::fragment(
     const std::size_t hi = std::min(payload.size(), lo + max_payload);
     p.payload.assign(payload.begin() + static_cast<long>(lo),
                      payload.begin() + static_cast<long>(hi));
+    p.crc = checksum(p);
     out.push_back(std::move(p));
   }
   return out;
@@ -42,6 +83,7 @@ std::optional<std::vector<std::uint8_t>> WsmFraming::reassemble(
   for (const WsmPacket& p : packets) {
     if (p.message_id != id || p.total != total) return std::nullopt;
     if (p.seq >= total) return std::nullopt;
+    if (!validate(p)) return std::nullopt;  // truncated or corrupted
     if (slots[p.seq] == nullptr) slots[p.seq] = &p;
   }
   std::vector<std::uint8_t> out;

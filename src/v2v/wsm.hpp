@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -8,10 +9,13 @@ namespace rups::v2v {
 
 /// One WAVE Short Message fragment. The paper's implementation uses
 /// 802.11p WSM packets with a maximum payload of 1400 bytes (Sec. V-B).
+/// `crc` integrity-protects the header fields and payload so a receiver
+/// can reject corrupted/truncated fragments (the radio's FCS equivalent).
 struct WsmPacket {
   std::uint32_t message_id = 0;  ///< groups fragments of one payload
   std::uint16_t seq = 0;         ///< fragment index
   std::uint16_t total = 0;       ///< fragment count
+  std::uint32_t crc = 0;         ///< checksum over header fields + payload
   std::vector<std::uint8_t> payload;
 };
 
@@ -19,8 +23,13 @@ struct WsmPacket {
 class WsmFraming {
  public:
   static constexpr std::size_t kMaxPayload = 1400;
+  /// seq/total are 16-bit on the wire; larger payloads must be rejected
+  /// rather than silently truncated into colliding fragment indices.
+  static constexpr std::size_t kMaxFragments = 65535;
 
-  /// Fragment a payload; `message_id` tags all fragments.
+  /// Fragment a payload; `message_id` tags all fragments. Every fragment
+  /// carries a valid `crc`. Throws std::length_error when the payload
+  /// needs more than kMaxFragments fragments.
   [[nodiscard]] static std::vector<WsmPacket> fragment(
       const std::vector<std::uint8_t>& payload, std::uint32_t message_id,
       std::size_t max_payload = kMaxPayload);
@@ -29,8 +38,15 @@ class WsmFraming {
   [[nodiscard]] static std::size_t packet_count(
       std::size_t payload_bytes, std::size_t max_payload = kMaxPayload);
 
+  /// Checksum over a fragment's header fields and payload (FNV-1a).
+  [[nodiscard]] static std::uint32_t checksum(const WsmPacket& packet) noexcept;
+
+  /// Structurally sound and uncorrupted: total != 0, seq < total, crc
+  /// matches. A truncated or bit-flipped fragment fails this check.
+  [[nodiscard]] static bool validate(const WsmPacket& packet) noexcept;
+
   /// Reassemble fragments (any order, duplicates tolerated). Returns
-  /// nullopt when fragments are missing or inconsistent.
+  /// nullopt when fragments are missing, inconsistent, or fail validate().
   [[nodiscard]] static std::optional<std::vector<std::uint8_t>> reassemble(
       const std::vector<WsmPacket>& packets);
 };

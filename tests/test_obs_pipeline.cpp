@@ -64,9 +64,13 @@ TEST(ObsPipeline, CampaignProducesCostMetrics) {
   EXPECT_EQ(obs::MetricsSnapshot::from_json(snap.to_json()), snap);
 }
 
-TEST(ObsPipeline, V2vCostModelDoesNotChangeEstimates) {
-  // The exchange model is purely observational: the same campaign with and
-  // without it must produce identical query results.
+TEST(ObsPipeline, V2vCostModelMatchesIdealizedEstimatesOnCleanChannel) {
+  // With v2v modelling the rear vehicle estimates from the DECODED
+  // receiver-side copy, so codec quantization (0.5 dB RSSI, ~3 mrad
+  // heading) genuinely reaches SynSeeker. Over a clean channel the copy is
+  // complete, so estimates must agree with the idealized sender-side search
+  // to well under the paper's metre-level error budget — but no longer
+  // bit-for-bit.
   sim::Scenario scenario =
       sim::Scenario::two_car(11, road::EnvironmentType::kFourLaneUrban);
   scenario.route_length_m = 6'000.0;
@@ -81,16 +85,28 @@ TEST(ObsPipeline, V2vCostModelDoesNotChangeEstimates) {
   sim::ConvoySimulation sim_b(scenario);
   const auto without_v2v = sim::run_campaign(sim_b, cfg);
 
+  // Everything was delivered: no failures, no degradation.
+  EXPECT_EQ(with_v2v.health.exchanges, with_v2v.queries.size());
+  EXPECT_DOUBLE_EQ(with_v2v.health.delivery_failure_rate, 0.0);
+  EXPECT_DOUBLE_EQ(with_v2v.health.degraded_rate, 0.0);
+
   ASSERT_EQ(with_v2v.queries.size(), without_v2v.queries.size());
+  std::size_t hits_a = 0, hits_b = 0, both = 0;
   for (std::size_t i = 0; i < with_v2v.queries.size(); ++i) {
     EXPECT_EQ(with_v2v.queries[i].truth, without_v2v.queries[i].truth);
-    EXPECT_EQ(with_v2v.queries[i].rups.has_value(),
-              without_v2v.queries[i].rups.has_value());
-    if (with_v2v.queries[i].rups.has_value()) {
-      EXPECT_DOUBLE_EQ(with_v2v.queries[i].rups->distance_m,
-                       without_v2v.queries[i].rups->distance_m);
+    hits_a += with_v2v.queries[i].rups.has_value();
+    hits_b += without_v2v.queries[i].rups.has_value();
+    if (with_v2v.queries[i].rups.has_value() &&
+        without_v2v.queries[i].rups.has_value()) {
+      ++both;
+      EXPECT_NEAR(with_v2v.queries[i].rups->distance_m,
+                  without_v2v.queries[i].rups->distance_m, 2.0);
     }
   }
+  // Quantization may flip a borderline query either way, but not all of
+  // them, and most queries must resolve on both paths.
+  EXPECT_LE(hits_a > hits_b ? hits_a - hits_b : hits_b - hits_a, 1u);
+  EXPECT_GE(both + 1, with_v2v.queries.size());
 }
 
 TEST(ObsPipeline, ChromeTraceCapturesCampaignSpans) {
