@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -35,13 +36,35 @@ struct Options {
   double gauge_tol = 0.25;      // two-sided, relative with abs floor 1.0
   double mean_tol = 0.50;       // one-sided on histogram means
   double bench_tol = 0.50;      // one-sided on benchmark cpu times
+  double label_tol = -1.0;      // family cells ("name{...}"); <0 = inherit
+  double series_tol = 0.25;     // series columns, per-column mean
+  double series_timing_tol = 1.0;  // one-sided, p50/p95/p99 series columns
   bool gauge_one_sided = false;  // only increases beyond gauge_tol fail
+  bool series_one_sided = false;  // series fail only on increases
   bool skip_counters = false;
   bool skip_gauges = false;
   bool skip_histograms = false;
   bool skip_benchmarks = false;
+  bool skip_series = false;
   bool require_all = false;     // metrics missing from candidate fail
   std::vector<std::string> ignore;  // name substrings to exclude
+  /// Per-label tolerance tiers: family cells whose name contains the
+  /// substring use this tolerance instead (first match wins).
+  std::vector<std::pair<std::string, double>> label_tiers;
+
+  /// Tolerance for one scalar metric: label tiers, then the family-cell
+  /// override, then the per-kind default.
+  [[nodiscard]] double tol_for(const std::string& name,
+                               double kind_default) const {
+    const bool labeled = name.find('{') != std::string::npos;
+    if (labeled) {
+      for (const auto& [substr, tol] : label_tiers) {
+        if (name.find(substr) != std::string::npos) return tol;
+      }
+      if (label_tol >= 0.0) return label_tol;
+    }
+    return kind_default;
+  }
 };
 
 void print_help() {
@@ -69,10 +92,24 @@ void print_help() {
       "                      regressions (default 0.5)\n"
       "  --bench-tol F       one-sided tolerance for benchmark cpu-time\n"
       "                      regressions (default 0.5)\n"
+      "  --label-tol F       tolerance override for labeled family cells\n"
+      "                      (names like \"family{key=\\\"v\\\"}\"); default:\n"
+      "                      inherit the per-kind tolerance\n"
+      "  --label-tier S=F    family cells whose name contains S use\n"
+      "                      tolerance F (repeatable; first match wins;\n"
+      "                      beats --label-tol)\n"
+      "  --series-tol F      per-column tolerance for time-series sections,\n"
+      "                      compared on the column mean (default 0.25)\n"
+      "  --series-timing-tol F\n"
+      "                      one-sided tolerance for p50/p95/p99 series\n"
+      "                      columns (wall-clock quantiles; default 1.0)\n"
+      "  --series-one-sided  non-timing series columns fail only on\n"
+      "                      INCREASES beyond the tolerance\n"
       "  --skip-counters     do not compare counters\n"
       "  --skip-gauges       do not compare gauges\n"
       "  --skip-histograms   do not compare histogram means\n"
       "  --skip-benchmarks   do not compare benchmark timings\n"
+      "  --skip-series       do not compare time-series sections\n"
       "  --ignore SUBSTR     exclude metrics whose name contains SUBSTR\n"
       "                      (repeatable)\n"
       "  --require-all       baseline metrics missing from the candidate\n"
@@ -149,6 +186,41 @@ std::map<std::string, double> histogram_means(const JsonValue* metrics) {
   return out;
 }
 
+/// The time-series object inside a document: the document itself when it
+/// is a bare TimeSeriesData dump (trace_tool --series-out), else a
+/// "series" member (of the --section object when given, of the document
+/// otherwise — the shape of committed telemetry baseline sections).
+const JsonValue* series_of(const JsonValue& doc, const Options& opt) {
+  if (!opt.section.empty()) {
+    if (const JsonValue* v = doc.find_path(opt.section)) {
+      if (const JsonValue* s = v->find("series")) return s;
+      if (v->find("window_end_s") != nullptr) return v;
+    }
+  }
+  if (doc.find("window_end_s") != nullptr) return &doc;
+  return doc.find("series");
+}
+
+/// "name#kind" -> mean over the column's windows. Window boundaries are
+/// sim-time-deterministic, so the column mean is the stable scalar to
+/// regress on.
+std::map<std::string, double> series_columns(const JsonValue* series) {
+  std::map<std::string, double> out;
+  if (series == nullptr) return out;
+  const JsonValue* cols = series->find("columns");
+  if (cols == nullptr || !cols->is_array()) return out;
+  for (const JsonValue& col : cols->as_array()) {
+    const JsonValue* values = col.find("values");
+    if (values == nullptr || !values->is_array()) continue;
+    double sum = 0.0;
+    for (const JsonValue& v : values->as_array()) sum += v.as_number();
+    const std::size_t n = values->as_array().size();
+    out[col.string_or("name", "") + "#" + col.string_or("kind", "")] =
+        n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+  return out;
+}
+
 /// Benchmark cpu time in ns: committed baselines store cpu_time_ns,
 /// google-benchmark stores cpu_time + time_unit.
 std::map<std::string, double> benchmark_times(const JsonValue& doc) {
@@ -197,14 +269,15 @@ class DiffTable {
   /// Gauges: relative with an absolute floor of 1.0 so near-zero gauges
   /// (e.g. an availability of 0.0 vs 0.01) do not explode the ratio. With
   /// --gauge-one-sided only increases count (timing-style gauges).
-  void compare_gauge(const std::string& name, double base, double cand) {
+  void compare_gauge(const std::string& name, double base, double cand,
+                     double tol) {
     if (ignored(opt_, name)) return;
     const double diff = cand - base;
-    const double allowed = opt_.gauge_tol * std::max(std::abs(base), 1.0);
+    const double allowed = tol * std::max(std::abs(base), 1.0);
     const double delta = base != 0.0 ? diff / std::abs(base) : diff;
     const bool fail =
         opt_.gauge_one_sided ? diff > allowed : std::abs(diff) > allowed;
-    row("gauge", name, base, cand, delta, opt_.gauge_tol, fail);
+    row("gauge", name, base, cand, delta, tol, fail);
   }
 
   void missing(const char* kind, const std::string& name, double base) {
@@ -274,8 +347,32 @@ int main(int argc, char** argv) {
       if (!next_value(&opt.mean_tol)) return 2;
     } else if (arg == "--bench-tol") {
       if (!next_value(&opt.bench_tol)) return 2;
+    } else if (arg == "--label-tol") {
+      if (!next_value(&opt.label_tol)) return 2;
+    } else if (arg == "--series-tol") {
+      if (!next_value(&opt.series_tol)) return 2;
+    } else if (arg == "--series-timing-tol") {
+      if (!next_value(&opt.series_timing_tol)) return 2;
+    } else if (arg == "--label-tier") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --label-tier requires SUBSTR=F\n");
+        return 2;
+      }
+      const std::string tier = argv[++i];
+      const std::size_t eq = tier.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "error: --label-tier expects SUBSTR=F, got '%s'\n",
+                     tier.c_str());
+        return 2;
+      }
+      opt.label_tiers.emplace_back(tier.substr(0, eq),
+                                   std::strtod(tier.c_str() + eq + 1,
+                                               nullptr));
     } else if (arg == "--gauge-one-sided") {
       opt.gauge_one_sided = true;
+    } else if (arg == "--series-one-sided") {
+      opt.series_one_sided = true;
     } else if (arg == "--skip-counters") {
       opt.skip_counters = true;
     } else if (arg == "--skip-gauges") {
@@ -284,6 +381,8 @@ int main(int argc, char** argv) {
       opt.skip_histograms = true;
     } else if (arg == "--skip-benchmarks") {
       opt.skip_benchmarks = true;
+    } else if (arg == "--skip-series") {
+      opt.skip_series = true;
     } else if (arg == "--require-all") {
       opt.require_all = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -329,7 +428,8 @@ int main(int argc, char** argv) {
       if (it == cand.end()) {
         table.missing("counter", name, value);
       } else {
-        table.compare("counter", name, value, it->second, opt.counter_tol,
+        table.compare("counter", name, value, it->second,
+                      opt.tol_for(name, opt.counter_tol),
                       /*one_sided=*/false);
       }
     }
@@ -342,7 +442,8 @@ int main(int argc, char** argv) {
       if (it == cand.end()) {
         table.missing("gauge", name, value);
       } else {
-        table.compare_gauge(name, value, it->second);
+        table.compare_gauge(name, value, it->second,
+                            opt.tol_for(name, opt.gauge_tol));
       }
     }
   }
@@ -354,7 +455,8 @@ int main(int argc, char** argv) {
       if (it == cand.end()) {
         table.missing("hist_mean", name, value);
       } else {
-        table.compare("hist_mean", name, value, it->second, opt.mean_tol,
+        table.compare("hist_mean", name, value, it->second,
+                      opt.tol_for(name, opt.mean_tol),
                       /*one_sided=*/true);
       }
     }
@@ -369,6 +471,27 @@ int main(int argc, char** argv) {
       } else {
         table.compare("bench_ns", name, value, it->second, opt.bench_tol,
                       /*one_sided=*/true);
+      }
+    }
+  }
+  if (!opt.skip_series) {
+    const auto base = series_columns(series_of(*baseline, opt));
+    const auto cand = series_columns(series_of(*candidate, opt));
+    for (const auto& [key, value] : base) {
+      // Wall-clock quantile columns regress one-sided against the looser
+      // timing tolerance; sim-time-deterministic kinds (rate, count, last,
+      // staleness) use --series-tol.
+      const std::string kind = key.substr(key.rfind('#') + 1);
+      const bool timing = kind == "p50" || kind == "p95" || kind == "p99";
+      const auto it = cand.find(key);
+      if (it == cand.end()) {
+        table.missing("series", key, value);
+      } else if (timing) {
+        table.compare("series", key, value, it->second, opt.series_timing_tol,
+                      /*one_sided=*/true);
+      } else {
+        table.compare("series", key, value, it->second,
+                      opt.tol_for(key, opt.series_tol), opt.series_one_sided);
       }
     }
   }

@@ -70,14 +70,27 @@ void summarize(const char* label, const sim::VehicleTrace& trace) {
 }
 
 /// Instrumented query campaign: the observability showcase. Produces
-/// non-zero SYN-search, V2V-bytes and query-latency metrics, and (with
-/// --trace-out) a span per seek/query for chrome://tracing.
-int run_campaign_mode(std::uint64_t seed, std::size_t max_queries) {
+/// non-zero SYN-search, V2V-bytes and query-latency metrics, a windowed
+/// telemetry series (--series-out), and (with --trace-out) a span per
+/// seek/query for chrome://tracing.
+int run_campaign_mode(std::uint64_t seed, std::size_t max_queries,
+                      const std::string& series_out) {
   sim::ConvoySimulation sim(make_scenario(seed));
   sim::CampaignConfig cfg;
   cfg.max_queries = max_queries;
   cfg.model_v2v_cost = true;
   const auto result = sim::run_campaign(sim, cfg);
+  if (!series_out.empty()) {
+    std::ofstream out(series_out);
+    out << result.series.to_json();
+    if (out) {
+      std::printf("series written to %s (%zu windows)\n", series_out.c_str(),
+                  result.series.windows());
+    } else {
+      std::fprintf(stderr, "error: failed to write %s\n", series_out.c_str());
+      return 2;
+    }
+  }
 
   const auto errors = result.rups_errors();
   std::printf("campaign: %zu queries, availability %.2f, mean |error| %.2f m\n",
@@ -117,6 +130,9 @@ void print_help() {
       "  --metrics-out FILE   dump the rups::obs metrics snapshot on exit\n"
       "  --trace-out FILE     record Chrome trace_event spans (open in\n"
       "                       chrome://tracing or ui.perfetto.dev)\n"
+      "  --series-out FILE    save the campaign's windowed telemetry series\n"
+      "                       JSON (campaign mode only; feed it to\n"
+      "                       telemetry_report --series-in)\n"
       "  --help               this text\n");
 }
 
@@ -126,18 +142,22 @@ int main(int argc, char** argv) {
   // Peel off observability flags; what remains is mode + positionals.
   std::string metrics_out;
   std::string trace_out;
+  std::string series_out;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_help();
       return 0;
-    } else if (arg == "--metrics-out" || arg == "--trace-out") {
+    } else if (arg == "--metrics-out" || arg == "--trace-out" ||
+               arg == "--series-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file path\n", arg.c_str());
         return 2;
       }
-      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+      (arg == "--metrics-out"  ? metrics_out
+       : arg == "--trace-out" ? trace_out
+                              : series_out) = argv[++i];
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "error: unknown flag %s (see trace_tool --help)\n",
@@ -188,7 +208,11 @@ int main(int argc, char** argv) {
   if (mode == "campaign") {
     const std::size_t queries =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 25;
-    return finish(run_campaign_mode(3, queries));
+    return finish(run_campaign_mode(3, queries, series_out));
+  }
+  if (!series_out.empty()) {
+    std::fprintf(stderr, "error: --series-out only applies to campaign mode\n");
+    return 2;
   }
 
   if (mode == "record") {

@@ -28,18 +28,26 @@
 #     COUNTERS are deterministic — diffed at 2%. The per-profile error
 #     gauges come from the same seeded simulation and are diffed at 5%
 #     (they drift only if the channel, protocol or estimator changed).
+#  6. bench_telemetry --report-only replays the warm N=16 fleet campaign
+#     (fixed rounds, seeded, serial — deterministic) and emits the
+#     snapshot + windowed-series telemetry_metrics section. Counters,
+#     gauges (incl. labeled family cells and per-neighbour staleness) and
+#     the sim-time series columns are diffed tightly; wall-clock series
+#     quantile columns (#p50/#p95/#p99) one-sided and loose, like the
+#     other timing passes. log.suppressed (wall-clock rate limiter) and
+#     health.latency_p99_us (wall-clock rolling quantile) are excluded.
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
 #                       <bench_fleet_scaling> <bench_syn_kernel> \
-#                       <bench_fault_sweep> <obs_diff> \
+#                       <bench_fault_sweep> <bench_telemetry> <obs_diff> \
 #                       <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 8 ]]; then
+if [[ $# -ne 9 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
        "<bench_fleet_scaling> <bench_syn_kernel> <bench_fault_sweep>" \
-       "<obs_diff> <baseline.json> <workdir>" >&2
+       "<bench_telemetry> <obs_diff> <baseline.json> <workdir>" >&2
   exit 2
 fi
 
@@ -48,14 +56,15 @@ comm_bin=$(realpath "$2")
 fleet_bin=$(realpath "$3")
 kernel_bin=$(realpath "$4")
 fault_bin=$(realpath "$5")
-obs_diff_bin=$(realpath "$6")
-baseline=$(realpath "$7")
-workdir="$8"
+telemetry_bin=$(realpath "$6")
+obs_diff_bin=$(realpath "$7")
+baseline=$(realpath "$8")
+workdir="$9"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/5: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/6: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -65,7 +74,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/5: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/6: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -78,7 +87,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/5: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/6: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -88,7 +97,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/5: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/6: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -102,7 +111,7 @@ mkdir -p "$kernel_dir"
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
-echo "== pass 5/5: fault-sweep delivery counters + error gauges =="
+echo "== pass 5/6: fault-sweep delivery counters + error gauges =="
 fault_dir="$workdir/fault"
 rm -rf "$fault_dir"
 mkdir -p "$fault_dir"
@@ -111,6 +120,19 @@ mkdir -p "$fault_dir"
   --counter-tol 0.02 --gauge-tol 0.05 \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
+
+echo ""
+echo "== pass 6/6: telemetry families + windowed series (deterministic) =="
+telemetry_dir="$workdir/telemetry"
+rm -rf "$telemetry_dir"
+mkdir -p "$telemetry_dir"
+(cd "$telemetry_dir" && "$telemetry_bin" --report-only > bench_telemetry.log)
+"$obs_diff_bin" --section telemetry_metrics \
+  --counter-tol 0.02 --gauge-tol 0.05 \
+  --series-tol 0.05 --series-timing-tol 4.0 \
+  --ignore log.suppressed --ignore health.latency_p99_us \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$telemetry_dir/bench_out/telemetry_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

@@ -6,7 +6,9 @@
 #     instrumentation statements evaluate nothing; the bench regression
 #     gate is excluded by CMake in this config).
 #  2. asan-ubsan  — Address + UB sanitizers over the observability test
-#     binaries (sharded atomics, recorder ring concurrency, JSON parser),
+#     binaries (sharded atomics, labeled-family churn under the shared
+#     lock, windowed series collection, cross-thread span/flow parenting,
+#     recorder ring concurrency, JSON parser),
 #     the codec fuzz tests (decoder fed random/truncated/bit-flipped
 #     buffers must fail by exception, never by out-of-bounds reads),
 #     the lag-batched kernel bit-identity tests (overlapped tail blocks
@@ -32,12 +34,14 @@ echo "== asan-ubsan: configure + build obs/json/campaign surfaces =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_obs test_obs_disabled test_obs_recorder test_obs_health \
+  test_obs_family test_obs_series test_obs_spans \
   test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
   test_wsm_faults test_exchange_degraded trace_tool
 
 echo ""
 echo "== asan-ubsan: run sanitized binaries =="
 for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
+           test_obs_family test_obs_series test_obs_spans \
            test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
            test_wsm_faults test_exchange_degraded; do
   echo "-- $bin"
@@ -49,9 +53,11 @@ smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 build-asan/examples/trace_tool campaign 5 \
   --metrics-out "$smoke_dir/metrics.json" \
-  --trace-out "$smoke_dir/trace.json"
+  --trace-out "$smoke_dir/trace.json" \
+  --series-out "$smoke_dir/series.json"
 test -s "$smoke_dir/metrics.json"
 test -s "$smoke_dir/trace.json"
+test -s "$smoke_dir/series.json"
 
 echo ""
 echo "verify matrix: PASS"

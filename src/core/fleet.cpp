@@ -20,6 +20,14 @@ struct FleetMetrics {
       obs::Registry::global().gauge("fleet.cache_hit_rate");
   obs::Histogram& batch_us =
       obs::Registry::global().histogram("fleet.batch_us");
+  obs::Histogram& task_us =
+      obs::Registry::global().histogram("fleet.task_us");
+  /// Per-neighbour task latency and hit/miss split: the per-entity axes
+  /// the streaming/service-scale gates are measured on.
+  obs::HistogramFamily& task_by_neighbour =
+      obs::Registry::global().histogram_family("fleet.task_us", "neighbour");
+  obs::CounterFamily& outcomes =
+      obs::Registry::global().counter_family("fleet.query_outcome", "outcome");
 };
 
 FleetMetrics& fleet_metrics() {
@@ -86,17 +94,26 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     }
   }
 
+  // Captured on the dispatching thread: per-neighbour task spans parent to
+  // the batch span even when they run on pool workers, and the hop is
+  // emitted as a trace flow arrow.
+  const obs::SpanContext batch_span = obs::current_span();
+
   std::vector<NeighbourResult> results(neighbours.size());
   const auto query_one = [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
+    obs::ObsTimer task_timer(&m.task_us, "fleet.task", batch_span);
     SynCache& shard = *shards_.find(ids[i])->second;
     NeighbourResult& r = results[i];
     r.syn_points = shard.find(ego, *neighbours[i], &ego_pack_);
     r.estimate = aggregate_estimates(ego, *neighbours[i], r.syn_points,
                                      config_.rups.aggregation);
+    task_timer.stop();
     r.latency_us = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+    m.task_by_neighbour.with(ids[i]).record(r.latency_us);
+    m.outcomes.with(r.estimate.has_value() ? "hit" : "miss").inc();
   };
 
   if (pool != nullptr && neighbours.size() > 1) {

@@ -27,6 +27,10 @@ struct CacheMetrics {
       obs::Registry::global().histogram("syncache.track_us");
   obs::Histogram& full_us =
       obs::Registry::global().histogram("syncache.full_us");
+  /// How each point got resolved: "track_hit", "track_miss" (fell back to
+  /// a full seek) or "full" (cold / tracking disabled).
+  obs::CounterFamily& resolution = obs::Registry::global().counter_family(
+      "syncache.resolution", "outcome");
 };
 
 CacheMetrics& cache_metrics() {
@@ -161,6 +165,7 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     obs::ObsTimer timer(&m.full_us, "syncache.full");
     stats_.full_searches += points;
     m.full.inc(points);
+    m.resolution.with("full").inc(points);
     auto out = seeker_.find(local, neighbour, lp, &neighbour_pack_);
     if (config_.enabled) update_lock(local, neighbour, out);
     return out;
@@ -181,6 +186,7 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     if (outcome.resolved) {
       ++stats_.tracking_hits;
       m.hits.inc();
+      m.resolution.with("track_hit").inc();
       if (outcome.syn.has_value()) {
         recorder.record(obs::EventType::kTrackVerified, "syncache.track",
                         outcome.syn->correlation, static_cast<double>(offset),
@@ -191,6 +197,7 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     }
     ++stats_.tracking_misses;
     m.misses.inc();
+    m.resolution.with("track_miss").inc();
     recorder.record(obs::EventType::kTrackLost, "syncache.lost", 0.0,
                     static_cast<double>(offset));
     ++stats_.full_searches;

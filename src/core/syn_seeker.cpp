@@ -35,6 +35,12 @@ struct SynMetrics {
       obs::Registry::global().counter("syn.coherency_fail");
   obs::Histogram& seek_us =
       obs::Registry::global().histogram("syn.seek_us");
+  obs::Histogram& kernel_us =
+      obs::Registry::global().histogram("syn.kernel_us");
+  /// Per-outcome seek split: "accepted", "below_threshold", or the plan's
+  /// reject reason literal.
+  obs::CounterFamily& outcomes =
+      obs::Registry::global().counter_family("syn.seek_outcome", "outcome");
 };
 
 SynMetrics& syn_metrics() {
@@ -362,6 +368,7 @@ std::optional<SynPoint> SynSeeker::find_one(
                   static_cast<double>(recency_offset_m));
   const SeekPlan p = plan(a, b, recency_offset_m);
   if (p.reject != nullptr) {
+    metrics.outcomes.with(p.reject).inc();
     recorder.record(obs::EventType::kSeekRejected, p.reject, 0.0, p.reject_v1,
                     p.reject_v2);
     return std::nullopt;
@@ -414,10 +421,14 @@ std::optional<SynPoint> SynSeeker::find_one(
     f2 = {fixed_b.span(), rows_kb};
   }
 
+  // Both correlation-scan passes share one kernel span: the child of
+  // "syn.seek" that shows up in the paper's Fig. 10-12 cost breakdowns.
+  obs::ObsTimer kernel_timer(&metrics.kernel_us, "syn.kernel");
   // Pass 1 (Fig 7 left): recent segment of A slides over B.
   const Candidate on_b = slide(f1, f1_start, s1, p.window);
   // Pass 2 (Fig 7 right): recent segment of B slides over A.
   const Candidate on_a = slide(f2, f2_start, s2, p.window);
+  kernel_timer.stop();
 
   for (const Candidate& c : {on_b, on_a}) {
     if (!c.valid) continue;
@@ -439,10 +450,12 @@ std::optional<SynPoint> SynSeeker::find_one(
   if (!found) {
     const double best_corr = std::max(on_b.valid ? on_b.correlation : -2.0,
                                       on_a.valid ? on_a.correlation : -2.0);
+    metrics.outcomes.with("below_threshold").inc();
     recorder.record(obs::EventType::kSeekRejected, "syn.below_threshold",
                     best_corr, static_cast<double>(p.window), p.threshold);
     return std::nullopt;
   }
+  metrics.outcomes.with("accepted").inc();
   recorder.record(obs::EventType::kSeekAccepted, "syn.seek", best.correlation,
                   static_cast<double>(p.window), p.threshold);
   return best;

@@ -46,6 +46,9 @@ std::string HealthReport::to_json() const {
   out += "    \"delivery_failure_rate\": " + num(delivery_failure_rate) +
          ",\n";
   out += "    \"degraded_rate\": " + num(degraded_rate) + ",\n";
+  out += "    \"log_suppressed\": " + std::to_string(log_suppressed) + ",\n";
+  out += "    \"recorder_overwritten\": " +
+         std::to_string(recorder_overwritten) + ",\n";
   out += "    \"healthy\": " + std::string(healthy() ? "true" : "false") +
          ",\n";
   out += "    \"alerts\": [";
@@ -187,6 +190,8 @@ HealthReport HealthMonitor::report() const {
         failures / static_cast<double>(deliveries_.size());
     r.degraded_rate = degraded / static_cast<double>(deliveries_.size());
   }
+  r.log_suppressed = Logger::global().total_suppressed();
+  r.recorder_overwritten = FlightRecorder::global().overwritten();
   r.alerts = alerts_;
   return r;
 }

@@ -50,7 +50,11 @@ struct HealthAlert {
   friend bool operator==(const HealthAlert&, const HealthAlert&) = default;
 };
 
-/// Point-in-time health summary. Plain data, configuration-independent.
+/// Point-in-time health summary. Plain data; the query/exchange fields are
+/// configuration-independent, while the two telemetry-loss fields read the
+/// process-wide logger/recorder and stay 0 under RUPS_OBS_DISABLED (the
+/// no-op recorder never overwrites and disabled log statements never
+/// reach the rate limiter).
 struct HealthReport {
   std::uint64_t samples = 0;      ///< queries observed in total
   double availability = 0.0;      ///< hit rate over the rolling window
@@ -60,6 +64,11 @@ struct HealthReport {
   std::uint64_t exchanges = 0;    ///< V2V exchanges observed in total
   double delivery_failure_rate = 0.0;  ///< kFailed rate over the window
   double degraded_rate = 0.0;     ///< degraded-delivery rate over the window
+  /// Telemetry self-loss at report time (process-wide, cumulative): log
+  /// lines suppressed by the rate limiter and flight-recorder ring
+  /// overwrites. Non-zero means bundles/logs are missing history.
+  std::uint64_t log_suppressed = 0;
+  std::uint64_t recorder_overwritten = 0;
   std::vector<HealthAlert> alerts;
 
   [[nodiscard]] bool healthy() const noexcept { return alerts.empty(); }

@@ -53,8 +53,16 @@ class Logger {
   /// 0 disables limiting. Dropped lines are counted and reported by the
   /// next line that gets through.
   void set_rate_limit(double lines_per_s) noexcept;
+  /// Drops since the last line that got through (reported inline, then
+  /// rezeroed).
   [[nodiscard]] std::uint64_t dropped_lines() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative drops over the logger's lifetime; also exposed as the
+  /// `log.suppressed` registry counter and in HealthReport, so silently
+  /// lost telemetry stays visible after the fact.
+  [[nodiscard]] std::uint64_t total_suppressed() const noexcept {
+    return total_suppressed_.load(std::memory_order_relaxed);
   }
 
   /// Format and emit one line (called by LogLine; thread-safe).
@@ -66,6 +74,7 @@ class Logger {
 
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kWarn)};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> total_suppressed_{0};
   mutable std::mutex mutex_;
   std::ofstream file_;
   bool to_file_ = false;

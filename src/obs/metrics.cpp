@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <thread>
 
@@ -22,6 +23,27 @@ std::vector<double> default_latency_bounds_us() {
   // 1 us .. ~8.4 s in x2 steps: covers per-sample ingest (sub-us..us),
   // SYN seeks (~ms) and whole campaigns.
   return exponential_bounds(1.0, 2.0, 24);
+}
+
+std::string family_cell_name(std::string_view family,
+                             std::string_view label_key,
+                             std::string_view label_value) {
+  std::string out;
+  out.reserve(family.size() + label_key.size() + label_value.size() + 5);
+  out += family;
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  out += label_value;
+  out += "\"}";
+  return out;
+}
+
+std::string label_of(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(id));
+  return buf;
 }
 
 #ifndef RUPS_OBS_DISABLED
@@ -131,6 +153,60 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
+CounterFamily& Registry::counter_family(std::string_view name,
+                                        std::string_view label_key,
+                                        std::size_t max_cells) {
+  // Resolve the drop counter before taking the registry lock: counter()
+  // locks the same mutex.
+  Counter& dropped = counter(kLabelsDroppedCounter);
+  std::lock_guard lock(mutex_);
+  auto it = counter_families_.find(name);
+  if (it == counter_families_.end()) {
+    it = counter_families_
+             .emplace(std::string(name),
+                      std::make_unique<CounterFamily>(
+                          std::string(name), std::string(label_key),
+                          max_cells, &dropped))
+             .first;
+  }
+  return *it->second;
+}
+
+GaugeFamily& Registry::gauge_family(std::string_view name,
+                                    std::string_view label_key,
+                                    std::size_t max_cells) {
+  Counter& dropped = counter(kLabelsDroppedCounter);
+  std::lock_guard lock(mutex_);
+  auto it = gauge_families_.find(name);
+  if (it == gauge_families_.end()) {
+    it = gauge_families_
+             .emplace(std::string(name),
+                      std::make_unique<GaugeFamily>(
+                          std::string(name), std::string(label_key),
+                          max_cells, &dropped))
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramFamily& Registry::histogram_family(std::string_view name,
+                                            std::string_view label_key,
+                                            std::vector<double> bounds,
+                                            std::size_t max_cells) {
+  Counter& dropped = counter(kLabelsDroppedCounter);
+  std::lock_guard lock(mutex_);
+  auto it = histogram_families_.find(name);
+  if (it == histogram_families_.end()) {
+    it = histogram_families_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramFamily>(
+                          std::string(name), std::string(label_key),
+                          max_cells, &dropped, std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard lock(mutex_);
@@ -146,7 +222,19 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms.push_back(h->sample(name));
   }
-  return snap;  // std::map iteration order == sorted by name
+  for (const auto& [name, f] : counter_families_) f->snapshot_into(snap);
+  for (const auto& [name, f] : gauge_families_) f->snapshot_into(snap);
+  for (const auto& [name, f] : histogram_families_) f->snapshot_into(snap);
+  // Family cells append after the flat metrics, so restore the name-sorted
+  // order MetricsSnapshot promises ('{' sorts after alphanumerics, keeping
+  // a family's cells right after its own prefix).
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
 }
 
 void Registry::reset() {
@@ -154,6 +242,9 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, f] : counter_families_) f->reset();
+  for (auto& [name, f] : gauge_families_) f->reset();
+  for (auto& [name, f] : histogram_families_) f->reset();
 }
 
 #endif  // RUPS_OBS_DISABLED

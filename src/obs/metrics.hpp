@@ -24,8 +24,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "obs/snapshot.hpp"
@@ -39,6 +41,24 @@ namespace rups::obs {
                                                      double factor,
                                                      std::size_t count);
 [[nodiscard]] std::vector<double> default_latency_bounds_us();
+
+/// Snapshot name of one labeled-family cell: `family{key="value"}`
+/// (Prometheus text-format style; tooling splits on the first '{').
+/// Shared by both configurations so diff tools parse either way.
+[[nodiscard]] std::string family_cell_name(std::string_view family,
+                                           std::string_view label_key,
+                                           std::string_view label_value);
+/// Decimal label value for integer-keyed cells (neighbour ids etc.).
+[[nodiscard]] std::string label_of(std::uint64_t id);
+
+/// Default per-family cardinality cap. Labels are meant to be small bounded
+/// sets (outcome, stage, neighbour id); the cap bounds memory when one
+/// turns out not to be.
+inline constexpr std::size_t kDefaultMaxCells = 64;
+/// Label value of the shared overflow cell past the cardinality cap.
+inline constexpr const char* kOverflowLabel = "__overflow__";
+/// Registry counter tallying label values routed into overflow cells.
+inline constexpr const char* kLabelsDroppedCounter = "obs.labels.dropped";
 
 #ifndef RUPS_OBS_DISABLED
 
@@ -128,6 +148,109 @@ class Histogram {
   std::atomic<double> max_;
 };
 
+/// Bounded labeled family of metrics: one `Metric` cell per distinct value
+/// of a single label key, snapshot as `name{key="value"}`. Looking up an
+/// existing cell is a shared-lock map find; creating one takes the
+/// exclusive lock once per new label. The returned reference is stable for
+/// the registry's lifetime, so hot sites may cache per-label handles and
+/// keep the existing sharded-atomic fast path.
+///
+/// Cardinality is hard-capped: once `max_cells` distinct labels exist,
+/// every call with a NEW label routes to one shared `__overflow__` cell
+/// and counts into the registry-wide `obs.labels.dropped` counter (one
+/// count per routed call — the drop rate stays visible, memory stays
+/// bounded).
+template <typename Metric>
+class MetricFamily {
+ public:
+  MetricFamily(std::string name, std::string label_key,
+               std::size_t max_cells, Counter* dropped,
+               std::vector<double> bounds = {})
+      : name_(std::move(name)),
+        label_key_(std::move(label_key)),
+        max_cells_(max_cells == 0 ? 1 : max_cells),
+        dropped_(dropped),
+        bounds_(std::move(bounds)) {}
+  MetricFamily(const MetricFamily&) = delete;
+  MetricFamily& operator=(const MetricFamily&) = delete;
+
+  [[nodiscard]] Metric& with(std::string_view label_value) {
+    {
+      std::shared_lock lock(mutex_);
+      if (auto it = cells_.find(label_value); it != cells_.end()) {
+        return *it->second;
+      }
+    }
+    std::unique_lock lock(mutex_);
+    if (auto it = cells_.find(label_value); it != cells_.end()) {
+      return *it->second;
+    }
+    if (cells_.size() >= max_cells_ &&
+        label_value != std::string_view(kOverflowLabel)) {
+      if (dropped_ != nullptr) dropped_->inc();
+      lock.unlock();
+      return with(kOverflowLabel);
+    }
+    auto it =
+        cells_.emplace(std::string(label_value), make_cell()).first;
+    return *it->second;
+  }
+  [[nodiscard]] Metric& with(std::uint64_t id) { return with(label_of(id)); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& label_key() const noexcept {
+    return label_key_;
+  }
+  [[nodiscard]] std::size_t max_cells() const noexcept { return max_cells_; }
+  [[nodiscard]] std::size_t cells() const {
+    std::shared_lock lock(mutex_);
+    return cells_.size();
+  }
+
+  /// Append one sample per cell (used by Registry::snapshot under its own
+  /// lock; families never call back into the registry).
+  void snapshot_into(MetricsSnapshot& snap) const {
+    std::shared_lock lock(mutex_);
+    for (const auto& [value, cell] : cells_) {
+      std::string cell_name = family_cell_name(name_, label_key_, value);
+      if constexpr (std::is_same_v<Metric, Counter>) {
+        snap.counters.push_back({std::move(cell_name), cell->value()});
+      } else if constexpr (std::is_same_v<Metric, Gauge>) {
+        snap.gauges.push_back({std::move(cell_name), cell->value()});
+      } else {
+        snap.histograms.push_back(cell->sample(std::move(cell_name)));
+      }
+    }
+  }
+
+  void reset() {
+    std::shared_lock lock(mutex_);
+    for (auto& [value, cell] : cells_) cell->reset();
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<Metric> make_cell() const {
+    if constexpr (std::is_same_v<Metric, Histogram>) {
+      return std::make_unique<Histogram>(
+          bounds_.empty() ? default_latency_bounds_us() : bounds_);
+    } else {
+      return std::make_unique<Metric>();
+    }
+  }
+
+  std::string name_;
+  std::string label_key_;
+  std::size_t max_cells_;
+  Counter* dropped_;
+  std::vector<double> bounds_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Metric>, std::less<>> cells_;
+};
+
+using CounterFamily = MetricFamily<Counter>;
+using GaugeFamily = MetricFamily<Gauge>;
+using HistogramFamily = MetricFamily<Histogram>;
+
 /// Owner and namespace of all metrics. Lookup/creation takes a mutex once
 /// per instrumentation site (cache the returned reference); the handles
 /// themselves are stable for the registry's lifetime.
@@ -147,7 +270,21 @@ class Registry {
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::vector<double> bounds = {});
 
-  /// Deterministic (name-sorted) copy of every metric.
+  /// Labeled families; like the flat handles, `label_key` / `max_cells` /
+  /// `bounds` are fixed on first creation.
+  [[nodiscard]] CounterFamily& counter_family(
+      std::string_view name, std::string_view label_key,
+      std::size_t max_cells = kDefaultMaxCells);
+  [[nodiscard]] GaugeFamily& gauge_family(
+      std::string_view name, std::string_view label_key,
+      std::size_t max_cells = kDefaultMaxCells);
+  [[nodiscard]] HistogramFamily& histogram_family(
+      std::string_view name, std::string_view label_key,
+      std::vector<double> bounds = {},
+      std::size_t max_cells = kDefaultMaxCells);
+
+  /// Deterministic (name-sorted) copy of every metric, family cells
+  /// included.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Zero every metric (registration survives; handles stay valid).
@@ -158,6 +295,12 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterFamily>, std::less<>>
+      counter_families_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>, std::less<>>
+      gauge_families_;
+  std::map<std::string, std::unique_ptr<HistogramFamily>, std::less<>>
+      histogram_families_;
 };
 
 #else  // RUPS_OBS_DISABLED
@@ -198,6 +341,37 @@ class Histogram {
   void reset() noexcept {}
 };
 
+/// All cells of a disabled family collapse onto one shared inert metric;
+/// nothing is counted, capped or snapshot.
+template <typename Metric>
+class MetricFamily {
+ public:
+  [[nodiscard]] Metric& with(std::string_view) noexcept { return cell(); }
+  [[nodiscard]] Metric& with(std::uint64_t) noexcept { return cell(); }
+  [[nodiscard]] const std::string& name() const noexcept { return empty(); }
+  [[nodiscard]] const std::string& label_key() const noexcept {
+    return empty();
+  }
+  [[nodiscard]] std::size_t max_cells() const noexcept { return 0; }
+  [[nodiscard]] std::size_t cells() const noexcept { return 0; }
+  void snapshot_into(MetricsSnapshot&) const noexcept {}
+  void reset() noexcept {}
+
+ private:
+  [[nodiscard]] static Metric& cell() noexcept {
+    static Metric m;
+    return m;
+  }
+  [[nodiscard]] static const std::string& empty() noexcept {
+    static const std::string s;
+    return s;
+  }
+};
+
+using CounterFamily = MetricFamily<Counter>;
+using GaugeFamily = MetricFamily<Gauge>;
+using HistogramFamily = MetricFamily<Histogram>;
+
 class Registry {
  public:
   [[nodiscard]] static Registry& global() {
@@ -217,6 +391,24 @@ class Registry {
     static Histogram h;
     return h;
   }
+  [[nodiscard]] CounterFamily& counter_family(
+      std::string_view, std::string_view,
+      std::size_t = kDefaultMaxCells) noexcept {
+    static CounterFamily f;
+    return f;
+  }
+  [[nodiscard]] GaugeFamily& gauge_family(
+      std::string_view, std::string_view,
+      std::size_t = kDefaultMaxCells) noexcept {
+    static GaugeFamily f;
+    return f;
+  }
+  [[nodiscard]] HistogramFamily& histogram_family(
+      std::string_view, std::string_view, std::vector<double> = {},
+      std::size_t = kDefaultMaxCells) noexcept {
+    static HistogramFamily f;
+    return f;
+  }
   [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
   void reset() {}
 };
@@ -226,6 +418,11 @@ class Registry {
 using Counter = noop::Counter;
 using Gauge = noop::Gauge;
 using Histogram = noop::Histogram;
+template <typename Metric>
+using MetricFamily = noop::MetricFamily<Metric>;
+using CounterFamily = noop::CounterFamily;
+using GaugeFamily = noop::GaugeFamily;
+using HistogramFamily = noop::HistogramFamily;
 using Registry = noop::Registry;
 
 #endif  // RUPS_OBS_DISABLED

@@ -1,16 +1,18 @@
 #pragma once
 
 // Umbrella header for the rups::obs observability subsystem: metrics
-// registry (counters / gauges / fixed-bucket histograms), scoped timers
-// with Chrome trace_event spans, the structured logger, the flight
+// registry (counters / gauges / fixed-bucket histograms and their labeled
+// families), sim-time windowed time-series, scoped timers with causal
+// spans and Chrome trace_event output, the structured logger, the flight
 // recorder with anomaly diagnostics bundles, and the health/SLO monitor.
-// See README.md's "Observability" and "Diagnostics" sections for usage
-// and DESIGN.md for how metric names and health rules map onto the
-// paper's cost and availability metrics (Secs. V–VI).
+// See README.md's "Observability", "Telemetry" and "Diagnostics" sections
+// for usage and DESIGN.md for how metric names and health rules map onto
+// the paper's cost and availability metrics (Secs. V–VI).
 
-#include "obs/health.hpp"   // IWYU pragma: export
-#include "obs/log.hpp"      // IWYU pragma: export
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/recorder.hpp" // IWYU pragma: export
-#include "obs/snapshot.hpp" // IWYU pragma: export
-#include "obs/timer.hpp"    // IWYU pragma: export
+#include "obs/health.hpp"     // IWYU pragma: export
+#include "obs/log.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/recorder.hpp"   // IWYU pragma: export
+#include "obs/snapshot.hpp"   // IWYU pragma: export
+#include "obs/timer.hpp"      // IWYU pragma: export
+#include "obs/timeseries.hpp" // IWYU pragma: export

@@ -79,7 +79,9 @@ std::string events_to_json(const std::vector<RecorderEvent>& events) {
 
 FlightRecorder::FlightRecorder(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity),
-      capacity_(capacity == 0 ? 1 : capacity) {}
+      capacity_(capacity == 0 ? 1 : capacity),
+      overwritten_counter_(
+          &Registry::global().counter("recorder.overwritten")) {}
 
 FlightRecorder& FlightRecorder::global() {
   static FlightRecorder* r = new FlightRecorder();  // outlives static dtors
@@ -91,6 +93,11 @@ void FlightRecorder::record(EventType type, const char* label, double v0,
   const double ts = now_us();
   const std::uint32_t tid = this_thread_tid();
   std::lock_guard lock(mutex_);
+  if (size_ == capacity_) {
+    // The ring is full: this append evicts the oldest retained event.
+    ++overwritten_;
+    overwritten_counter_->inc();
+  }
   RecorderEvent& slot = ring_[head_];
   slot.type = type;
   slot.tid = tid;
@@ -122,6 +129,11 @@ std::vector<RecorderEvent> FlightRecorder::recent() const {
 std::uint64_t FlightRecorder::total_recorded() const noexcept {
   std::lock_guard lock(mutex_);
   return next_seq_;
+}
+
+std::uint64_t FlightRecorder::overwritten() const noexcept {
+  std::lock_guard lock(mutex_);
+  return overwritten_;
 }
 
 std::size_t FlightRecorder::capacity() const noexcept {
@@ -168,8 +180,33 @@ std::uint64_t FlightRecorder::anomalies() const noexcept {
   return anomalies_;
 }
 
+namespace {
+
+/// The anomaly caller's open-span chain, outermost first — which fleet
+/// round / neighbour task / seek the bundle was captured inside.
+std::string spans_to_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": " + escaped(s.name != nullptr ? s.name : "");
+    out += ", \"trace\": " + std::to_string(s.trace_id);
+    out += ", \"span\": " + std::to_string(s.span_id);
+    out += ", \"parent\": " + std::to_string(s.parent_id);
+    out += ", \"start_us\": " + num(s.start_us) + "}";
+  }
+  out += spans.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+}  // namespace
+
 std::filesystem::path FlightRecorder::anomaly(const char* label,
                                               const std::string& detail) {
+  // Capture the caller's span chain before any locking: it is
+  // thread-local, and the bundle should describe the thread that noticed
+  // the anomaly.
+  const std::string spans = spans_to_json(active_span_chain());
   record(EventType::kAnomaly, label,
          static_cast<double>(anomalies()));
 
@@ -198,6 +235,7 @@ std::filesystem::path FlightRecorder::anomaly(const char* label,
   out += "  \"ts_us\": " + num(now_us()) + ",\n";
   out += "  \"config\": " + (config.empty() ? std::string("null") : config) +
          ",\n";
+  out += "  \"spans\": " + spans + ",\n";
   out += "  \"metrics\": " + Registry::global().snapshot().to_json() + ",\n";
   out += "  \"events\": " + events_to_json(events) + "\n}\n";
 

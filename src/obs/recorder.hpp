@@ -68,6 +68,8 @@ struct RecorderEvent {
 
 #ifndef RUPS_OBS_DISABLED
 
+class Counter;
+
 class FlightRecorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
@@ -89,6 +91,10 @@ class FlightRecorder {
 
   /// Events ever recorded (including ones already overwritten).
   [[nodiscard]] std::uint64_t total_recorded() const noexcept;
+  /// Events lost to ring overwrites (also the `recorder.overwritten`
+  /// registry counter and a HealthReport field): how much history the
+  /// next anomaly bundle is missing.
+  [[nodiscard]] std::uint64_t overwritten() const noexcept;
   [[nodiscard]] std::size_t capacity() const noexcept;
   /// Resize the ring; retained events are dropped.
   void set_capacity(std::size_t capacity);
@@ -120,6 +126,8 @@ class FlightRecorder {
   std::size_t head_ = 0;  ///< next write slot
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t overwritten_ = 0;
+  Counter* overwritten_counter_ = nullptr;  ///< resolved once in the ctor
   std::uint64_t anomalies_ = 0;
   std::uint64_t dumps_written_ = 0;
   std::size_t max_dumps_ = 16;
@@ -147,6 +155,7 @@ class FlightRecorder {
               double = 0.0) noexcept {}
   [[nodiscard]] std::vector<RecorderEvent> recent() const { return {}; }
   [[nodiscard]] std::uint64_t total_recorded() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t overwritten() const noexcept { return 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
   void set_capacity(std::size_t) noexcept {}
   void clear() noexcept {}

@@ -1,8 +1,11 @@
 #include "obs/timer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 namespace rups::obs {
 
@@ -18,6 +21,58 @@ std::chrono::steady_clock::time_point process_start() noexcept {
 // Touch the epoch during static init so now_us() is monotone from startup.
 [[maybe_unused]] const auto g_epoch_init = process_start();
 
+// The span stack is always compiled (it is tiny and lets the always-on
+// recorder/tooling call current_span()); only enabled ObsTimers push onto
+// it, so under RUPS_OBS_DISABLED it simply stays empty.
+thread_local std::vector<SpanRecord> t_span_stack;
+
+/// Thread labels, indexed by dense tid. Guarded by its own mutex; leaked
+/// so labels survive static teardown (trace sinks may close at exit).
+struct ThreadLabels {
+  std::mutex mutex;
+  std::vector<const char*> labels;
+};
+
+ThreadLabels& thread_labels() {
+  static ThreadLabels* labels = new ThreadLabels();
+  return *labels;
+}
+
+/// Sinks still open, for the atexit JSON-close guarantee. Lock order is
+/// always registry mutex -> sink mutex (never the reverse).
+struct SinkRegistry {
+  std::mutex mutex;
+  std::vector<ChromeTraceSink*> open;
+};
+
+SinkRegistry& sink_registry() {
+  static SinkRegistry* reg = new SinkRegistry();
+  return *reg;
+}
+
+void close_open_sinks() {
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard lock(reg.mutex);
+  for (ChromeTraceSink* sink : reg.open) sink->close();
+}
+
+void register_sink(ChromeTraceSink* sink) {
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard lock(reg.mutex);
+  if (reg.open.empty()) {
+    static const int once = std::atexit(close_open_sinks);
+    (void)once;
+  }
+  reg.open.push_back(sink);
+}
+
+void unregister_sink(ChromeTraceSink* sink) {
+  SinkRegistry& reg = sink_registry();
+  std::lock_guard lock(reg.mutex);
+  reg.open.erase(std::remove(reg.open.begin(), reg.open.end(), sink),
+                 reg.open.end());
+}
+
 }  // namespace
 
 double now_us() noexcept {
@@ -32,6 +87,43 @@ std::uint32_t this_thread_tid() noexcept {
   return tid;
 }
 
+void set_thread_label(const char* label) noexcept {
+  const std::uint32_t tid = this_thread_tid();
+  ThreadLabels& tl = thread_labels();
+  std::lock_guard lock(tl.mutex);
+  if (tl.labels.size() <= tid) tl.labels.resize(tid + 1, nullptr);
+  tl.labels[tid] = label;
+}
+
+const char* thread_label(std::uint32_t tid) noexcept {
+  ThreadLabels& tl = thread_labels();
+  std::lock_guard lock(tl.mutex);
+  return tid < tl.labels.size() ? tl.labels[tid] : nullptr;
+}
+
+SpanContext current_span() noexcept {
+  if (t_span_stack.empty()) return {};
+  const SpanRecord& top = t_span_stack.back();
+  return {top.trace_id, top.span_id, this_thread_tid(), now_us()};
+}
+
+std::vector<SpanRecord> active_span_chain() { return t_span_stack; }
+
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void span_push(const SpanRecord& record) { t_span_stack.push_back(record); }
+
+void span_pop() noexcept {
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+}
+
+}  // namespace detail
+
 void set_trace_sink(TraceSink* sink) noexcept {
   g_trace_sink.store(sink, std::memory_order_release);
 }
@@ -43,25 +135,107 @@ TraceSink* trace_sink() noexcept {
 ChromeTraceSink::ChromeTraceSink(const std::filesystem::path& path)
     : out_(path) {
   out_ << "[\n";
+  {
+    std::lock_guard lock(mutex_);
+    line_locked(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \"rups\"}}");
+  }
+  register_sink(this);
 }
 
 ChromeTraceSink::~ChromeTraceSink() {
+  // Unregister before closing: the atexit hook holds the registry mutex
+  // while closing sinks, so this order keeps locking acyclic.
+  unregister_sink(this);
+  close();
+}
+
+void ChromeTraceSink::close() {
   std::lock_guard lock(mutex_);
-  out_ << (events_ == 0 ? "]\n" : "\n]\n");
+  if (closed_) return;
+  closed_ = true;
+  out_ << (lines_ == 0 ? "]\n" : "\n]\n");
+  out_.flush();
+}
+
+void ChromeTraceSink::line_locked(const char* text) {
+  if (lines_ > 0) out_ << ",\n";
+  out_ << text;
+  ++lines_;
+}
+
+void ChromeTraceSink::thread_metadata_locked(std::uint32_t tid) {
+  if (!tids_named_.insert(tid).second) return;
+  const char* label = thread_label(tid);
+  char fallback[32];
+  if (label == nullptr) {
+    std::snprintf(fallback, sizeof(fallback), "rups thread %u", tid);
+    label = fallback;
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                tid, label);
+  line_locked(line);
 }
 
 void ChromeTraceSink::emit(const TraceEvent& event) {
-  char line[256];
+  char line[320];
   // Complete event ("ph":"X"): chrome://tracing nests overlapping spans of
-  // one tid by duration automatically.
-  std::snprintf(line, sizeof(line),
-                "{\"name\": \"%s\", \"cat\": \"rups\", \"ph\": \"X\", "
-                "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-                event.name, event.ts_us, event.dur_us, event.tid);
+  // one tid by duration automatically. Span ids travel in args where both
+  // chrome://tracing and Perfetto surface them in the selection panel.
+  if (event.span_id != 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "{\"name\": \"%s\", \"cat\": \"rups\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+        "\"args\": {\"trace\": %llu, \"span\": %llu, \"parent\": %llu}}",
+        event.name, event.ts_us, event.dur_us, event.tid,
+        static_cast<unsigned long long>(event.trace_id),
+        static_cast<unsigned long long>(event.span_id),
+        static_cast<unsigned long long>(event.parent_id));
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "{\"name\": \"%s\", \"cat\": \"rups\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  event.name, event.ts_us, event.dur_us, event.tid);
+  }
   std::lock_guard lock(mutex_);
-  if (events_ > 0) out_ << ",\n";
-  out_ << line;
-  ++events_;
+  if (closed_) return;
+  thread_metadata_locked(event.tid);
+  line_locked(line);
+  events_.fetch_add(1, std::memory_order_relaxed);
+  // Periodic flush: an aborted run loses at most one batch of lines, and
+  // the atexit close still terminates the array.
+  if (lines_ % 32 == 0) out_.flush();
+}
+
+void ChromeTraceSink::emit_flow(const FlowEvent& event) {
+  // Flow start ("s") binds to the enclosing slice on the dispatching
+  // thread, flow finish ("f", bp:"e") to the destination slice; matching
+  // ids draw the Perfetto arrow.
+  char start[224];
+  std::snprintf(start, sizeof(start),
+                "{\"name\": \"%s\", \"cat\": \"rups.flow\", \"ph\": \"s\", "
+                "\"id\": %llu, \"ts\": %.3f, \"pid\": 1, \"tid\": %u}",
+                event.name, static_cast<unsigned long long>(event.id),
+                event.src_ts_us, event.src_tid);
+  char finish[224];
+  std::snprintf(finish, sizeof(finish),
+                "{\"name\": \"%s\", \"cat\": \"rups.flow\", \"ph\": \"f\", "
+                "\"bp\": \"e\", \"id\": %llu, \"ts\": %.3f, \"pid\": 1, "
+                "\"tid\": %u}",
+                event.name, static_cast<unsigned long long>(event.id),
+                event.dst_ts_us, event.dst_tid);
+  std::lock_guard lock(mutex_);
+  if (closed_) return;
+  thread_metadata_locked(event.src_tid);
+  thread_metadata_locked(event.dst_tid);
+  line_locked(start);
+  line_locked(finish);
+  events_.fetch_add(2, std::memory_order_relaxed);
 }
 
 }  // namespace rups::obs

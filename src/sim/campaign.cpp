@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "obs/log.hpp"
@@ -27,6 +28,14 @@ struct CampaignMetrics {
       obs::Registry::global().gauge("campaign.last_availability");
   obs::Histogram& latency_us =
       obs::Registry::global().histogram("campaign.query_latency_us");
+  /// Labeled hit/miss split — the windowed series breaks the campaign's
+  /// availability down per window through this family.
+  obs::CounterFamily& outcomes = obs::Registry::global().counter_family(
+      "campaign.query_outcome", "outcome");
+  /// Sim-seconds since the last accepted estimate, per neighbour (the
+  /// two-car campaign only ever populates neighbour "0").
+  obs::GaugeFamily& staleness = obs::Registry::global().gauge_family(
+      "estimate.staleness_s", "neighbour");
 };
 
 CampaignMetrics& campaign_metrics() {
@@ -173,6 +182,16 @@ CampaignResult run_campaign(ConvoySimulation& sim,
 
   sim.run_until(config.warmup_s);
   double t = config.warmup_s;
+
+  // Windowed series: baseline snapshot after warm-up, one observation per
+  // query interval, staleness tracked against the front vehicle (id 0).
+  obs::TimeSeriesCollector collector(config.series);
+  double last_accept_s = t;
+  if (config.series.enabled) {
+    collector.track(0);
+    collector.begin(t);
+  }
+
   while (result.queries.size() < config.max_queries && !sim.finished() &&
          (config.time_limit_s <= 0.0 || t < config.time_limit_s)) {
     t += config.interval_s;
@@ -199,10 +218,17 @@ CampaignResult run_campaign(ConvoySimulation& sim,
                                  : sim.query(1, 0, pool));
     timer.stop();
     metrics.queries.inc();
-    (result.queries.back().rups.has_value() ? metrics.rups_hits
-                                            : metrics.rups_misses)
-        .inc();
+    const bool hit = result.queries.back().rups.has_value();
+    (hit ? metrics.rups_hits : metrics.rups_misses).inc();
+    metrics.outcomes.with(hit ? "hit" : "miss").inc();
+    if (hit) {
+      last_accept_s = t;
+      collector.note_estimate(0, t);
+    }
+    metrics.staleness.with(std::uint64_t{0}).set(t - last_accept_s);
+    collector.observe(t);
   }
+  if (config.series.enabled) result.series = collector.finish(t);
 
   metrics.availability.set(result.rups_availability());
   RUPS_LOG(kDebug) << "campaign finished: " << result.queries.size()

@@ -5,6 +5,7 @@
 
 #include "obs/health.hpp"
 #include "obs/snapshot.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/convoy_sim.hpp"
 #include "v2v/exchange.hpp"
 
@@ -43,6 +44,11 @@ struct CampaignConfig {
   /// When non-empty, the flight recorder dumps a JSON diagnostics bundle
   /// here on each anomaly (restored to its previous setting afterwards).
   std::filesystem::path diagnostics_dir{};
+  /// Sim-time windowed telemetry series collected over the campaign
+  /// (window cadence, metric prefixes). Set series.enabled = false to skip
+  /// collection; the collector is a no-op under RUPS_OBS_DISABLED either
+  /// way.
+  obs::TimeSeriesConfig series{};
 };
 
 struct CampaignResult {
@@ -59,6 +65,12 @@ struct CampaignResult {
   /// latency p99 and every alert that fired. Identical in all build
   /// configurations (the monitor runs on explicit ground-truth feeds).
   obs::HealthReport health;
+
+  /// Sim-time windowed series (counter rates, histogram quantiles, gauge
+  /// values, per-neighbour estimate staleness) collected while the
+  /// campaign ran. Empty when config.series.enabled is false or under
+  /// RUPS_OBS_DISABLED.
+  obs::TimeSeriesData series;
 
   /// Absolute RUPS errors over queries that produced an estimate.
   [[nodiscard]] std::vector<double> rups_errors() const;

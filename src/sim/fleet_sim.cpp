@@ -1,6 +1,7 @@
 #include "sim/fleet_sim.hpp"
 
 #include <cmath>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -28,6 +29,13 @@ struct FleetCampaignMetrics {
       obs::Registry::global().gauge("fleetcampaign.last_availability");
   obs::Histogram& round_us =
       obs::Registry::global().histogram("fleetcampaign.round_us");
+  /// Labeled hit/miss split per round, and per-neighbour sim-time since
+  /// the last accepted estimate — the staleness axis the windowed series
+  /// and telemetry_report break down per neighbour.
+  obs::CounterFamily& query_outcomes = obs::Registry::global().counter_family(
+      "fleetcampaign.query_outcome", "outcome");
+  obs::GaugeFamily& staleness = obs::Registry::global().gauge_family(
+      "estimate.staleness_s", "neighbour");
 };
 
 FleetCampaignMetrics& fleet_campaign_metrics() {
@@ -188,6 +196,21 @@ FleetCampaignResult run_fleet_campaign(FleetSimulation& fleet,
 
   fleet.run_until(config.base.warmup_s);
   double t = config.base.warmup_s;
+
+  // Windowed series: every neighbour is tracked for staleness from the end
+  // of warm-up; one observation per round keeps the windows on the beacon
+  // cadence (sim time, so serial and pooled runs produce identical series
+  // for everything except wall-clock quantile columns).
+  FleetCampaignMetrics& metrics = fleet_campaign_metrics();
+  obs::TimeSeriesCollector collector(config.base.series);
+  std::map<std::size_t, double> last_accept_s;
+  for (std::size_t i = 0; i < fleet.sim().vehicle_count(); ++i) {
+    if (i == fleet.ego_index()) continue;
+    last_accept_s[i] = t;
+    collector.track(static_cast<std::uint64_t>(i));
+  }
+  if (config.base.series.enabled) collector.begin(t);
+
   while (result.rounds.size() < config.base.max_queries &&
          !fleet.sim().finished() &&
          (config.base.time_limit_s <= 0.0 || t < config.base.time_limit_s)) {
@@ -195,9 +218,23 @@ FleetCampaignResult run_fleet_campaign(FleetSimulation& fleet,
     fleet.run_until(t);
     if (fleet.sim().finished()) break;
     result.rounds.push_back(fleet.query_round(pool));
+    for (const FleetQueryOutcome& o : result.rounds.back().outcomes) {
+      const bool hit = o.result.estimate.has_value();
+      metrics.query_outcomes.with(hit ? "hit" : "miss").inc();
+      if (hit) {
+        last_accept_s[o.neighbour_index] = t;
+        collector.note_estimate(static_cast<std::uint64_t>(o.neighbour_index),
+                                t);
+      }
+    }
+    for (const auto& [i, last] : last_accept_s) {
+      metrics.staleness.with(static_cast<std::uint64_t>(i)).set(t - last);
+    }
+    collector.observe(t);
   }
+  if (config.base.series.enabled) result.series = collector.finish(t);
 
-  fleet_campaign_metrics().availability.set(result.availability());
+  metrics.availability.set(result.availability());
   if (config.base.enable_health) fleet.set_health_monitor(nullptr);
   result.cache = fleet.engine().cache_stats();
   result.v2v_bytes = fleet.v2v_bytes();

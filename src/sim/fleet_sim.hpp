@@ -64,6 +64,9 @@ struct FleetCampaignResult {
   std::size_t v2v_bytes = 0;
   obs::MetricsSnapshot metrics;
   obs::HealthReport health;
+  /// Sim-time windowed series with one estimate.staleness_s column per
+  /// neighbour (config.base.series; empty when disabled).
+  obs::TimeSeriesData series;
 
   /// Absolute errors over every outcome that produced an estimate.
   [[nodiscard]] std::vector<double> rups_errors() const;

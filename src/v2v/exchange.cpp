@@ -39,6 +39,12 @@ struct ExchangeMetrics {
       obs::Registry::global().counter("v2v.delivery.fragments_lost");
   obs::Counter& metres_salvaged =
       obs::Registry::global().counter("v2v.delivery.metres_salvaged");
+  obs::Histogram& arq_round_us =
+      obs::Registry::global().histogram("v2v.arq_round_us");
+  /// Labeled view of the delivery split ("delivered"/"degraded"/"failed"):
+  /// one family the windowed series and telemetry_report break down by.
+  obs::CounterFamily& outcomes = obs::Registry::global().counter_family(
+      "v2v.delivery_outcome", "outcome");
 };
 
 ExchangeMetrics& exchange_metrics() {
@@ -118,6 +124,9 @@ ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded,
 
   std::size_t round = 0;
   while (received_count < total && round < max_rounds && !deadline_hit) {
+    // Each selective-repeat round is its own child span of "v2v.exchange",
+    // so retry storms are visible per round in the trace.
+    obs::ObsTimer round_timer(&metrics.arq_round_us, "v2v.arq_round");
     if (round > 0) {
       const double backoff = std::min(
           config_.backoff_cap_s,
@@ -245,6 +254,7 @@ ExchangeResult ExchangeSession::run(std::vector<std::uint8_t> encoded,
     case ExchangeOutcome::kDegraded: metrics.degraded.inc(); break;
     case ExchangeOutcome::kFailed: metrics.failed.inc(); break;
   }
+  metrics.outcomes.with(exchange_outcome_name(result.outcome)).inc();
   bytes_ += result.stats.payload_bytes;
   seconds_ += result.stats.duration_s;
   recorder.record(obs::EventType::kExchangeSent, "v2v.exchange",

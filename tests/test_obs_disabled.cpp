@@ -105,5 +105,84 @@ TEST(ObsDisabled, ExponentialBoundsStillWork) {
             (std::vector<double>{1.0, 10.0, 100.0}));
 }
 
+TEST(ObsDisabled, LabeledFamiliesAreInert) {
+  CounterFamily& counters =
+      Registry::global().counter_family("disabled.outcome", "outcome", 4);
+  counters.with("hit").inc(100);
+  counters.with(std::uint64_t{7}).inc();
+  EXPECT_EQ(counters.with("hit").value(), 0u);
+  EXPECT_EQ(counters.cells(), 0u);
+  EXPECT_EQ(counters.max_cells(), 0u);
+  EXPECT_TRUE(counters.name().empty());
+
+  GaugeFamily& gauges =
+      Registry::global().gauge_family("disabled.staleness", "neighbour");
+  gauges.with(std::uint64_t{3}).set(42.0);
+  EXPECT_DOUBLE_EQ(gauges.with(std::uint64_t{3}).value(), 0.0);
+
+  HistogramFamily& hists = Registry::global().histogram_family(
+      "disabled.task_us", "neighbour", {10.0, 100.0});
+  hists.with("0").record(55.0);
+  EXPECT_EQ(hists.with("0").count(), 0u);
+
+  // Nothing reaches the snapshot, including the drop counter.
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(ObsDisabled, FamilyCellNamingStaysAvailableForTooling) {
+  // Diff/report tools parse labeled names in both configurations.
+  EXPECT_EQ(family_cell_name("a.b", "k", "v"), "a.b{k=\"v\"}");
+  EXPECT_EQ(label_of(12), "12");
+  EXPECT_STREQ(kOverflowLabel, "__overflow__");
+}
+
+TEST(ObsDisabled, TimeSeriesCollectorIsInert) {
+  TimeSeriesConfig cfg;
+  cfg.window_s = 10.0;
+  TimeSeriesCollector collector(cfg);
+  collector.track(1);
+  collector.begin(0.0);
+  collector.note_estimate(1, 5.0);
+  collector.observe(20.0);
+  EXPECT_FALSE(collector.active());
+  const TimeSeriesData data = collector.finish(30.0);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.windows(), 0u);
+}
+
+TEST(ObsDisabled, TimeSeriesDataTypeStaysFunctional) {
+  // TimeSeriesData is always-on plain data (campaign results embed it in
+  // both configurations), so JSON/CSV and quantile maths must still work.
+  TimeSeriesData data;
+  data.window_s = 5.0;
+  data.window_begin_s = {0.0};
+  data.window_end_s = {5.0};
+  data.columns.push_back({"x", "rate", {2.0}});
+  EXPECT_EQ(TimeSeriesData::from_json(data.to_json()), data);
+  ASSERT_NE(data.column("x", "rate"), nullptr);
+  EXPECT_DOUBLE_EQ(window_quantile({10.0, 20.0}, {5, 4, 1}, 0.8), 17.5);
+}
+
+TEST(ObsDisabled, SpanContextIsInert) {
+  // Span ids are only assigned by enabled timers, so the ambient context
+  // stays invalid — but every entry point remains callable.
+  Histogram& h = Registry::global().histogram("disabled.span_us");
+  {
+    ObsTimer outer(&h, "outer");
+    EXPECT_EQ(outer.span_id(), 0u);
+    EXPECT_EQ(outer.trace_id(), 0u);
+    EXPECT_FALSE(current_span().valid());
+    EXPECT_TRUE(active_span_chain().empty());
+    // The explicit-parent (cross-thread) constructor compiles and stays
+    // inert too.
+    ObsTimer child(&h, "child", current_span());
+    EXPECT_EQ(child.span_id(), 0u);
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
 }  // namespace
 }  // namespace rups::obs

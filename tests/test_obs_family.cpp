@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rups::obs {
+namespace {
+
+TEST(FamilyCellName, PrometheusStyleAndIntegerLabels) {
+  EXPECT_EQ(family_cell_name("v2v.delivery_outcome", "outcome", "degraded"),
+            "v2v.delivery_outcome{outcome=\"degraded\"}");
+  EXPECT_EQ(label_of(0), "0");
+  EXPECT_EQ(label_of(17), "17");
+  EXPECT_EQ(family_cell_name("estimate.staleness_s", "neighbour", label_of(3)),
+            "estimate.staleness_s{neighbour=\"3\"}");
+}
+
+TEST(CounterFamilyTest, CellsAreStablePerLabel) {
+  Registry reg;
+  CounterFamily& fam = reg.counter_family("query_outcome", "outcome");
+  Counter& hit = fam.with("hit");
+  Counter& miss = fam.with("miss");
+  EXPECT_NE(&hit, &miss);
+  EXPECT_EQ(&fam.with("hit"), &hit);
+  hit.inc(3);
+  miss.inc();
+  EXPECT_EQ(fam.with("hit").value(), 3u);
+  EXPECT_EQ(fam.with("miss").value(), 1u);
+  EXPECT_EQ(fam.cells(), 2u);
+  EXPECT_EQ(fam.name(), "query_outcome");
+  EXPECT_EQ(fam.label_key(), "outcome");
+}
+
+TEST(CounterFamilyTest, IntegerLabelsRouteThroughLabelOf) {
+  Registry reg;
+  CounterFamily& fam = reg.counter_family("fleet.query_outcome", "neighbour");
+  fam.with(std::uint64_t{5}).inc(2);
+  EXPECT_EQ(&fam.with(std::uint64_t{5}), &fam.with("5"));
+  EXPECT_EQ(fam.with("5").value(), 2u);
+}
+
+TEST(CounterFamilyTest, RegistryReturnsSameFamilyForSameName) {
+  Registry reg;
+  CounterFamily& a = reg.counter_family("f", "k", 8);
+  // label_key and max_cells are fixed on first creation.
+  CounterFamily& b = reg.counter_family("f", "other_key", 99);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.label_key(), "k");
+  EXPECT_EQ(b.max_cells(), 8u);
+}
+
+TEST(CounterFamilyTest, SnapshotEmitsSortedLabeledCells) {
+  Registry reg;
+  reg.counter("aaa.plain").inc();
+  CounterFamily& fam = reg.counter_family("zz.outcome", "outcome");
+  fam.with("miss").inc(2);
+  fam.with("hit").inc(5);
+
+  // Creating a family also materializes the registry-wide drop counter.
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 4u);
+  EXPECT_EQ(snap.counters[0].name, "aaa.plain");
+  EXPECT_EQ(snap.counters[1].name, kLabelsDroppedCounter);
+  EXPECT_EQ(snap.counters[2].name, "zz.outcome{outcome=\"hit\"}");
+  EXPECT_EQ(snap.counters[3].name, "zz.outcome{outcome=\"miss\"}");
+  EXPECT_EQ(snap.counters[2].value, 5u);
+  EXPECT_EQ(snap.counters[3].value, 2u);
+}
+
+TEST(GaugeFamilyTest, PerLabelLastWriteWins) {
+  Registry reg;
+  GaugeFamily& fam = reg.gauge_family("estimate.staleness_s", "neighbour");
+  fam.with(std::uint64_t{0}).set(1.5);
+  fam.with(std::uint64_t{1}).set(4.0);
+  fam.with(std::uint64_t{0}).set(2.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* g0 = snap.gauge("estimate.staleness_s{neighbour=\"0\"}");
+  const auto* g1 = snap.gauge("estimate.staleness_s{neighbour=\"1\"}");
+  ASSERT_NE(g0, nullptr);
+  ASSERT_NE(g1, nullptr);
+  EXPECT_DOUBLE_EQ(g0->value, 2.5);
+  EXPECT_DOUBLE_EQ(g1->value, 4.0);
+}
+
+TEST(HistogramFamilyTest, CellsShareTheFamilyBounds) {
+  Registry reg;
+  HistogramFamily& fam =
+      reg.histogram_family("fleet.task_us", "neighbour", {10.0, 100.0});
+  fam.with(std::uint64_t{0}).record(5.0);
+  fam.with(std::uint64_t{0}).record(50.0);
+  fam.with(std::uint64_t{1}).record(500.0);
+  EXPECT_EQ(fam.with(std::uint64_t{0}).bounds(),
+            (std::vector<double>{10.0, 100.0}));
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* h0 = snap.histogram("fleet.task_us{neighbour=\"0\"}");
+  const auto* h1 = snap.histogram("fleet.task_us{neighbour=\"1\"}");
+  ASSERT_NE(h0, nullptr);
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h0->count, 2u);
+  EXPECT_EQ(h1->count, 1u);
+  ASSERT_EQ(h1->buckets.size(), 3u);
+  EXPECT_EQ(h1->buckets[2], 1u);  // 500 lands in the unbounded bucket
+}
+
+TEST(CardinalityCap, NewLabelsPastTheCapShareOneOverflowCell) {
+  Registry reg;
+  CounterFamily& fam = reg.counter_family("capped", "id", /*max_cells=*/3);
+  Counter& dropped = reg.counter(kLabelsDroppedCounter);
+  fam.with("a").inc();
+  fam.with("b").inc();
+  fam.with("c").inc();
+  EXPECT_EQ(dropped.value(), 0u);
+
+  // Cap reached: every NEW label routes to __overflow__ and each routed
+  // call counts one drop. Existing labels keep their dedicated cells.
+  fam.with("d").inc();
+  fam.with("e").inc();
+  fam.with("d").inc();
+  EXPECT_EQ(dropped.value(), 3u);
+  EXPECT_EQ(fam.with(kOverflowLabel).value(), 3u);
+  fam.with("a").inc();
+  EXPECT_EQ(fam.with("a").value(), 2u);
+  EXPECT_EQ(dropped.value(), 3u);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* overflow = snap.counter("capped{id=\"__overflow__\"}");
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->value, 3u);
+  EXPECT_EQ(snap.counter("capped{id=\"d\"}"), nullptr);
+}
+
+TEST(CardinalityCap, TotalCountsAreLosslessAcrossOverflow) {
+  Registry reg;
+  CounterFamily& fam = reg.counter_family("lossless", "id", /*max_cells=*/4);
+  constexpr std::uint64_t kLabels = 20;
+  constexpr std::uint64_t kIncsPerLabel = 7;
+  for (std::uint64_t label = 0; label < kLabels; ++label) {
+    for (std::uint64_t i = 0; i < kIncsPerLabel; ++i) fam.with(label).inc();
+  }
+  std::uint64_t total = 0;
+  for (const auto& c : reg.snapshot().counters) total += c.value;
+  EXPECT_EQ(total - reg.counter(kLabelsDroppedCounter).value(),
+            kLabels * kIncsPerLabel);
+}
+
+TEST(FamilyConcurrency, ChurningWritersAndSnapshotReadersDoNotTear) {
+  // N writer tasks create and increment cells (some labels shared, some
+  // task-private) while one task snapshots in a loop. Every increment must
+  // land somewhere: dedicated cell or overflow, never lost.
+  Registry reg;
+  CounterFamily& fam =
+      reg.counter_family("churn.outcome", "id", /*max_cells=*/8);
+  util::ThreadPool pool(4);
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kIncsPerWriter = 20'000;
+  std::atomic<std::size_t> snapshots_taken{0};
+
+  pool.parallel_for(0, kWriters + 1, [&](std::size_t task) {
+    if (task == 0) {
+      // Reader: every snapshot taken during the churn must be internally
+      // consistent (name-sorted, family cells included exactly once).
+      for (int i = 0; i < 300; ++i) {
+        const MetricsSnapshot snap = reg.snapshot();
+        for (std::size_t j = 1; j < snap.counters.size(); ++j) {
+          ASSERT_LT(snap.counters[j - 1].name, snap.counters[j].name);
+        }
+        snapshots_taken.fetch_add(1);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < kIncsPerWriter; ++i) {
+      // Mix of a shared hot label, a per-writer label, and a rotating
+      // label that overflows the cap.
+      fam.with("shared").inc();
+      fam.with(static_cast<std::uint64_t>(task)).inc();
+      fam.with(100 + static_cast<std::uint64_t>(i % 16)).inc();
+    }
+  });
+
+  EXPECT_EQ(snapshots_taken.load(), 300u);
+  // Cap honored: at most max_cells dedicated cells plus the overflow cell.
+  EXPECT_LE(fam.cells(), fam.max_cells() + 1);
+  std::uint64_t total = 0;
+  for (const auto& c : reg.snapshot().counters) {
+    if (c.name.rfind("churn.outcome{", 0) == 0) total += c.value;
+  }
+  EXPECT_EQ(total, kWriters * kIncsPerWriter * 3);
+  EXPECT_GT(reg.counter(kLabelsDroppedCounter).value(), 0u);
+}
+
+TEST(FamilyConcurrency, ResetZeroesCellsButKeepsThem) {
+  Registry reg;
+  CounterFamily& fam = reg.counter_family("r", "k");
+  fam.with("a").inc(5);
+  fam.with("b").inc(2);
+  reg.reset();
+  EXPECT_EQ(fam.cells(), 2u);
+  EXPECT_EQ(fam.with("a").value(), 0u);
+  EXPECT_EQ(fam.with("b").value(), 0u);
+}
+
+}  // namespace
+}  // namespace rups::obs

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rups::obs {
+namespace {
+
+/// Test sink collecting every span and flow event (emits arrive from pool
+/// worker threads too).
+struct CollectingSink : TraceSink {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::vector<FlowEvent> flows;
+
+  void emit(const TraceEvent& e) override {
+    std::lock_guard lock(mutex);
+    events.push_back(e);
+  }
+  void emit_flow(const FlowEvent& e) override {
+    std::lock_guard lock(mutex);
+    flows.push_back(e);
+  }
+};
+
+/// Installs the collecting sink for the test's scope.
+struct SinkGuard {
+  CollectingSink sink;
+  SinkGuard() { set_trace_sink(&sink); }
+  ~SinkGuard() { set_trace_sink(nullptr); }
+};
+
+const TraceEvent* event_named(const CollectingSink& sink, const char* name) {
+  for (const TraceEvent& e : sink.events) {
+    if (std::string_view(e.name) == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Span, NoOpenTimerMeansInvalidContextAndEmptyChain) {
+  EXPECT_FALSE(current_span().valid());
+  EXPECT_TRUE(active_span_chain().empty());
+  EXPECT_EQ(current_span().span_id, 0u);
+}
+
+TEST(Span, AmbientNestingParentsInnerToInnermostOpenTimer) {
+  SinkGuard guard;
+  Histogram h(default_latency_bounds_us());
+  std::uint64_t outer_span = 0;
+  std::uint64_t outer_trace = 0;
+  {
+    ObsTimer outer(&h, "outer");
+    outer_span = outer.span_id();
+    outer_trace = outer.trace_id();
+    // A root span starts its own trace.
+    EXPECT_EQ(outer_trace, outer_span);
+    const SpanContext ctx = current_span();
+    EXPECT_TRUE(ctx.valid());
+    EXPECT_EQ(ctx.span_id, outer_span);
+    {
+      ObsTimer inner(&h, "inner");
+      EXPECT_EQ(inner.trace_id(), outer_trace);
+      EXPECT_EQ(current_span().span_id, inner.span_id());
+      const auto chain = active_span_chain();
+      ASSERT_EQ(chain.size(), 2u);
+      EXPECT_STREQ(chain[0].name, "outer");
+      EXPECT_STREQ(chain[1].name, "inner");
+      EXPECT_EQ(chain[1].parent_id, chain[0].span_id);
+      EXPECT_EQ(chain[1].trace_id, chain[0].trace_id);
+    }
+    EXPECT_EQ(current_span().span_id, outer_span);
+  }
+  EXPECT_FALSE(current_span().valid());
+
+  const TraceEvent* inner = event_named(guard.sink, "inner");
+  const TraceEvent* outer = event_named(guard.sink, "outer");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(inner->parent_id, outer_span);
+  EXPECT_EQ(inner->trace_id, outer_trace);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_TRUE(guard.sink.flows.empty());  // same thread: no flow arrows
+}
+
+TEST(Span, ExplicitParentAcrossPoolHopEmitsFlowAndInheritsTrace) {
+  SinkGuard guard;
+  Histogram h(default_latency_bounds_us());
+  util::ThreadPool pool(2);
+
+  std::uint64_t child_span = 0;
+  std::uint64_t child_trace = 0;
+  std::uint32_t child_tid = 0;
+  std::uint64_t round_span = 0;
+  std::uint64_t round_trace = 0;
+  {
+    ObsTimer round(&h, "fleet.round");
+    round_span = round.span_id();
+    round_trace = round.trace_id();
+    const SpanContext ctx = current_span();
+    pool.submit([&] {
+        ObsTimer task(&h, "fleet.task", ctx);
+        child_span = task.span_id();
+        child_trace = task.trace_id();
+        child_tid = this_thread_tid();
+      }).get();
+  }
+
+  // The worker-side span is a child of the dispatching round span even
+  // though no timer was open on the worker thread.
+  EXPECT_NE(child_tid, this_thread_tid());
+  EXPECT_EQ(child_trace, round_trace);
+  const TraceEvent* task = event_named(guard.sink, "fleet.task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->parent_id, round_span);
+  EXPECT_EQ(task->tid, child_tid);
+
+  // Exactly one flow arrow, keyed by the DESTINATION span id, from the
+  // dispatching thread to the worker thread.
+  ASSERT_EQ(guard.sink.flows.size(), 1u);
+  const FlowEvent& flow = guard.sink.flows[0];
+  EXPECT_EQ(flow.id, child_span);
+  EXPECT_EQ(flow.trace_id, round_trace);
+  EXPECT_EQ(flow.src_tid, this_thread_tid());
+  EXPECT_EQ(flow.dst_tid, child_tid);
+  EXPECT_NE(flow.src_tid, flow.dst_tid);
+}
+
+TEST(Span, ExplicitParentOnSameThreadEmitsNoFlow) {
+  SinkGuard guard;
+  Histogram h(default_latency_bounds_us());
+  SpanContext ctx;
+  {
+    ObsTimer outer(&h, "outer");
+    ctx = current_span();
+  }
+  {
+    // Same thread: parented, but a flow arrow would be pointless.
+    ObsTimer child(&h, "child", ctx);
+    EXPECT_EQ(child.trace_id(), ctx.trace_id);
+  }
+  const TraceEvent* child = event_named(guard.sink, "child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent_id, ctx.span_id);
+  EXPECT_TRUE(guard.sink.flows.empty());
+}
+
+TEST(Span, InvalidExplicitParentFallsBackToAmbientParenting) {
+  SinkGuard guard;
+  Histogram h(default_latency_bounds_us());
+  {
+    ObsTimer outer(&h, "outer");
+    ObsTimer child(&h, "child", SpanContext{});
+    EXPECT_EQ(child.trace_id(), outer.trace_id());
+  }
+  const TraceEvent* child = event_named(guard.sink, "child");
+  const TraceEvent* outer = event_named(guard.sink, "outer");
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(child->parent_id, outer->span_id);
+  EXPECT_TRUE(guard.sink.flows.empty());
+}
+
+TEST(Span, UnnamedTimersRecordButDoNotSpan) {
+  SinkGuard guard;
+  Histogram h(default_latency_bounds_us());
+  {
+    ObsTimer t(&h);
+    EXPECT_EQ(t.span_id(), 0u);
+    EXPECT_FALSE(current_span().valid());
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_TRUE(guard.sink.events.empty());
+}
+
+TEST(ChromeTrace, FileCarriesThreadNamesFlowsAndParsesAsJson) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rups_test_spans_trace.json";
+  set_thread_label("rups-test-main");
+  Histogram h(default_latency_bounds_us());
+  util::ThreadPool pool(2);
+  {
+    ChromeTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    set_trace_sink(&sink);
+    {
+      ObsTimer round(&h, "round");
+      const SpanContext ctx = current_span();
+      pool.submit([&] {
+          set_thread_label("rups-test-worker");
+          ObsTimer task(&h, "task", ctx);
+        }).get();
+    }
+    set_trace_sink(nullptr);
+    // 2 spans + 1 flow pair; metadata lines are not counted.
+    EXPECT_EQ(sink.events_written(), 4u);
+  }  // destructor closes the array
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::JsonValue doc = util::JsonValue::parse(buf.str());
+  ASSERT_TRUE(doc.is_array());
+
+  bool process_named = false;
+  bool main_named = false;
+  bool worker_named = false;
+  bool flow_start = false;
+  bool flow_finish = false;
+  std::uint64_t task_parent = 0;
+  std::uint64_t round_span = 0;
+  for (const util::JsonValue& e : doc.as_array()) {
+    const std::string ph = e.string_or("ph", "");
+    const std::string name = e.string_or("name", "");
+    if (ph == "M") {
+      const util::JsonValue* args = e.find("args");
+      const std::string label =
+          args == nullptr ? "" : args->string_or("name", "");
+      process_named |= name == "process_name" && label == "rups";
+      main_named |= label == "rups-test-main";
+      worker_named |= label == "rups-test-worker";
+    } else if (ph == "s") {
+      flow_start = true;
+    } else if (ph == "f") {
+      flow_finish = true;
+    } else if (ph == "X") {
+      const util::JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      if (name == "task") {
+        task_parent = static_cast<std::uint64_t>(args->number_or("parent", 0));
+      }
+      if (name == "round") {
+        round_span = static_cast<std::uint64_t>(args->number_or("span", 0));
+      }
+    }
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_TRUE(main_named);
+  EXPECT_TRUE(worker_named);
+  EXPECT_TRUE(flow_start);
+  EXPECT_TRUE(flow_finish);
+  EXPECT_NE(round_span, 0u);
+  EXPECT_EQ(task_parent, round_span);
+  std::filesystem::remove(path);
+}
+
+TEST(ChromeTrace, CloseIsIdempotentAndDropsLateEvents) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rups_test_spans_close.json";
+  Histogram h(default_latency_bounds_us());
+  {
+    ChromeTraceSink sink(path);
+    set_trace_sink(&sink);
+    { ObsTimer t(&h, "before_close"); }
+    sink.close();
+    sink.close();  // idempotent
+    { ObsTimer t(&h, "after_close"); }
+    set_trace_sink(nullptr);
+    EXPECT_EQ(sink.events_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // Mid-run close (the abort path) still leaves loadable JSON.
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_NE(text.find("before_close"), std::string::npos);
+  EXPECT_EQ(text.find("after_close"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(ChromeTrace, EmptySinkStillClosesTheArray) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "rups_test_spans_empty.json";
+  { ChromeTraceSink sink(path); }
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const util::JsonValue doc = util::JsonValue::parse(buf.str());
+  ASSERT_TRUE(doc.is_array());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rups::obs
