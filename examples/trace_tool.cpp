@@ -133,6 +133,11 @@ void print_help() {
       "  --series-out FILE    save the campaign's windowed telemetry series\n"
       "                       JSON (campaign mode only; feed it to\n"
       "                       telemetry_report --series-in)\n"
+      "  --profile-out FILE   run the sampling span-stack profiler and save\n"
+      "                       folded stacks (speedscope.app / flamegraph.pl)\n"
+      "  --serve PORT         serve live /metrics (Prometheus text) and\n"
+      "                       /healthz on 127.0.0.1:PORT while running\n"
+      "                       (0 picks an ephemeral port)\n"
       "  --help               this text\n");
 }
 
@@ -143,6 +148,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string series_out;
+  std::string profile_out;
+  int serve_port = -1;  // -1 = no exporter
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -150,14 +157,27 @@ int main(int argc, char** argv) {
       print_help();
       return 0;
     } else if (arg == "--metrics-out" || arg == "--trace-out" ||
-               arg == "--series-out") {
+               arg == "--series-out" || arg == "--profile-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file path\n", arg.c_str());
         return 2;
       }
-      (arg == "--metrics-out"  ? metrics_out
-       : arg == "--trace-out" ? trace_out
-                              : series_out) = argv[++i];
+      (arg == "--metrics-out"   ? metrics_out
+       : arg == "--trace-out"   ? trace_out
+       : arg == "--series-out"  ? series_out
+                                : profile_out) = argv[++i];
+    } else if (arg == "--serve") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --serve requires a port (0 = any)\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long port = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr, "error: --serve: bad port %s\n", argv[i]);
+        return 2;
+      }
+      serve_port = static_cast<int>(port);
     } else if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "error: unknown flag %s (see trace_tool --help)\n",
@@ -180,8 +200,50 @@ int main(int argc, char** argv) {
     }
     obs::set_trace_sink(trace_sink.get());
   }
-  // Write the requested artefacts no matter how a mode exits.
+  obs::SpanProfiler profiler;
+  if (!profile_out.empty()) profiler.start();
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (serve_port >= 0) {
+    exporter = std::make_unique<obs::MetricsExporter>(
+        obs::MetricsExporter::Options{
+            "127.0.0.1", static_cast<std::uint16_t>(serve_port)},
+        [] { return obs::Registry::global().snapshot(); });
+    if (!exporter->start()) {
+      std::fprintf(stderr, "error: cannot serve on 127.0.0.1:%d\n",
+                   serve_port);
+      return 2;
+    }
+    std::printf("serving /metrics and /healthz on 127.0.0.1:%u\n",
+                exporter->port());
+  }
+  // Write the requested artefacts no matter how a mode exits. Background
+  // machinery stops in dependency order — profiler (samples spans) first,
+  // then the exporter (reads the registry), then the trace sink (closes
+  // the JSON array the profiler's spans were still feeding).
   const auto finish = [&](int rc) {
+    profiler.stop();
+    if (!profile_out.empty()) {
+      const obs::FoldedProfile profile = profiler.profile();
+      std::ofstream out(profile_out);
+      out << profile.to_folded();
+      if (out) {
+        std::printf("profile written to %s (%llu samples, %llu ticks)\n",
+                    profile_out.c_str(),
+                    static_cast<unsigned long long>(profile.total_samples),
+                    static_cast<unsigned long long>(profile.ticks));
+        const std::string table = profile.attribution_table();
+        std::fputs(table.c_str(), stdout);
+      } else {
+        std::fprintf(stderr, "error: failed to write %s\n",
+                     profile_out.c_str());
+        rc = rc == 0 ? 2 : rc;
+      }
+    }
+    if (exporter != nullptr) {
+      std::printf("exporter served %llu requests\n",
+                  static_cast<unsigned long long>(exporter->requests()));
+      exporter->stop();
+    }
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
       out << obs::Registry::global().snapshot().to_json() << "\n";

@@ -36,18 +36,26 @@
 #     quantile columns (#p50/#p95/#p99) one-sided and loose, like the
 #     other timing passes. log.suppressed (wall-clock rate limiter) and
 #     health.latency_p99_us (wall-clock rolling quantile) are excluded.
+#  7. bench_profile --report-only replays the same warm campaign driven
+#     round by round with the allocation census on: the span-attributed
+#     alloc.count{stage}/alloc.bytes{stage} cells and the per-round
+#     ratchet gauges are deterministic on the serial driving thread, so
+#     gauges are diffed at 10% and counters at 2%. Wall-clock sampler
+#     counters (profiler.ticks/profiler.samples) and the usual wall-clock
+#     metrics are excluded.
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
 #                       <bench_fleet_scaling> <bench_syn_kernel> \
-#                       <bench_fault_sweep> <bench_telemetry> <obs_diff> \
-#                       <baseline.json> <workdir>
+#                       <bench_fault_sweep> <bench_telemetry> \
+#                       <bench_profile> <obs_diff> <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 9 ]]; then
+if [[ $# -ne 10 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
        "<bench_fleet_scaling> <bench_syn_kernel> <bench_fault_sweep>" \
-       "<bench_telemetry> <obs_diff> <baseline.json> <workdir>" >&2
+       "<bench_telemetry> <bench_profile> <obs_diff> <baseline.json>" \
+       "<workdir>" >&2
   exit 2
 fi
 
@@ -57,14 +65,15 @@ fleet_bin=$(realpath "$3")
 kernel_bin=$(realpath "$4")
 fault_bin=$(realpath "$5")
 telemetry_bin=$(realpath "$6")
-obs_diff_bin=$(realpath "$7")
-baseline=$(realpath "$8")
-workdir="$9"
+profile_bin=$(realpath "$7")
+obs_diff_bin=$(realpath "$8")
+baseline=$(realpath "$9")
+workdir="${10}"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/6: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/7: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -74,7 +83,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/6: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/7: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -87,7 +96,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/6: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/7: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -97,7 +106,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/6: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/7: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -111,7 +120,7 @@ mkdir -p "$kernel_dir"
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
-echo "== pass 5/6: fault-sweep delivery counters + error gauges =="
+echo "== pass 5/7: fault-sweep delivery counters + error gauges =="
 fault_dir="$workdir/fault"
 rm -rf "$fault_dir"
 mkdir -p "$fault_dir"
@@ -122,7 +131,7 @@ mkdir -p "$fault_dir"
   "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
 
 echo ""
-echo "== pass 6/6: telemetry families + windowed series (deterministic) =="
+echo "== pass 6/7: telemetry families + windowed series (deterministic) =="
 telemetry_dir="$workdir/telemetry"
 rm -rf "$telemetry_dir"
 mkdir -p "$telemetry_dir"
@@ -133,6 +142,19 @@ mkdir -p "$telemetry_dir"
   --ignore log.suppressed --ignore health.latency_p99_us \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$telemetry_dir/bench_out/telemetry_metrics.json"
+
+echo ""
+echo "== pass 7/7: allocation census + ratchet gauges (deterministic) =="
+profile_dir="$workdir/profile"
+rm -rf "$profile_dir"
+mkdir -p "$profile_dir"
+(cd "$profile_dir" && "$profile_bin" --report-only > bench_profile.log)
+"$obs_diff_bin" --section profile_metrics \
+  --counter-tol 0.02 --gauge-tol 0.10 \
+  --ignore log.suppressed --ignore health.latency_p99_us \
+  --ignore profiler.ticks --ignore profiler.samples \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$profile_dir/bench_out/profile_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

@@ -50,12 +50,35 @@ expect_in_output "help lists campaign mode" "campaign"
 expect_in_output "help lists record mode" "record"
 expect_in_output "help lists --metrics-out" "--metrics-out"
 expect_in_output "help lists --trace-out" "--trace-out"
+expect_in_output "help lists --profile-out" "--profile-out"
+expect_in_output "help lists --serve" "--serve"
 
 check "trace_tool unknown flag exits 2" 2 "$trace_tool" demo --frobnicate
 expect_in_output "error names the flag" "--frobnicate"
 
 check "trace_tool --metrics-out without value exits 2" 2 \
   "$trace_tool" demo --metrics-out
+check "trace_tool --profile-out without value exits 2" 2 \
+  "$trace_tool" demo --profile-out
+check "trace_tool --serve without port exits 2" 2 "$trace_tool" demo --serve
+check "trace_tool --serve rejects a bad port (exit 2)" 2 \
+  "$trace_tool" demo --serve 70000
+expect_in_output "error names the bad port" "70000"
+
+# Functional: a short campaign with the sampling profiler running and the
+# /metrics exporter on an ephemeral port must exit clean and leave the
+# folded-stack artefact behind (it may be empty if no tick landed in a
+# span, so only existence is asserted).
+check "trace_tool campaign --profile-out --serve 0 exits 0" 0 \
+  "$trace_tool" campaign 3 --profile-out "$work/prof.folded" --serve 0
+expect_in_output "announces the exporter endpoint" "serving /metrics"
+expect_in_output "reports the profile artefact" "profile written to"
+if [[ ! -e "$work/prof.folded" ]]; then
+  echo "FAIL: campaign --profile-out did not create prof.folded"
+  fail=1
+else
+  echo "ok: campaign --profile-out created the folded-stack file"
+fi
 
 # ---- obs_diff ----
 check "obs_diff --help exits 0" 0 "$obs_diff" --help

@@ -14,8 +14,13 @@
 #     the lag-batched kernel bit-identity tests (overlapped tail blocks
 #     and strided lanes are exactly the kind of indexing asan vets),
 #     the fault-injection suites (FaultyChannel truncation/bit-flip paths
-#     and the salvage decoder index arithmetic), plus a small end-to-end
-#     campaign smoke.
+#     and the salvage decoder index arithmetic), the ops-plane surfaces
+#     (sampling profiler seqlock reads, Prometheus exporter socket loop,
+#     shutdown ordering), plus a small end-to-end campaign smoke.
+#     Allocation accounting auto-disables under ASAN (the sanitizer owns
+#     malloc; interposing operator new would bypass redzone poisoning) —
+#     alloc.cpp logs the reason once and test_alloc GTEST_SKIPs its
+#     accounting assertions in this lane.
 #
 # Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
 set -eu
@@ -36,14 +41,19 @@ cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_obs test_obs_disabled test_obs_recorder test_obs_health \
   test_obs_family test_obs_series test_obs_spans \
   test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
-  test_wsm_faults test_exchange_degraded trace_tool
+  test_wsm_faults test_exchange_degraded \
+  test_profiler test_alloc test_expo test_ops_shutdown \
+  trace_tool rups_exporterd
 
 echo ""
 echo "== asan-ubsan: run sanitized binaries =="
+# test_alloc self-skips here: alloc accounting is compiled out under ASAN
+# (with a logged reason), and the test asserts the inert surface instead.
 for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
            test_obs_family test_obs_series test_obs_spans \
            test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
-           test_wsm_faults test_exchange_degraded; do
+           test_wsm_faults test_exchange_degraded \
+           test_profiler test_alloc test_expo test_ops_shutdown; do
   echo "-- $bin"
   "build-asan/tests/$bin"
 done
@@ -54,10 +64,15 @@ trap 'rm -rf "$smoke_dir"' EXIT
 build-asan/examples/trace_tool campaign 5 \
   --metrics-out "$smoke_dir/metrics.json" \
   --trace-out "$smoke_dir/trace.json" \
-  --series-out "$smoke_dir/series.json"
+  --series-out "$smoke_dir/series.json" \
+  --profile-out "$smoke_dir/profile.folded"
 test -s "$smoke_dir/metrics.json"
 test -s "$smoke_dir/trace.json"
 test -s "$smoke_dir/series.json"
+test -e "$smoke_dir/profile.folded"
+
+echo "-- rups_exporterd selfcheck (live scrape under sanitizers)"
+build-asan/examples/rups_exporterd --selfcheck
 
 echo ""
 echo "verify matrix: PASS"

@@ -9,9 +9,12 @@
 // for usage and DESIGN.md for how metric names and health rules map onto
 // the paper's cost and availability metrics (Secs. V–VI).
 
+#include "obs/alloc.hpp"      // IWYU pragma: export
+#include "obs/expo.hpp"       // IWYU pragma: export
 #include "obs/health.hpp"     // IWYU pragma: export
 #include "obs/log.hpp"        // IWYU pragma: export
 #include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/profiler.hpp"   // IWYU pragma: export
 #include "obs/recorder.hpp"   // IWYU pragma: export
 #include "obs/snapshot.hpp"   // IWYU pragma: export
 #include "obs/timer.hpp"      // IWYU pragma: export

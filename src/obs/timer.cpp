@@ -26,6 +26,63 @@ std::chrono::steady_clock::time_point process_start() noexcept {
 // it, so under RUPS_OBS_DISABLED it simply stays empty.
 thread_local std::vector<SpanRecord> t_span_stack;
 
+// --- cross-thread sampling mirror -----------------------------------------
+//
+// The sampling profiler needs to read *other* threads' span stacks, which
+// thread_local storage cannot offer. Each thread therefore mirrors its
+// stack (names only, fixed depth) into a PublishedStack on every push/pop,
+// guarded by a seqlock: version is odd while a write is in progress, and a
+// reader only accepts a sample whose version was even and unchanged across
+// the payload read. Every field is an atomic, so torn reads are impossible
+// at the language level; the version check removes cross-field skew.
+// PublishedStacks are leaked: a sampler may legitimately read one after
+// its owning thread exited (balanced RAII spans leave depth 0 behind).
+
+constexpr std::size_t kPublishedDepth = 16;
+
+struct PublishedStack {
+  std::uint32_t tid = 0;
+  std::atomic<std::uint32_t> version{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<const char*> names[kPublishedDepth] = {};
+};
+
+struct StackDirectory {
+  std::mutex mutex;
+  std::vector<PublishedStack*> stacks;
+};
+
+StackDirectory& stack_directory() {
+  static StackDirectory* dir = new StackDirectory();
+  return *dir;
+}
+
+PublishedStack& published_stack() {
+  thread_local PublishedStack* stack = [] {
+    auto* s = new PublishedStack();
+    s->tid = this_thread_tid();
+    StackDirectory& dir = stack_directory();
+    std::lock_guard lock(dir.mutex);
+    dir.stacks.push_back(s);
+    return s;
+  }();
+  return *stack;
+}
+
+void publish_stack() noexcept {
+  PublishedStack& p = published_stack();
+  const std::uint32_t v = p.version.load(std::memory_order_relaxed);
+  p.version.store(v + 1, std::memory_order_relaxed);  // odd: writing
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::size_t n = std::min(t_span_stack.size(), kPublishedDepth);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.names[i].store(t_span_stack[i].name, std::memory_order_relaxed);
+  }
+  p.depth.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  p.version.store(v + 2, std::memory_order_release);
+}
+
 /// Thread labels, indexed by dense tid. Guarded by its own mutex; leaked
 /// so labels survive static teardown (trace sinks may close at exit).
 struct ThreadLabels {
@@ -114,12 +171,49 @@ std::uint64_t next_span_id() noexcept {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::vector<SampledStack> sample_span_stacks() {
+  std::vector<SampledStack> out;
+  StackDirectory& dir = stack_directory();
+  std::lock_guard lock(dir.mutex);
+  out.reserve(dir.stacks.size());
+  for (PublishedStack* p : dir.stacks) {
+    const char* frames[kPublishedDepth];
+    std::uint32_t depth = 0;
+    bool consistent = false;
+    for (int attempt = 0; attempt < 8 && !consistent; ++attempt) {
+      const std::uint32_t v1 = p->version.load(std::memory_order_acquire);
+      if ((v1 & 1u) != 0) continue;  // write in progress
+      depth = std::min(p->depth.load(std::memory_order_relaxed),
+                       static_cast<std::uint32_t>(kPublishedDepth));
+      for (std::uint32_t i = 0; i < depth; ++i) {
+        frames[i] = p->names[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      consistent = p->version.load(std::memory_order_relaxed) == v1;
+    }
+    if (!consistent || depth == 0) continue;
+    SampledStack sample;
+    sample.tid = p->tid;
+    sample.frames.assign(frames, frames + depth);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 namespace detail {
 
-void span_push(const SpanRecord& record) { t_span_stack.push_back(record); }
+const char* current_span_name() noexcept {
+  return t_span_stack.empty() ? nullptr : t_span_stack.back().name;
+}
+
+void span_push(const SpanRecord& record) {
+  t_span_stack.push_back(record);
+  publish_stack();
+}
 
 void span_pop() noexcept {
   if (!t_span_stack.empty()) t_span_stack.pop_back();
+  publish_stack();
 }
 
 }  // namespace detail

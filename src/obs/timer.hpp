@@ -75,6 +75,29 @@ struct SpanRecord {
 /// Process-unique non-zero span id.
 [[nodiscard]] std::uint64_t next_span_id() noexcept;
 
+/// One thread's active span stack as seen from another thread: dense tid
+/// plus span names, outermost first. Names have static storage duration
+/// (span names are literals), so a sample stays valid after the spans end.
+struct SampledStack {
+  std::uint32_t tid = 0;
+  std::vector<const char*> frames;
+};
+
+/// Snapshot the active span stack of every thread that has ever opened a
+/// named span. Safe to call from any thread: each thread mirrors its stack
+/// into a seqlock-published fixed-depth buffer on push/pop, and the sampler
+/// retries a bounded number of times per thread, dropping a thread whose
+/// stack it cannot read consistently (or whose stack is empty). Stacks
+/// deeper than the published depth are truncated innermost-first. Under
+/// RUPS_OBS_DISABLED no spans are ever pushed, so this returns empty.
+[[nodiscard]] std::vector<SampledStack> sample_span_stacks();
+
+namespace detail {
+/// Innermost open span name on the calling thread (nullptr when none).
+/// Lock-free and allocation-free: safe from operator new interposition.
+[[nodiscard]] const char* current_span_name() noexcept;
+}  // namespace detail
+
 struct TraceEvent {
   const char* name = "";
   double ts_us = 0.0;

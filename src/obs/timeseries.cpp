@@ -12,22 +12,7 @@ namespace rups::obs {
 
 namespace {
 
-std::string escaped(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string escaped(const std::string& s) { return util::json_quote(s); }
 
 std::string num(double v) {
   if (std::isnan(v)) return "null";

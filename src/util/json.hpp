@@ -11,9 +11,18 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rups::util {
+
+/// Quote and escape a string for JSON output: `"`, `\`, the short escapes
+/// (\b \f \n \r \t) and every other control character (< 0x20, emitted as
+/// \u00XX). Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+/// Every writer on the export path (snapshots, recorder bundles, series,
+/// folded profiles, exposition) routes label values through this so
+/// embedded quotes or control characters can never corrupt a document.
+[[nodiscard]] std::string json_quote(std::string_view s);
 
 class JsonValue {
  public:

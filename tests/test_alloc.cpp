@@ -1,0 +1,169 @@
+// Global allocation accounting: thread/process totals from the interposed
+// operator new/delete, span-stage census attribution, and the registry
+// publication path. Every value-asserting test guards on
+// alloc_accounting_available() so the same binary is correct in sanitizer
+// lanes, where interposition auto-disables and the API must be inert.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "obs/alloc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace rups::obs {
+namespace {
+
+Histogram& scratch_hist() {
+  return Registry::global().histogram("alloc_test.scratch_us");
+}
+
+/// Allocate through a volatile pointer sink so the optimizer cannot elide
+/// the operator-new call.
+void* volatile g_sink = nullptr;
+
+TEST(AllocAccounting, ThreadTotalsCountNewAndDelete) {
+  if (!alloc_accounting_available()) {
+    // Sanitizer (or disabled-obs) build: the API stays callable and inert.
+    EXPECT_EQ(thread_alloc_totals().count, 0u);
+    EXPECT_EQ(process_alloc_totals().bytes, 0u);
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+
+  const AllocTotals before = thread_alloc_totals();
+  constexpr std::size_t kBytes = 4096;
+  char* p = new char[kBytes];
+  g_sink = p;
+  const AllocTotals after_new = thread_alloc_totals();
+  EXPECT_GE(after_new.count, before.count + 1);
+  EXPECT_GE(after_new.bytes, before.bytes + kBytes);
+
+  delete[] p;
+  const AllocTotals after_delete = thread_alloc_totals();
+  EXPECT_GE(after_delete.frees, before.frees + 1);
+}
+
+TEST(AllocAccounting, ProcessTotalsCoverEveryThread) {
+  if (!alloc_accounting_available()) {
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+  const AllocTotals before = process_alloc_totals();
+  auto v = std::make_unique<std::vector<double>>(1024);
+  g_sink = v.get();
+  const AllocTotals after = process_alloc_totals();
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GE(after.bytes, before.bytes + 1024 * sizeof(double));
+}
+
+TEST(AllocAccounting, AlignedAndNothrowFormsAreCounted) {
+  if (!alloc_accounting_available()) {
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+  const AllocTotals before = thread_alloc_totals();
+  void* aligned = ::operator new(256, std::align_val_t{64});
+  ASSERT_NE(aligned, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % 64, 0u);
+  ::operator delete(aligned, std::align_val_t{64});
+
+  void* soft = ::operator new(128, std::nothrow);
+  ASSERT_NE(soft, nullptr);
+  ::operator delete(soft, std::nothrow);
+
+  const AllocTotals after = thread_alloc_totals();
+  EXPECT_GE(after.count, before.count + 2);
+  EXPECT_GE(after.frees, before.frees + 2);
+}
+
+TEST(AllocCensus, AttributesAllocationsToTheInnermostOpenSpan) {
+  if (!alloc_accounting_available()) {
+    enable_alloc_census(true);
+    EXPECT_FALSE(alloc_census_enabled());
+    EXPECT_TRUE(alloc_census().empty());
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+
+  enable_alloc_census(true);
+  reset_alloc_census();
+  constexpr std::size_t kBytes = 8192;
+  {
+    ObsTimer span(&scratch_hist(), "alloctest.stage");
+    char* p = new char[kBytes];
+    g_sink = p;
+    delete[] p;
+  }
+  enable_alloc_census(false);
+
+  const std::vector<AllocCensusRow> rows = alloc_census();
+  const AllocCensusRow* stage = nullptr;
+  for (const AllocCensusRow& row : rows) {
+    if (std::string_view(row.stage) == "alloctest.stage") stage = &row;
+  }
+  ASSERT_NE(stage, nullptr) << "census did not attribute to the open span";
+  EXPECT_GE(stage->count, 1u);
+  EXPECT_GE(stage->bytes, kBytes);
+}
+
+TEST(AllocCensus, ResetZerosCellsAndDisabledCensusDoesNotAccumulate) {
+  if (!alloc_accounting_available()) {
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+
+  enable_alloc_census(true);
+  reset_alloc_census();
+  {
+    ObsTimer span(&scratch_hist(), "alloctest.reset");
+    g_sink = new char[64];
+    delete[] static_cast<char*>(g_sink);
+  }
+  enable_alloc_census(false);
+  reset_alloc_census();
+  for (const AllocCensusRow& row : alloc_census()) {
+    EXPECT_NE(std::string_view(row.stage), "alloctest.reset")
+        << "reset left a populated cell behind";
+  }
+
+  // Census off: allocations must not land anywhere.
+  {
+    ObsTimer span(&scratch_hist(), "alloctest.off");
+    g_sink = new char[64];
+    delete[] static_cast<char*>(g_sink);
+  }
+  for (const AllocCensusRow& row : alloc_census()) {
+    EXPECT_NE(std::string_view(row.stage), "alloctest.off");
+  }
+}
+
+TEST(AllocCensus, PublishMirrorsCellsIntoGaugeFamilies) {
+  if (!alloc_accounting_available()) {
+    publish_alloc_census();  // must stay callable
+    GTEST_SKIP() << "allocation accounting unavailable in this build";
+  }
+
+  enable_alloc_census(true);
+  reset_alloc_census();
+  {
+    ObsTimer span(&scratch_hist(), "alloctest.publish");
+    g_sink = new char[1024];
+    delete[] static_cast<char*>(g_sink);
+  }
+  enable_alloc_census(false);
+  publish_alloc_census();
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  const GaugeSample* count =
+      snap.gauge("alloc.count{stage=\"alloctest.publish\"}");
+  const GaugeSample* bytes =
+      snap.gauge("alloc.bytes{stage=\"alloctest.publish\"}");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_GE(count->value, 1.0);
+  EXPECT_GE(bytes->value, 1024.0);
+}
+
+}  // namespace
+}  // namespace rups::obs

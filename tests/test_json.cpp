@@ -86,5 +86,36 @@ TEST(Json, DuplicateKeysKeepLastValue) {
   EXPECT_DOUBLE_EQ(doc.number_or("k", 0.0), 2.0);
 }
 
+TEST(JsonQuote, EscapesQuotesBackslashesAndShortEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+}
+
+TEST(JsonQuote, ControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(json_quote(std::string_view("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  // NUL must survive too (string_view carries the length).
+  EXPECT_EQ(json_quote(std::string_view("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonQuote, NonAsciiBytesPassThrough) {
+  EXPECT_EQ(json_quote("caf\xC3\xA9"), "\"caf\xC3\xA9\"");
+}
+
+TEST(JsonQuote, RoundTripsThroughParser) {
+  // Hostile label-value shapes that the exposition / folded-output writers
+  // may embed: quotes, backslashes, control chars, \u-range bytes, UTF-8.
+  const std::string hostile[] = {
+      "outcome=\"ok\"", "back\\slash", std::string("nul\0byte", 8),
+      "tab\tnewline\nret\r", "\x02\x03\x1b[31m", "caf\xC3\xA9 \xE2\x82\xAC",
+  };
+  for (const std::string& s : hostile) {
+    const auto doc = JsonValue::parse(json_quote(s));
+    ASSERT_TRUE(doc.is_string());
+    EXPECT_EQ(doc.as_string(), s);
+  }
+}
+
 }  // namespace
 }  // namespace rups::util

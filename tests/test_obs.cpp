@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rups::obs {
@@ -177,6 +178,30 @@ TEST(Snapshot, EscapesNamesInJson) {
   snap.counters.push_back({"weird\"name\\with\nstuff", 1});
   const auto parsed = MetricsSnapshot::from_json(snap.to_json());
   EXPECT_EQ(parsed, snap);
+}
+
+TEST(Snapshot, EscapesControlCharactersAndRoundTripsHostileLabels) {
+  // Family-cell shapes carry raw label values into metric names; control
+  // characters and quotes must survive to_json -> from_json untouched and
+  // the document must stay valid JSON for a generic parser.
+  MetricsSnapshot snap;
+  snap.counters.push_back(
+      {std::string("fam{key=\"\x01quote\\\"mid\x1f\"}"), 3});
+  snap.counters.push_back({std::string("nul\0inside", 10), 7});
+  snap.gauges.push_back({"bell\x07tab\ttext", 2.5});
+  const std::string json = snap.to_json();
+  EXPECT_NO_THROW((void)rups::util::JsonValue::parse(json));
+  const auto parsed = MetricsSnapshot::from_json(json);
+  EXPECT_EQ(parsed, snap);
+}
+
+TEST(Snapshot, FromJsonDecodesUnicodeEscapes) {
+  const MetricsSnapshot parsed = MetricsSnapshot::from_json(
+      "{\"counters\": [{\"name\": \"a\\u0001b\\u00e9\", \"value\": 4}],\n"
+      "  \"gauges\": [], \"histograms\": []}");
+  ASSERT_EQ(parsed.counters.size(), 1u);
+  EXPECT_EQ(parsed.counters[0].name, "a\x01" "b\xC3\xA9");
+  EXPECT_EQ(parsed.counters[0].value, 4u);
 }
 
 TEST(ObsTimer, RecordsIntoHistogram) {

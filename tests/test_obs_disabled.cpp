@@ -184,5 +184,69 @@ TEST(ObsDisabled, SpanContextIsInert) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(ObsDisabled, SpanProfilerIsInert) {
+  SpanProfiler profiler;
+  profiler.start();
+  EXPECT_FALSE(profiler.running());  // no thread is ever spawned
+  profiler.stop();
+  const FoldedProfile profile = profiler.profile();
+  EXPECT_TRUE(profile.rows.empty());
+  EXPECT_EQ(profile.total_samples, 0u);
+  // FoldedProfile itself is always-on plain data: tooling that loads a
+  // saved profile still works in this configuration.
+  FoldedProfile manual;
+  manual.rows = {{"a;b", 3}};
+  manual.total_samples = 3;
+  EXPECT_EQ(manual.to_folded(), "a;b 3\n");
+  ASSERT_EQ(manual.attribution().size(), 2u);
+  EXPECT_FALSE(manual.attribution_table().empty());
+}
+
+TEST(ObsDisabled, AllocAccountingIsInert) {
+  EXPECT_FALSE(alloc_accounting_available());
+  const AllocTotals t = thread_alloc_totals();
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.bytes, 0u);
+  EXPECT_EQ(process_alloc_totals().count, 0u);
+  enable_alloc_census(true);
+  EXPECT_FALSE(alloc_census_enabled());
+  reset_alloc_census();
+  publish_alloc_census();
+  EXPECT_TRUE(alloc_census().empty());
+}
+
+TEST(ObsDisabled, PrometheusExportStaysFullyFunctional) {
+  // The export path is always-on: a disabled build still renders (and
+  // serves) whatever snapshot it is handed — the registry just never
+  // produces a non-empty one.
+  EXPECT_EQ(sanitize_metric_name("fleet.query_outcome"),
+            "fleet_query_outcome");
+  MetricsSnapshot snap;
+  snap.counters = {{"a.b{k=\"v\"}", 2}};
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("a_b{k=\"v\"} 2"), std::string::npos);
+  EXPECT_EQ(parse_prometheus(text).at("a_b{k=\"v\"}"), 2.0);
+
+  MetricsExporter exporter({}, [snap] { return snap; });
+  ASSERT_TRUE(exporter.start());
+  std::string body;
+  EXPECT_EQ(http_get("127.0.0.1", exporter.port(), "/metrics", body), 200);
+  EXPECT_EQ(body, text);
+  exporter.stop();
+}
+
+TEST(ObsDisabled, SpanSamplingSurfaceIsInert) {
+  Histogram& h = Registry::global().histogram("disabled.sample_us");
+  ObsTimer span(&h, "disabled.sampled");
+  // No spans are published in this configuration, so a sample sweep sees
+  // nothing from this thread (the enabled library may still be linked, so
+  // other threads' stacks are out of scope here).
+  for (const SampledStack& s : sample_span_stacks()) {
+    for (const char* frame : s.frames) {
+      EXPECT_NE(std::string_view(frame), "disabled.sampled");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rups::obs

@@ -1,0 +1,182 @@
+// Sampling span-stack profiler: the cross-thread sampling surface
+// (obs::sample_span_stacks), the folded-profile aggregation maths, and the
+// SpanProfiler background-thread lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timer.hpp"
+
+namespace rups::obs {
+namespace {
+
+Histogram& scratch_hist() {
+  return Registry::global().histogram("profiler_test.scratch_us");
+}
+
+// ---------------------------------------------------------------------------
+// sample_span_stacks: deterministic — samples the caller's own open spans.
+
+TEST(SampleSpanStacks, SeesOwnNestedSpansInnermostLast) {
+  ObsTimer outer(&scratch_hist(), "proftest.outer");
+  ObsTimer inner(&scratch_hist(), "proftest.inner");
+
+  const std::vector<SampledStack> stacks = sample_span_stacks();
+  const SampledStack* mine = nullptr;
+  for (const SampledStack& s : stacks) {
+    for (const char* frame : s.frames) {
+      if (std::string_view(frame) == "proftest.outer") mine = &s;
+    }
+  }
+  ASSERT_NE(mine, nullptr) << "calling thread's stack not sampled";
+  ASSERT_GE(mine->frames.size(), 2u);
+  // Outer-first order: the folded key reads root;...;leaf.
+  std::size_t outer_at = mine->frames.size();
+  std::size_t inner_at = 0;
+  for (std::size_t i = 0; i < mine->frames.size(); ++i) {
+    if (std::string_view(mine->frames[i]) == "proftest.outer") outer_at = i;
+    if (std::string_view(mine->frames[i]) == "proftest.inner") inner_at = i;
+  }
+  EXPECT_LT(outer_at, inner_at);
+}
+
+TEST(SampleSpanStacks, ClosedSpansDisappear) {
+  {
+    ObsTimer t(&scratch_hist(), "proftest.transient");
+  }
+  for (const SampledStack& s : sample_span_stacks()) {
+    for (const char* frame : s.frames) {
+      EXPECT_NE(std::string_view(frame), "proftest.transient");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FoldedProfile maths (plain data, no threads involved).
+
+FoldedProfile make_profile() {
+  FoldedProfile p;
+  p.rows = {{"round", 10},
+            {"round;task", 30},
+            {"round;task;kernel", 50},
+            {"round;v2v", 10}};
+  p.total_samples = 100;
+  p.ticks = 120;
+  return p;
+}
+
+TEST(FoldedProfile, ToFoldedEmitsOneLinePerStack) {
+  EXPECT_EQ(make_profile().to_folded(),
+            "round 10\n"
+            "round;task 30\n"
+            "round;task;kernel 50\n"
+            "round;v2v 10\n");
+  EXPECT_EQ(FoldedProfile{}.to_folded(), "");
+}
+
+TEST(FoldedProfile, AttributionSelfAndTotal) {
+  const auto rows = make_profile().attribution();
+  ASSERT_EQ(rows.size(), 4u);
+  // Sorted by self descending, then name: kernel 50, task 30, round 10,
+  // v2v 10.
+  EXPECT_EQ(rows[0].stage, "kernel");
+  EXPECT_EQ(rows[0].self, 50u);
+  EXPECT_EQ(rows[0].total, 50u);
+  EXPECT_EQ(rows[1].stage, "task");
+  EXPECT_EQ(rows[1].self, 30u);
+  EXPECT_EQ(rows[1].total, 80u);  // anywhere in "round;task*" stacks
+  EXPECT_EQ(rows[2].stage, "round");
+  EXPECT_EQ(rows[2].self, 10u);
+  EXPECT_EQ(rows[2].total, 100u);  // root of every stack
+  EXPECT_EQ(rows[3].stage, "v2v");
+  EXPECT_EQ(rows[3].self, 10u);
+  EXPECT_EQ(rows[3].total, 10u);
+}
+
+TEST(FoldedProfile, AttributionTableRendersEveryStage) {
+  const std::string table = make_profile().attribution_table();
+  EXPECT_NE(table.find("stage"), std::string::npos);
+  EXPECT_NE(table.find("kernel"), std::string::npos);
+  EXPECT_NE(table.find("round"), std::string::npos);
+  EXPECT_NE(table.find("100.0%"), std::string::npos);  // round total share
+}
+
+// ---------------------------------------------------------------------------
+// SpanProfiler lifecycle: background sampling of a live workload.
+
+TEST(SpanProfiler, SamplesABusySpanAndStopsCleanly) {
+  SpanProfiler::Options options;
+  options.period_us = 100.0;  // clamped floor is 50us; keep the test fast
+  SpanProfiler profiler(options);
+  EXPECT_FALSE(profiler.running());
+  profiler.start();
+  profiler.start();  // idempotent
+  EXPECT_TRUE(profiler.running());
+
+  // Busy-wait inside a named span until the sampler has seen it (bounded:
+  // ~2s worst case on a loaded container).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  bool sampled = false;
+  {
+    ObsTimer span(&scratch_hist(), "proftest.busy");
+    while (std::chrono::steady_clock::now() < deadline) {
+      const FoldedProfile p = profiler.profile();  // safe while running
+      bool found = false;
+      for (const auto& row : p.rows) {
+        if (row.stack.find("proftest.busy") != std::string::npos) found = true;
+      }
+      if (found) {
+        sampled = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  profiler.stop();
+  profiler.stop();  // idempotent
+  EXPECT_FALSE(profiler.running());
+  EXPECT_TRUE(sampled) << "sampler never observed the busy span";
+
+  const FoldedProfile final_profile = profiler.profile();
+  EXPECT_GT(final_profile.total_samples, 0u);
+  EXPECT_GT(final_profile.ticks, 0u);
+  std::uint64_t row_sum = 0;
+  for (const auto& row : final_profile.rows) row_sum += row.samples;
+  EXPECT_EQ(row_sum, final_profile.total_samples);
+  // Idle ticks (no open span anywhere) are counted but produce no samples.
+  EXPECT_GE(final_profile.ticks, final_profile.total_samples);
+}
+
+TEST(SpanProfiler, RestartAccumulatesIntoTheSameProfile) {
+  SpanProfiler::Options options;
+  options.period_us = 100.0;
+  SpanProfiler profiler(options);
+  profiler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  profiler.stop();
+  const std::uint64_t ticks_first = profiler.profile().ticks;
+  EXPECT_GT(ticks_first, 0u);
+
+  profiler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  profiler.stop();
+  EXPECT_GT(profiler.profile().ticks, ticks_first);
+}
+
+TEST(SpanProfiler, DestructorJoinsARunningSampler) {
+  {
+    SpanProfiler profiler;
+    profiler.start();
+    // Falling out of scope while running must join, not crash or leak the
+    // thread into the next test.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rups::obs
