@@ -43,6 +43,12 @@
 #     gauges are diffed at 10% and counters at 2%. Wall-clock sampler
 #     counters (profiler.ticks/profiler.samples) and the usual wall-clock
 #     metrics are excluded.
+#  8. bench_syn_kernel --quant-report replays the paper-point quantized
+#     scan: the accuracy counters (maxerr in micro-units, argmax
+#     agreement, scored positions) are exact functions of the seeded
+#     inputs — diffed at 2%. Per-position timing gauges are one-sided at
+#     100%; the speedup gauges are excluded (their floor is the
+#     quantized_speedup_gate ctest).
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
@@ -73,7 +79,7 @@ workdir="${10}"
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/7: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/8: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -83,7 +89,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/7: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/8: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -96,7 +102,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/7: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/8: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -106,7 +112,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/7: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/8: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -115,12 +121,12 @@ mkdir -p "$kernel_dir"
     --benchmark_filter='w:100/k:45' > bench_syn_kernel.log)
 "$obs_diff_bin" --section kernel_metrics \
   --counter-tol 0.02 --gauge-tol 1.0 --gauge-one-sided \
-  --ignore kernel.paper.speedup \
+  --ignore kernel.paper.speedup --ignore quant.paper \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
-echo "== pass 5/7: fault-sweep delivery counters + error gauges =="
+echo "== pass 5/8: fault-sweep delivery counters + error gauges =="
 fault_dir="$workdir/fault"
 rm -rf "$fault_dir"
 mkdir -p "$fault_dir"
@@ -131,7 +137,7 @@ mkdir -p "$fault_dir"
   "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
 
 echo ""
-echo "== pass 6/7: telemetry families + windowed series (deterministic) =="
+echo "== pass 6/8: telemetry families + windowed series (deterministic) =="
 telemetry_dir="$workdir/telemetry"
 rm -rf "$telemetry_dir"
 mkdir -p "$telemetry_dir"
@@ -144,7 +150,7 @@ mkdir -p "$telemetry_dir"
   "$baseline" "$telemetry_dir/bench_out/telemetry_metrics.json"
 
 echo ""
-echo "== pass 7/7: allocation census + ratchet gauges (deterministic) =="
+echo "== pass 7/8: allocation census + ratchet gauges (deterministic) =="
 profile_dir="$workdir/profile"
 rm -rf "$profile_dir"
 mkdir -p "$profile_dir"
@@ -155,6 +161,24 @@ mkdir -p "$profile_dir"
   --ignore profiler.ticks --ignore profiler.samples \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$profile_dir/bench_out/profile_metrics.json"
+
+echo ""
+echo "== pass 8/8: quantized kernel accuracy counters + timings =="
+quant_dir="$workdir/quant"
+rm -rf "$quant_dir"
+mkdir -p "$quant_dir"
+(cd "$quant_dir" && RUPS_BENCH_SCALE=0.3 "$kernel_bin" --quant-report \
+    > bench_syn_quant.log)
+# Accuracy COUNTERS (max |score delta| in micro-units, argmax agreement,
+# scored positions) are exact functions of the seeded inputs — diffed
+# tightly. Timing gauges are machine-dependent: one-sided at 100%. The
+# speedup gauges are informational here (their floor is enforced by the
+# quantized_speedup_gate ctest) and improvements must not fail the gate.
+"$obs_diff_bin" --section quant_metrics \
+  --counter-tol 0.02 --gauge-tol 1.0 --gauge-one-sided \
+  --ignore _speedup \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$quant_dir/bench_out/syn_quant_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

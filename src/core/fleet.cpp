@@ -52,6 +52,7 @@ void FleetEngine::forget(std::uint64_t id) { shards_.erase(id); }
 void FleetEngine::clear() {
   shards_.clear();
   ego_pack_.clear();
+  ego_qpack_.clear();
 }
 
 SynCache::Stats FleetEngine::cache_stats() const noexcept {
@@ -84,6 +85,15 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
   // whole batch; per-id shards are materialized up front because the map
   // must not be mutated from worker threads.
   ego_pack_.sync(ego, config_.cache.volatile_suffix_m);
+  const KernelPrecision prec = config_.rups.syn.precision;
+  const QuantizedPack* ego_q = nullptr;
+  if (prec != KernelPrecision::kFloat32) {
+    ego_qpack_.sync(ego_pack_,
+                    prec == KernelPrecision::kInt8 ? QuantBits::kInt8
+                                                   : QuantBits::kInt16,
+                    config_.cache.volatile_suffix_m);
+    ego_q = &ego_qpack_;
+  }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     auto [it, inserted] = shards_.try_emplace(ids[i]);
     if (inserted) {
@@ -113,7 +123,7 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     obs::ObsTimer task_timer(&m.task_us, "fleet.task", batch_span);
     SynCache& shard = *shards_.find(ids[i])->second;
     NeighbourResult& r = results[i];
-    r.syn_points = shard.find(ego, *neighbours[i], &ego_pack_);
+    r.syn_points = shard.find(ego, *neighbours[i], &ego_pack_, ego_q);
     r.estimate = aggregate_estimates(ego, *neighbours[i], r.syn_points,
                                      config_.rups.aggregation);
     task_timer.stop();

@@ -54,7 +54,8 @@ void SynCache::invalidate() noexcept {
 SynCache::TrackOutcome SynCache::verify_tracked(
     const ContextTrajectory& local, const ContextTrajectory& neighbour,
     std::size_t recency_offset_m, const PackedSpan& local_span,
-    const PackedSpan& neighbour_span) const {
+    const PackedSpan& neighbour_span, const QuantizedPack* local_q,
+    const QuantizedPack* neighbour_q) const {
   const SynSeeker::SeekPlan p = seeker_.plan(local, neighbour,
                                              recency_offset_m);
   if (p.reject != nullptr) {
@@ -95,17 +96,44 @@ SynCache::TrackOutcome SynCache::verify_tracked(
       n_first + static_cast<std::int64_t>(p.b_start) + lock_offset_m_ -
       l_first;
 
+  // Same ScanPair shape as the full search's two passes, so the band scan
+  // runs the exact kernel (and precision) a full seek would.
+  const KernelPrecision prec = seeker_.config().precision;
+  ScanPair pass1{prec,
+                 {local_span, p.channels_a},
+                 p.a_start,
+                 {neighbour_span, p.channels_a},
+                 {},
+                 {},
+                 {},
+                 {}};
+  ScanPair pass2{prec,
+                 {neighbour_span, p.channels_b},
+                 p.b_start,
+                 {local_span, p.channels_b},
+                 {},
+                 {},
+                 {},
+                 {}};
+  if (prec == KernelPrecision::kInt16) {
+    pass1.qfixed16 = {local_q->span16(), p.channels_a};
+    pass1.qsliding16 = {neighbour_q->span16(), p.channels_a};
+    pass2.qfixed16 = {neighbour_q->span16(), p.channels_b};
+    pass2.qsliding16 = {local_q->span16(), p.channels_b};
+  } else if (prec == KernelPrecision::kInt8) {
+    pass1.qfixed8 = {local_q->span8(), p.channels_a};
+    pass1.qsliding8 = {neighbour_q->span8(), p.channels_a};
+    pass2.qfixed8 = {neighbour_q->span8(), p.channels_b};
+    pass2.qsliding8 = {local_q->span8(), p.channels_b};
+  }
+
   SynSeeker::Candidate on_b;
   SynSeeker::Candidate on_a;
   if (const auto [lo, hi] = band(pred_b, neighbour_span.metres); lo < hi) {
-    on_b = seeker_.best_over_positions({local_span, p.channels_a}, p.a_start,
-                                       {neighbour_span, p.channels_a},
-                                       p.window, lo, hi);
+    on_b = seeker_.best_over_positions(pass1, p.window, lo, hi);
   }
   if (const auto [lo, hi] = band(pred_a, local_span.metres); lo < hi) {
-    on_a = seeker_.best_over_positions({neighbour_span, p.channels_b},
-                                       p.b_start, {local_span, p.channels_b},
-                                       p.window, lo, hi);
+    on_a = seeker_.best_over_positions(pass2, p.window, lo, hi);
   }
 
   // Same accept/reject semantics as the full search: best position at or
@@ -144,7 +172,8 @@ void SynCache::update_lock(const ContextTrajectory& local,
 
 std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
                                      const ContextTrajectory& neighbour,
-                                     const PackedContext* local_pack) {
+                                     const PackedContext* local_pack,
+                                     const QuantizedPack* local_qpack) {
   CacheMetrics& m = cache_metrics();
   ++stats_.queries;
   m.queries.inc();
@@ -159,6 +188,25 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
   }
   neighbour_pack_.sync(neighbour, config_.volatile_suffix_m);
 
+  // Quantized mirrors of whatever packs the scans will read. A fresh
+  // caller-shared ego mirror (FleetEngine's, synced once per batch) wins
+  // over our own copy, same rule as the float pack above.
+  const KernelPrecision prec = seeker_.config().precision;
+  const QuantizedPack* lq = nullptr;
+  const QuantizedPack* nq = nullptr;
+  if (prec != KernelPrecision::kFloat32) {
+    const QuantBits bits = prec == KernelPrecision::kInt8 ? QuantBits::kInt8
+                                                          : QuantBits::kInt16;
+    if (local_qpack != nullptr && local_qpack->mirrors(*lp, bits)) {
+      lq = local_qpack;
+    } else {
+      local_q_.sync(*lp, bits, config_.volatile_suffix_m);
+      lq = &local_q_;
+    }
+    neighbour_q_.sync(neighbour_pack_, bits, config_.volatile_suffix_m);
+    nq = &neighbour_q_;
+  }
+
   if (!config_.enabled || !locked_) {
     // Cold (or tracking disabled): full multi-offset search; the packs are
     // still reused across offsets and passes.
@@ -166,7 +214,7 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     stats_.full_searches += points;
     m.full.inc(points);
     m.resolution.with("full").inc(points);
-    auto out = seeker_.find(local, neighbour, lp, &neighbour_pack_);
+    auto out = seeker_.find(local, neighbour, lp, &neighbour_pack_, lq, nq);
     if (config_.enabled) update_lock(local, neighbour, out);
     return out;
   }
@@ -181,7 +229,7 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     {
       obs::ObsTimer timer(&m.track_us, "syncache.track");
       outcome = verify_tracked(local, neighbour, offset, local_span,
-                               neighbour_span);
+                               neighbour_span, lq, nq);
     }
     if (outcome.resolved) {
       ++stats_.tracking_hits;
@@ -203,8 +251,8 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     ++stats_.full_searches;
     m.full.inc();
     obs::ObsTimer timer(&m.full_us, "syncache.full");
-    const auto syn =
-        seeker_.find_one(local, neighbour, offset, lp, &neighbour_pack_);
+    const auto syn = seeker_.find_one(local, neighbour, offset, lp,
+                                      &neighbour_pack_, lq, nq);
     if (syn.has_value()) out.push_back(*syn);
   }
   std::sort(out.begin(), out.end(), [](const SynPoint& x, const SynPoint& y) {

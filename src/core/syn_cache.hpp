@@ -55,10 +55,13 @@ class SynCache {
   /// syn_points SYN points, best-correlation first. `local_pack`, when
   /// supplied and in sync with `local`, is reused (FleetEngine shares one
   /// ego pack across all neighbour shards); otherwise the cache maintains
-  /// its own.
+  /// its own. `local_qpack` is the analogous shared quantized mirror of
+  /// `local_pack`, consulted only when syn.precision != kFloat32; when
+  /// absent or stale the cache maintains its own quantized mirrors too.
   [[nodiscard]] std::vector<SynPoint> find(
       const ContextTrajectory& local, const ContextTrajectory& neighbour,
-      const PackedContext* local_pack = nullptr);
+      const PackedContext* local_pack = nullptr,
+      const QuantizedPack* local_qpack = nullptr);
 
   /// Tracking lock held from a previous accepted SYN point?
   [[nodiscard]] bool locked() const noexcept { return locked_; }
@@ -83,11 +86,16 @@ class SynCache {
     std::optional<SynPoint> syn;
   };
 
+  /// `local_q` / `neighbour_q` are quantized mirrors of the spans (null at
+  /// kFloat32): the band re-verification then runs the same quantized
+  /// kernel as the full search, so precision cannot split the two paths.
   [[nodiscard]] TrackOutcome verify_tracked(const ContextTrajectory& local,
                                             const ContextTrajectory& neighbour,
                                             std::size_t recency_offset_m,
                                             const PackedSpan& local_span,
-                                            const PackedSpan& neighbour_span)
+                                            const PackedSpan& neighbour_span,
+                                            const QuantizedPack* local_q,
+                                            const QuantizedPack* neighbour_q)
       const;
 
   void update_lock(const ContextTrajectory& local,
@@ -98,6 +106,9 @@ class SynCache {
   SynSeeker seeker_;
   PackedContext local_pack_;
   PackedContext neighbour_pack_;
+  /// Quantized mirrors, synced only when syn.precision != kFloat32.
+  QuantizedPack local_q_;
+  QuantizedPack neighbour_q_;
   bool locked_ = false;
   std::int64_t lock_offset_m_ = 0;
   Stats stats_;

@@ -146,22 +146,22 @@ SynSeeker::SeekPlan SynSeeker::plan(const ContextTrajectory& a,
 }
 
 SynSeeker::Candidate SynSeeker::best_over_positions(
-    const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
-    std::size_t window, std::size_t pos_lo, std::size_t pos_hi) const {
+    const ScanPair& pair, std::size_t window, std::size_t pos_lo,
+    std::size_t pos_hi) const {
   Candidate best;
-  if (sliding.span.metres < window) return best;
+  if (pair.sliding.span.metres < window) return best;
   const std::size_t positions =
-      (sliding.span.metres - window) / config_.stride_m + 1;
+      (pair.sliding.span.metres - window) / config_.stride_m + 1;
   pos_hi = std::min(pos_hi, positions);
   if (pos_lo >= pos_hi) return best;
-  return best_over_grid(fixed, fixed_start, sliding, window, pos_lo, pos_hi,
-                        config_.stride_m, config_.stride_m);
+  return best_over_grid(pair, window, pos_lo, pos_hi, config_.stride_m,
+                        config_.stride_m);
 }
 
 SynSeeker::Candidate SynSeeker::best_over_grid(
-    const PackedView& fixed, std::size_t fixed_start, const PackedView& sliding,
-    std::size_t window, std::size_t grid_lo, std::size_t grid_hi,
-    std::size_t metre_step, std::size_t index_step) const {
+    const ScanPair& pair, std::size_t window, std::size_t grid_lo,
+    std::size_t grid_hi, std::size_t metre_step,
+    std::size_t index_step) const {
   Candidate best;
   if (grid_lo >= grid_hi) return best;
   const auto reduce = [&best, index_step](const double* scores,
@@ -176,22 +176,26 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
 
   double scores[kLagBlock];
 
-  // Strided grids (metre_step > 1) never use the kernel's strided-lane
-  // nest for big scans: its lane loads are non-contiguous, the
-  // auto-vectorizer gives up, and the 6×kLagBlock live accumulators then
-  // cost more than per-position scoring. Instead:
-  //  - small strides (≤ kLagBlock/2): score the *contiguous covering metre
-  //    range* at full block width and reduce only the lanes landing on the
-  //    grid. Scores are bit-identical however they are batched, so the
-  //    extra lanes are semantically free, and at batch speed this beats
-  //    per-position scoring up to metre_step ≈ kLagBlock/2 (measured:
-  //    coarse stride 4 drops ~2.7x vs the strided nest).
-  //  - large strides: per-position scoring (the covering range would spend
-  //    most lanes between grid points).
-  if (metre_step > 1) {
+  // Strided grids (metre_step > 1) never use the FLOAT kernel's
+  // strided-lane nest for big scans: its lane loads are non-contiguous,
+  // the auto-vectorizer gives up, and the 6×kLagBlock live accumulators
+  // then cost more than per-position scoring. Instead:
+  //  - small strides (≤ covering_scan_max_stride_m, measured — DESIGN
+  //    §11): score the *contiguous covering metre range* at full block
+  //    width and reduce only the lanes landing on the grid. Scores are
+  //    bit-identical however they are batched, so the extra lanes are
+  //    semantically free, and at batch speed this beats per-position
+  //    scoring up to the measured crossover stride.
+  //  - larger strides: per-position scoring (the covering range would
+  //    spend most lanes between grid points).
+  // The quantized kernel needs neither: its along-window integer pass
+  // scores strided lanes at contiguous cost, so every quantized grid
+  // takes the generic batched loop below.
+  if (metre_step > 1 && pair.precision == KernelPrecision::kFloat32) {
     const std::size_t m_lo = grid_lo * metre_step;
     const std::size_t m_last = (grid_hi - 1) * metre_step;
-    if (metre_step <= kLagBlock / 2 && m_last - m_lo + 1 >= kLagBlock) {
+    if (metre_step <= config_.covering_scan_max_stride_m &&
+        m_last - m_lo + 1 >= kLagBlock) {
       std::size_t blocks = 0;
       const auto reduce_cover = [&](std::size_t m0) {
         for (std::size_t b = 0; b < kLagBlock; ++b) {
@@ -204,8 +208,9 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
       };
       std::size_t m = m_lo;
       for (; m + kLagBlock <= m_last + 1; m += kLagBlock) {
-        packed_correlation_batch(fixed, fixed_start, sliding, m, kLagBlock,
-                                 window, config_.correlation, scores);
+        packed_correlation_batch(pair.fixed, pair.fixed_start, pair.sliding,
+                                 m, kLagBlock, window, config_.correlation,
+                                 scores);
         reduce_cover(m);
         ++blocks;
       }
@@ -213,20 +218,20 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
         // Overlapped tail on the metre axis (same argument as below: a
         // re-scored lane is bit-identical and cannot displace `best`).
         const std::size_t start = m_last + 1 - kLagBlock;
-        packed_correlation_batch(fixed, fixed_start, sliding, start,
-                                 kLagBlock, window, config_.correlation,
-                                 scores);
+        packed_correlation_batch(pair.fixed, pair.fixed_start, pair.sliding,
+                                 start, kLagBlock, window,
+                                 config_.correlation, scores);
         reduce_cover(start);
         ++blocks;
       }
       syn_metrics().kernel_blocks.inc(blocks);
       return best;
     }
-    if (metre_step > kLagBlock / 2) {
+    if (metre_step > config_.covering_scan_max_stride_m) {
       for (std::size_t g = grid_lo; g < grid_hi; ++g) {
-        const double s = packed_correlation(fixed, fixed_start, sliding,
-                                            g * metre_step, window,
-                                            config_.correlation);
+        const double s = packed_correlation(pair.fixed, pair.fixed_start,
+                                            pair.sliding, g * metre_step,
+                                            window, config_.correlation);
         if (!best.valid || s > best.correlation) {
           best = {s, g * index_step, true};
         }
@@ -240,9 +245,8 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
 
   std::size_t q = grid_lo;
   for (; q + kLagBlock <= grid_hi; q += kLagBlock) {
-    packed_correlation_batch(fixed, fixed_start, sliding, q * metre_step,
-                             kLagBlock, window, config_.correlation, scores,
-                             metre_step);
+    scan_correlation_batch(pair, q * metre_step, kLagBlock, window,
+                           config_.correlation, scores, metre_step);
     reduce(scores, q, kLagBlock);
   }
   std::size_t blocks = (q - grid_lo) / kLagBlock;
@@ -253,15 +257,13 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
       // equal score can never displace `best` (strict >), so the
       // lowest-position tie-break is untouched.
       const std::size_t start = grid_hi - kLagBlock;
-      packed_correlation_batch(fixed, fixed_start, sliding, start * metre_step,
-                               kLagBlock, window, config_.correlation, scores,
-                               metre_step);
+      scan_correlation_batch(pair, start * metre_step, kLagBlock, window,
+                             config_.correlation, scores, metre_step);
       reduce(scores, start, kLagBlock);
       blocks += 1;
     } else {
-      packed_correlation_batch(fixed, fixed_start, sliding, q * metre_step,
-                               grid_hi - q, window, config_.correlation,
-                               scores, metre_step);
+      scan_correlation_batch(pair, q * metre_step, grid_hi - q, window,
+                             config_.correlation, scores, metre_step);
       reduce(scores, q, grid_hi - q);
       blocks += grid_hi - q;  // degenerate single-position blocks
     }
@@ -270,14 +272,12 @@ SynSeeker::Candidate SynSeeker::best_over_grid(
   return best;
 }
 
-SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
-                                      std::size_t fixed_start,
-                                      const PackedView& sliding,
+SynSeeker::Candidate SynSeeker::slide(const ScanPair& pair,
                                       std::size_t window) const {
   Candidate best;
-  if (sliding.span.metres < window) return best;
+  if (pair.sliding.span.metres < window) return best;
   const std::size_t positions =
-      (sliding.span.metres - window) / config_.stride_m + 1;
+      (pair.sliding.span.metres - window) / config_.stride_m + 1;
 
   // Chunk a grid of `count` scan points for the pool: chunk lengths are
   // rounded up to whole kLagBlock batches so only each chunk's final block
@@ -295,12 +295,18 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
   // neighbourhood of the best coarse hit exhaustively. Like the fine scan
   // it is parallelized over the pool with the lowest-position tie-break
   // reduction. Only engaged when the stride is wide enough to beat the
-  // exhaustive batched scan: below ~kLagBlock/2 the cheapest way to score
-  // a strided grid IS the contiguous covering scan (see best_over_grid),
-  // which costs the same as scoring every position — so a sparse pre-pass
-  // would only add its refine pass on top.
+  // exhaustive batched scan: below the measured covering crossover the
+  // cheapest way to score a strided grid IS the contiguous covering scan
+  // (see best_over_grid), which costs the same as scoring every position —
+  // so a sparse pre-pass would only add its refine pass on top. The
+  // quantized kernel scores any stride at batch cost, so it engages
+  // coarse-to-fine for every stride > 1.
+  const std::size_t coarse_floor =
+      pair.precision == KernelPrecision::kFloat32
+          ? config_.covering_scan_max_stride_m
+          : 1;
   if (config_.coarse_stride_m > 1 &&
-      config_.coarse_stride_m * config_.stride_m > kLagBlock / 2 &&
+      config_.coarse_stride_m * config_.stride_m > coarse_floor &&
       positions > 4 * config_.coarse_stride_m) {
     const std::size_t coarse = config_.coarse_stride_m;
     const std::size_t coarse_count = (positions + coarse - 1) / coarse;
@@ -308,16 +314,16 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
     const std::size_t metre_step = coarse * config_.stride_m;
     Candidate coarse_best;  // position = fine-grid index, not metres
     if (pool_ == nullptr || coarse_count < 64) {
-      coarse_best = best_over_grid(fixed, fixed_start, sliding, window, 0,
-                                   coarse_count, metre_step, coarse);
+      coarse_best =
+          best_over_grid(pair, window, 0, coarse_count, metre_step, coarse);
     } else {
       const auto [chunks, chunk_len] = aligned_chunks(coarse_count);
       std::vector<Candidate> chunk_best(chunks);
       pool_->parallel_for(0, chunks, [&](std::size_t ci) {
         const std::size_t lo = ci * chunk_len;
         const std::size_t hi = std::min(coarse_count, lo + chunk_len);
-        chunk_best[ci] = best_over_grid(fixed, fixed_start, sliding, window,
-                                        lo, hi, metre_step, coarse);
+        chunk_best[ci] =
+            best_over_grid(pair, window, lo, hi, metre_step, coarse);
       });
       coarse_best = reduce_chunks(chunk_best);
     }
@@ -327,13 +333,12 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
     const std::size_t hi =
         std::min(positions, coarse_best.position + coarse + 1);
     syn_metrics().windows.inc(hi - lo);
-    return best_over_positions(fixed, fixed_start, sliding, window, lo, hi);
+    return best_over_positions(pair, window, lo, hi);
   }
 
   syn_metrics().windows.inc(positions);
   if (pool_ == nullptr || positions < 64) {
-    return best_over_positions(fixed, fixed_start, sliding, window, 0,
-                               positions);
+    return best_over_positions(pair, window, 0, positions);
   }
 
   // Parallel: per-chunk maxima reduced deterministically (ties resolve to
@@ -343,8 +348,7 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
   pool_->parallel_for(0, chunks, [&](std::size_t ci) {
     const std::size_t lo = ci * chunk_len;
     const std::size_t hi = std::min(positions, lo + chunk_len);
-    chunk_best[ci] =
-        best_over_positions(fixed, fixed_start, sliding, window, lo, hi);
+    chunk_best[ci] = best_over_positions(pair, window, lo, hi);
   });
   return reduce_chunks(chunk_best);
 }
@@ -352,13 +356,21 @@ SynSeeker::Candidate SynSeeker::slide(const PackedView& fixed,
 std::optional<SynPoint> SynSeeker::find_one(
     const ContextTrajectory& a, const ContextTrajectory& b,
     std::size_t recency_offset_m) const {
-  return find_one(a, b, recency_offset_m, nullptr, nullptr);
+  return find_one(a, b, recency_offset_m, nullptr, nullptr, nullptr, nullptr);
 }
 
 std::optional<SynPoint> SynSeeker::find_one(
     const ContextTrajectory& a, const ContextTrajectory& b,
     std::size_t recency_offset_m, const PackedContext* pack_a,
     const PackedContext* pack_b) const {
+  return find_one(a, b, recency_offset_m, pack_a, pack_b, nullptr, nullptr);
+}
+
+std::optional<SynPoint> SynSeeker::find_one(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    std::size_t recency_offset_m, const PackedContext* pack_a,
+    const PackedContext* pack_b, const QuantizedPack* qpack_a,
+    const QuantizedPack* qpack_b) const {
   SynMetrics& metrics = syn_metrics();
   metrics.seeks.inc();
   obs::ObsTimer timer(&metrics.seek_us, "syn.seek");
@@ -421,13 +433,61 @@ std::optional<SynPoint> SynSeeker::find_one(
     f2 = {fixed_b.span(), rows_kb};
   }
 
+  ScanPair pass1{config_.precision, f1, f1_start, s1, {}, {}, {}, {}};
+  ScanPair pass2{config_.precision, f2, f2_start, s2, {}, {}, {}, {}};
+  // Quantized operands. A pack-backed side reuses the caller's mirror when
+  // it mirrors the SAME pack state the float views were taken from;
+  // otherwise (and for every SubsetPack fallback operand) the scanned span
+  // is quantized one-shot here — the scratch packs must outlive the scans.
+  QuantizedPack q_scratch[4];
+  if (config_.precision != KernelPrecision::kFloat32) {
+    const QuantBits bits = config_.precision == KernelPrecision::kInt8
+                               ? QuantBits::kInt8
+                               : QuantBits::kInt16;
+    std::size_t scratch_used = 0;
+    const auto quant_of = [&](const PackedSpan& span, bool pack_backed,
+                              const PackedContext* pack,
+                              const QuantizedPack* mirror)
+        -> const QuantizedPack* {
+      if (pack_backed && mirror != nullptr && mirror->mirrors(*pack, bits)) {
+        return mirror;
+      }
+      QuantizedPack& scratch = q_scratch[scratch_used++];
+      scratch.build(span, bits);
+      return &scratch;
+    };
+    // One quant pack per underlying span: a pack-backed side serves both
+    // its fixed and sliding roles from the same object.
+    const QuantizedPack* qa =
+        quant_of(have_a ? pack_a->span() : fixed_a.span(), have_a, pack_a,
+                 qpack_a);
+    const QuantizedPack* qa_slide =
+        have_a ? qa : quant_of(slide_a.span(), false, nullptr, nullptr);
+    const QuantizedPack* qb =
+        quant_of(have_b ? pack_b->span() : slide_b.span(), have_b, pack_b,
+                 qpack_b);
+    const QuantizedPack* qb_fixed =
+        have_b ? qb : quant_of(fixed_b.span(), false, nullptr, nullptr);
+    if (bits == QuantBits::kInt16) {
+      pass1.qfixed16 = {qa->span16(), f1.rows};
+      pass1.qsliding16 = {qb->span16(), s1.rows};
+      pass2.qfixed16 = {qb_fixed->span16(), f2.rows};
+      pass2.qsliding16 = {qa_slide->span16(), s2.rows};
+    } else {
+      pass1.qfixed8 = {qa->span8(), f1.rows};
+      pass1.qsliding8 = {qb->span8(), s1.rows};
+      pass2.qfixed8 = {qb_fixed->span8(), f2.rows};
+      pass2.qsliding8 = {qa_slide->span8(), s2.rows};
+    }
+  }
+
   // Both correlation-scan passes share one kernel span: the child of
   // "syn.seek" that shows up in the paper's Fig. 10-12 cost breakdowns.
   obs::ObsTimer kernel_timer(&metrics.kernel_us, "syn.kernel");
   // Pass 1 (Fig 7 left): recent segment of A slides over B.
-  const Candidate on_b = slide(f1, f1_start, s1, p.window);
+  const Candidate on_b = slide(pass1, p.window);
   // Pass 2 (Fig 7 right): recent segment of B slides over A.
-  const Candidate on_a = slide(f2, f2_start, s2, p.window);
+  const Candidate on_a = slide(pass2, p.window);
   kernel_timer.stop();
 
   for (const Candidate& c : {on_b, on_a}) {
@@ -463,18 +523,27 @@ std::optional<SynPoint> SynSeeker::find_one(
 
 std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
                                       const ContextTrajectory& b) const {
-  return find(a, b, nullptr, nullptr);
+  return find(a, b, nullptr, nullptr, nullptr, nullptr);
 }
 
 std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
                                       const ContextTrajectory& b,
                                       const PackedContext* pack_a,
                                       const PackedContext* pack_b) const {
+  return find(a, b, pack_a, pack_b, nullptr, nullptr);
+}
+
+std::vector<SynPoint> SynSeeker::find(const ContextTrajectory& a,
+                                      const ContextTrajectory& b,
+                                      const PackedContext* pack_a,
+                                      const PackedContext* pack_b,
+                                      const QuantizedPack* qpack_a,
+                                      const QuantizedPack* qpack_b) const {
   std::vector<SynPoint> out;
   for (std::size_t k = 0; k < std::max<std::size_t>(1, config_.syn_points);
        ++k) {
     const std::size_t offset = k * config_.syn_segment_spacing_m;
-    const auto syn = find_one(a, b, offset, pack_a, pack_b);
+    const auto syn = find_one(a, b, offset, pack_a, pack_b, qpack_a, qpack_b);
     if (syn.has_value()) out.push_back(*syn);
   }
   std::sort(out.begin(), out.end(), [](const SynPoint& x, const SynPoint& y) {

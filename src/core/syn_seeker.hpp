@@ -8,10 +8,19 @@
 
 #include "core/correlation.hpp"
 #include "core/packed.hpp"
+#include "core/quant.hpp"
 #include "core/types.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rups::core {
+
+/// Largest metre-stride at which best_over_grid scores a strided grid by
+/// batching the contiguous COVERING metre range (discarding off-grid
+/// lanes) instead of scoring grid points one by one. Measured crossover,
+/// not the old hardcoded kLagBlock/2 rule: `bench_syn_kernel
+/// --stride-crossover` times both strategies per stride at the paper
+/// point and this default records where per-position wins (DESIGN §11).
+inline constexpr std::size_t kCoveringScanMaxStrideM = 6;
 
 /// Parameters of the SYN-point search (paper Secs. IV-D, V-C, VI-B).
 struct SynConfig {
@@ -47,6 +56,16 @@ struct SynConfig {
   /// Threshold multiplier applied at min_window_m (linear in window size up
   /// to 1.0 at window_m). "Combined with a smaller threshold" — Sec. V-C.
   double adaptive_threshold_floor = 0.75;
+  /// Kernel precision for every correlation scan this seeker issues.
+  /// kFloat32 (default) is the strict bit-identical path; kInt16 / kInt8
+  /// run the quantized GEMM-shaped kernel (bounded score error, DESIGN
+  /// §15). Accept/reject plumbing (plan, thresholds, tie-breaks) is shared,
+  /// so precision only changes scores, never search structure.
+  KernelPrecision precision = KernelPrecision::kFloat32;
+  /// Strided-grid strategy crossover (see kCoveringScanMaxStrideM).
+  /// Exposed so the bench can sweep it; float path only — the quantized
+  /// kernel scores strided lanes at contiguous cost and ignores it.
+  std::size_t covering_scan_max_stride_m = kCoveringScanMaxStrideM;
   TrajectoryCorrelationConfig correlation{};
 };
 
@@ -102,12 +121,20 @@ class SynSeeker {
   /// The 4-argument overload reuses caller-maintained packs (packed once,
   /// shared by both slide passes and all recency offsets); pass nullptr —
   /// or an out-of-sync pack — and a temporary pack is built per call.
+  /// The 6-argument overload additionally reuses caller-maintained
+  /// quantized mirrors when config.precision != kFloat32 (a stale or
+  /// wrong-width mirror is ignored; the seek then quantizes the scanned
+  /// spans one-shot per call — correct, just not amortized).
   [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
                                            const ContextTrajectory& b) const;
   [[nodiscard]] std::vector<SynPoint> find(const ContextTrajectory& a,
                                            const ContextTrajectory& b,
                                            const PackedContext* pack_a,
                                            const PackedContext* pack_b) const;
+  [[nodiscard]] std::vector<SynPoint> find(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      const PackedContext* pack_a, const PackedContext* pack_b,
+      const QuantizedPack* qpack_a, const QuantizedPack* qpack_b) const;
 
   /// One double-sliding pass where the fixed recent segments END
   /// `recency_offset_m` metres before the newest entry.
@@ -118,6 +145,11 @@ class SynSeeker {
       const ContextTrajectory& a, const ContextTrajectory& b,
       std::size_t recency_offset_m, const PackedContext* pack_a,
       const PackedContext* pack_b) const;
+  [[nodiscard]] std::optional<SynPoint> find_one(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      std::size_t recency_offset_m, const PackedContext* pack_a,
+      const PackedContext* pack_b, const QuantizedPack* qpack_a,
+      const QuantizedPack* qpack_b) const;
 
   [[nodiscard]] SeekPlan plan(const ContextTrajectory& a,
                               const ContextTrajectory& b,
@@ -130,14 +162,13 @@ class SynSeeker {
 
   /// Best correlation over the slide-position indices [pos_lo, pos_hi) on
   /// the stride grid (position metres = index * stride_m); scored through
-  /// the lag-batched kernel in ascending kLagBlock-position blocks, ties
-  /// resolve to the lowest position (bit-identical to a serial per-position
-  /// scan). pos_hi is clamped to the valid position count. Used by the pool
+  /// the precision-dispatched kernel (pair.precision) in ascending
+  /// kLagBlock-position blocks, ties resolve to the lowest position
+  /// (bit-identical to a serial per-position scan at every precision).
+  /// pos_hi is clamped to the valid position count. Used by the pool
   /// chunks, the coarse-to-fine refinement, and SynCache's narrow tracking
   /// re-verification (whose ±verify_radius band is a single natural batch).
-  [[nodiscard]] Candidate best_over_positions(const PackedView& fixed,
-                                              std::size_t fixed_start,
-                                              const PackedView& sliding,
+  [[nodiscard]] Candidate best_over_positions(const ScanPair& pair,
                                               std::size_t window,
                                               std::size_t pos_lo,
                                               std::size_t pos_hi) const;
@@ -145,11 +176,9 @@ class SynSeeker {
   [[nodiscard]] const SynConfig& config() const noexcept { return config_; }
 
  private:
-  /// Slide a fixed window (starting at fixed_start in the fixed pack)
+  /// Slide a fixed window (starting at pair.fixed_start in the fixed pack)
   /// across all of the sliding pack; returns the best position in metres.
-  [[nodiscard]] Candidate slide(const PackedView& fixed,
-                                std::size_t fixed_start,
-                                const PackedView& sliding,
+  [[nodiscard]] Candidate slide(const ScanPair& pair,
                                 std::size_t window) const;
 
   /// Shared scan core: best over grid indices [grid_lo, grid_hi), where
@@ -159,13 +188,11 @@ class SynSeeker {
   /// metre_step = coarse*stride_m with index_step = coarse (position as a
   /// fine-grid INDEX, which is what the refinement stage consumes).
   /// Ascending blocks of kLagBlock positions through
-  /// packed_correlation_batch; the trailing partial block is rescored as an
+  /// scan_correlation_batch; the trailing partial block is rescored as an
   /// overlapped full block — recomputed lanes are bit-identical and an
   /// equal score can never displace an earlier (lower) position, so the
   /// lowest-position tie-break survives.
-  [[nodiscard]] Candidate best_over_grid(const PackedView& fixed,
-                                         std::size_t fixed_start,
-                                         const PackedView& sliding,
+  [[nodiscard]] Candidate best_over_grid(const ScanPair& pair,
                                          std::size_t window,
                                          std::size_t grid_lo,
                                          std::size_t grid_hi,

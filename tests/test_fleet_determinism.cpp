@@ -224,6 +224,100 @@ TEST_P(FleetDeterminism, AllModesMatchSerialReferenceExactly) {
   expect_identical(pooled_warm, reference, "pooled-warm vs reference");
 }
 
+/// Replay the drive with the cache on at the given kernel precision and
+/// return both the per-round results and the aggregated cache stats.
+std::pair<RoundLog, SynCache::Stats> run_fleet_at_precision(
+    const std::vector<VehicleLog>& logs, std::size_t fleet_n,
+    std::size_t initial_m, std::size_t rounds, std::size_t step_m,
+    KernelPrecision precision) {
+  FleetConfig cfg;
+  cfg.rups = fleet_rups_config();
+  cfg.rups.syn.precision = precision;
+  cfg.use_cache = true;
+  FleetEngine engine(cfg);
+
+  std::vector<ContextTrajectory> contexts;
+  for (std::size_t v = 0; v < fleet_n + 1; ++v) {
+    contexts.emplace_back(kChannels, kCapacity);
+    append_metres(contexts.back(), logs[v], 0, initial_m);
+  }
+  std::vector<const ContextTrajectory*> neighbours;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t v = 1; v < fleet_n + 1; ++v) {
+    neighbours.push_back(&contexts[v]);
+    ids.push_back(100 + v);
+  }
+
+  RoundLog out;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round != 0) {
+      const std::size_t from = initial_m + (round - 1) * step_m;
+      for (std::size_t v = 0; v < fleet_n + 1; ++v) {
+        append_metres(contexts[v], logs[v], from, step_m);
+      }
+    }
+    out.rounds.push_back(
+        engine.estimate_batch(contexts[0], neighbours, ids, nullptr));
+  }
+  return {std::move(out), engine.cache_stats()};
+}
+
+/// ISSUE 8 satellite: the quantized kernel's bounded score error must not
+/// leak into the cache's CONTROL FLOW. Hit/miss/fallback/invalidation
+/// counts and every per-round alignment decision (estimate presence, SYN
+/// indices, windows) have to be identical float-vs-int16 on the same
+/// drives; only the correlation VALUES may differ, and only within the
+/// quantization bound.
+TEST_P(FleetDeterminism, CacheDecisionsMatchFloatVsInt16) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t fleet_n = 4;
+  const std::size_t initial_m = 150;
+  const std::size_t rounds = 6;
+  const std::size_t step_m = 4;
+
+  std::vector<VehicleLog> logs;
+  for (std::size_t v = 0; v < fleet_n + 1; ++v) {
+    logs.push_back(make_log(seed, v, initial_m + rounds * step_m));
+  }
+
+  const auto [float_log, float_stats] = run_fleet_at_precision(
+      logs, fleet_n, initial_m, rounds, step_m, KernelPrecision::kFloat32);
+  const auto [quant_log, quant_stats] = run_fleet_at_precision(
+      logs, fleet_n, initial_m, rounds, step_m, KernelPrecision::kInt16);
+
+  EXPECT_EQ(float_stats.queries, quant_stats.queries);
+  EXPECT_EQ(float_stats.tracking_hits, quant_stats.tracking_hits);
+  EXPECT_EQ(float_stats.tracking_misses, quant_stats.tracking_misses);
+  EXPECT_EQ(float_stats.full_searches, quant_stats.full_searches);
+  EXPECT_EQ(float_stats.invalidations, quant_stats.invalidations);
+  // The drive must actually exercise the tracker or the parity is vacuous.
+  ASSERT_GT(float_stats.tracking_hits, 0u);
+
+  ASSERT_EQ(float_log.rounds.size(), quant_log.rounds.size());
+  for (std::size_t r = 0; r < float_log.rounds.size(); ++r) {
+    ASSERT_EQ(float_log.rounds[r].size(), quant_log.rounds[r].size());
+    for (std::size_t i = 0; i < float_log.rounds[r].size(); ++i) {
+      const auto& x = float_log.rounds[r][i];
+      const auto& y = quant_log.rounds[r][i];
+      ASSERT_EQ(x.estimate.has_value(), y.estimate.has_value())
+          << "round " << r << " neighbour " << i;
+      ASSERT_EQ(x.syn_points.size(), y.syn_points.size())
+          << "round " << r << " neighbour " << i;
+      for (std::size_t s = 0; s < x.syn_points.size(); ++s) {
+        EXPECT_EQ(x.syn_points[s].index_a, y.syn_points[s].index_a)
+            << "round " << r << " neighbour " << i;
+        EXPECT_EQ(x.syn_points[s].index_b, y.syn_points[s].index_b)
+            << "round " << r << " neighbour " << i;
+        EXPECT_EQ(x.syn_points[s].window_m, y.syn_points[s].window_m)
+            << "round " << r << " neighbour " << i;
+        EXPECT_NEAR(x.syn_points[s].correlation, y.syn_points[s].correlation,
+                    2e-2)
+            << "round " << r << " neighbour " << i;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FleetDeterminism,
                          ::testing::Values(11ULL, 29ULL, 73ULL));
 
