@@ -1,0 +1,292 @@
+// rups_matcherd: long-lived sharded matcher service daemon. A CityFleet
+// workload feeds a service::MatcherService round by round (register,
+// observe, submit, drain) while a MetricsExporter serves the registry
+// snapshot as Prometheus text on /metrics and the HealthMonitor verdict —
+// including the admission-reject rule — on /healthz:
+//
+//   $ ./rups_matcherd --port 9465 --vehicles 200 --shards 4 &
+//   $ curl -s localhost:9465/metrics | grep service_admission
+//   $ curl -si localhost:9465/healthz          # 200 healthy / 503 degraded
+//
+// --port 0 (the default) binds an ephemeral port and prints it. --selfcheck
+// runs a short campaign, asserts the service actually produced estimates,
+// and scrapes its own endpoints through obs::http_get (used by ctest).
+//
+// Exit codes: 0 = clean run / selfcheck passed, 1 = selfcheck or exporter
+// failure, 2 = usage error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "service/matcher_service.hpp"
+#include "sim/service_sim.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace rups;
+
+namespace {
+
+struct Options {
+  int port = 0;                // 0 = ephemeral, printed after bind
+  std::size_t vehicles = 64;   // city fleet size
+  std::size_t shards = 4;      // regional shards
+  std::size_t rounds = 0;      // query rounds after warm-up (0 = unbounded)
+  std::size_t warmup = 4;      // context-feeding rounds before queries
+  std::size_t threads = 0;     // pooled drain workers (0 = serial)
+  std::uint64_t seed = 0xC17F;
+  bool selfcheck = false;
+};
+
+void print_help() {
+  std::printf(
+      "usage: rups_matcherd [flags]\n"
+      "\n"
+      "Runs a city fleet through the sharded matcher service round by round\n"
+      "and serves live Prometheus metrics on /metrics plus the health\n"
+      "verdict (admission rule included) on /healthz while it runs.\n"
+      "\n"
+      "flags:\n"
+      "  --port N       TCP port for /metrics (default 0 = ephemeral)\n"
+      "  --vehicles N   city fleet size (default 64, min 2)\n"
+      "  --shards N     regional shard count (default 4, min 1)\n"
+      "  --rounds N     query rounds after warm-up (default 0 = unbounded)\n"
+      "  --warmup N     context rounds before queries (default 4)\n"
+      "  --threads N    pooled drain workers (default 0 = serial drain)\n"
+      "  --seed N       workload seed (default 0xC17F)\n"
+      "  --selfcheck    short campaign, then scrape /metrics + /healthz\n"
+      "                 through obs::http_get and exit non-zero on failure\n"
+      "  --help         this text\n");
+}
+
+/// Self-scrape: fetches both endpoints over a real socket, requires the
+/// admission family in the exposition and a parseable health report.
+bool selfcheck_scrape(const obs::MetricsExporter& exporter) {
+  std::string body;
+  const int status =
+      obs::http_get("127.0.0.1", exporter.port(), "/metrics", body);
+  if (status != 200) {
+    std::fprintf(stderr, "selfcheck: GET /metrics -> %d\n", status);
+    return false;
+  }
+  if (body.find("service_admission{reason=") == std::string::npos) {
+    std::fprintf(stderr, "selfcheck: /metrics lacks service_admission cells\n");
+    return false;
+  }
+  try {
+    const auto samples = obs::parse_prometheus(body);
+    if (samples.empty()) {
+      std::fprintf(stderr, "selfcheck: /metrics parsed to zero samples\n");
+      return false;
+    }
+    std::printf("selfcheck: /metrics ok (%zu samples, %zu bytes)\n",
+                samples.size(), body.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selfcheck: /metrics unparseable: %s\n", e.what());
+    return false;
+  }
+
+  std::string health;
+  const int hstatus =
+      obs::http_get("127.0.0.1", exporter.port(), "/healthz", health);
+  if (hstatus != 200 && hstatus != 503) {
+    std::fprintf(stderr, "selfcheck: GET /healthz -> %d\n", hstatus);
+    return false;
+  }
+  if (health.find("\"healthy\"") == std::string::npos) {
+    std::fprintf(stderr, "selfcheck: /healthz body is not a health report\n");
+    return false;
+  }
+  std::printf("selfcheck: /healthz ok (%d)\n", hstatus);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--port") {
+      opt.port = static_cast<int>(std::strtol(value(), nullptr, 10));
+    } else if (arg == "--vehicles") {
+      opt.vehicles = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--shards") {
+      opt.shards = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--rounds") {
+      opt.rounds = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--warmup") {
+      opt.warmup = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      opt.threads = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--selfcheck") {
+      opt.selfcheck = true;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown flag %s (see rups_matcherd --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.vehicles < 2) {
+    std::fprintf(stderr, "error: --vehicles must be at least 2\n");
+    return 2;
+  }
+  if (opt.shards < 1) {
+    std::fprintf(stderr, "error: --shards must be at least 1\n");
+    return 2;
+  }
+  if (opt.port < 0 || opt.port > 65535) {
+    std::fprintf(stderr, "error: --port must be 0..65535\n");
+    return 2;
+  }
+  if (opt.selfcheck && opt.rounds == 0) opt.rounds = 8;
+
+  sim::CityFleetConfig city_cfg;
+  city_cfg.vehicles = opt.vehicles;
+  city_cfg.seed = opt.seed;
+  sim::CityFleet city(city_cfg);
+
+  service::ServiceConfig svc_cfg;
+  svc_cfg.shard_count = opt.shards;
+  svc_cfg.max_vehicles = opt.vehicles;
+  svc_cfg.max_sessions = 2 * opt.vehicles;
+  svc_cfg.queue_capacity = opt.vehicles + 16;
+  svc_cfg.fleet.rups.channels = city_cfg.channels;
+  svc_cfg.fleet.rups.context_capacity_m = city_cfg.context_capacity_m;
+  service::MatcherService svc(svc_cfg);
+
+  obs::HealthMonitor monitor{};
+  svc.set_health_monitor(&monitor);
+
+  std::optional<util::ThreadPool> pool;
+  if (opt.threads > 0) pool.emplace(opt.threads);
+
+  obs::MetricsExporter::Options exporter_opt;
+  exporter_opt.port = static_cast<std::uint16_t>(opt.port);
+  obs::MetricsExporter exporter(
+      exporter_opt,
+      [] {
+        if (obs::alloc_census_enabled()) obs::publish_alloc_census();
+        return obs::Registry::global().snapshot();
+      },
+      [&monitor] { return monitor.report(); });
+  if (!exporter.start()) {
+    std::fprintf(stderr, "error: exporter failed to bind port %d\n", opt.port);
+    return 1;
+  }
+  std::printf(
+      "rups_matcherd: serving /metrics and /healthz on 127.0.0.1:%u\n",
+      exporter.port());
+  std::printf(
+      "rups_matcherd: %zu vehicles, %zu shards, %s drain, %s rounds\n",
+      opt.vehicles, opt.shards, opt.threads > 0 ? "pooled" : "serial",
+      opt.rounds == 0 ? "unbounded" : std::to_string(opt.rounds).c_str());
+
+  for (std::size_t v = 0; v < city.vehicle_count(); ++v) {
+    if (!svc.register_vehicle(city.vehicle_id(v), city.position(v))) {
+      std::fprintf(stderr, "error: vehicle arena rejected id %llu\n",
+                   static_cast<unsigned long long>(city.vehicle_id(v)));
+      exporter.stop();
+      return 1;
+    }
+  }
+
+  std::size_t rounds_done = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t estimates = 0;
+  std::vector<service::MatcherService::Ticket> tickets;
+  bool scraped_mid_campaign = !opt.selfcheck;
+  for (std::size_t round = 0;
+       opt.rounds == 0 || round < opt.warmup + opt.rounds; ++round) {
+    city.advance_round();
+    svc.begin_round();
+    for (std::size_t v = 0; v < city.vehicle_count(); ++v) {
+      for (const sim::CityFleet::Sample& s : city.samples(v)) {
+        (void)svc.observe(city.vehicle_id(v), s.position_m, s.geo, s.power);
+      }
+    }
+    if (round < opt.warmup) continue;
+
+    tickets.clear();
+    for (const sim::CityFleet::Query& q : city.queries()) {
+      tickets.push_back(
+          svc.submit(city.vehicle_id(q.ego), city.vehicle_id(q.neighbour)));
+    }
+    svc.drain(pool ? &*pool : nullptr);
+    ++rounds_done;
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (!tickets[i].accepted()) continue;
+      ++accepted;
+      const auto& r = svc.result(tickets[i]);
+      if (r.estimate.has_value()) {
+        ++estimates;
+        const sim::CityFleet::Query& q = city.queries()[i];
+        monitor.on_query(true,
+                         std::abs(r.estimate->distance_m - city.truth_m(q)),
+                         r.latency_us);
+      } else {
+        monitor.on_query(false, std::nullopt, r.latency_us);
+      }
+    }
+
+    // Mid-campaign probe: the exporter must serve while rounds run.
+    if (!scraped_mid_campaign && rounds_done == opt.rounds / 2 + 1) {
+      scraped_mid_campaign = true;
+      std::string body;
+      const int status =
+          obs::http_get("127.0.0.1", exporter.port(), "/metrics", body);
+      if (status != 200 || body.empty()) {
+        std::fprintf(stderr, "selfcheck: mid-campaign scrape -> %d\n", status);
+        exporter.stop();
+        return 1;
+      }
+      std::printf("selfcheck: mid-campaign scrape ok (round %zu)\n",
+                  rounds_done);
+    }
+  }
+
+  const obs::HealthReport report = monitor.report();
+  std::printf(
+      "rups_matcherd: %zu query rounds, %llu accepted, %llu estimates, "
+      "health %s\n",
+      rounds_done, static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(estimates),
+      report.healthy() ? "ok" : "degraded");
+
+  int rc = 0;
+  if (opt.selfcheck) {
+    if (rounds_done == 0 || accepted == 0 || estimates == 0) {
+      std::fprintf(stderr, "selfcheck: campaign produced no estimates\n");
+      rc = 1;
+    } else if (!selfcheck_scrape(exporter)) {
+      rc = 1;
+    }
+  }
+  // Ordered shutdown: exporter before any trace sink teardown (atexit).
+  exporter.stop();
+  std::printf("rups_matcherd: exporter served %llu requests\n",
+              static_cast<unsigned long long>(exporter.requests()));
+  if (opt.selfcheck) {
+    std::printf("rups_matcherd selfcheck: %s\n", rc == 0 ? "PASS" : "FAIL");
+  }
+  return rc;
+}

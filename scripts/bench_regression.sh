@@ -49,19 +49,27 @@
 #     inputs — diffed at 2%. Per-position timing gauges are one-sided at
 #     100%; the speedup gauges are excluded (their floor is the
 #     quantized_speedup_gate ctest).
+#  9. bench_service_scaling --report-only replays a small seeded city
+#     fleet through the sharded matcher service (fixed rounds, serial
+#     drain — deterministic): admission/queue/estimate counters are
+#     diffed at 2% and gauges at 5%. Wall-clock-fed values
+#     (health.latency_p99_us, latency-rule health.alerts,
+#     log.suppressed) are excluded; the scaling/zero-alloc floors are
+#     enforced by the service_scaling_gate ctest, not here.
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
 #                       <bench_fleet_scaling> <bench_syn_kernel> \
 #                       <bench_fault_sweep> <bench_telemetry> \
-#                       <bench_profile> <obs_diff> <baseline.json> <workdir>
+#                       <bench_profile> <bench_service_scaling> \
+#                       <obs_diff> <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 10 ]]; then
+if [[ $# -ne 11 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
        "<bench_fleet_scaling> <bench_syn_kernel> <bench_fault_sweep>" \
-       "<bench_telemetry> <bench_profile> <obs_diff> <baseline.json>" \
-       "<workdir>" >&2
+       "<bench_telemetry> <bench_profile> <bench_service_scaling>" \
+       "<obs_diff> <baseline.json> <workdir>" >&2
   exit 2
 fi
 
@@ -72,14 +80,15 @@ kernel_bin=$(realpath "$4")
 fault_bin=$(realpath "$5")
 telemetry_bin=$(realpath "$6")
 profile_bin=$(realpath "$7")
-obs_diff_bin=$(realpath "$8")
-baseline=$(realpath "$9")
-workdir="${10}"
+service_bin=$(realpath "$8")
+obs_diff_bin=$(realpath "$9")
+baseline=$(realpath "${10}")
+workdir="${11}"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/8: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/9: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -89,7 +98,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/8: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/9: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -102,7 +111,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/8: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/9: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -112,7 +121,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/8: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/9: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -126,7 +135,7 @@ mkdir -p "$kernel_dir"
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
-echo "== pass 5/8: fault-sweep delivery counters + error gauges =="
+echo "== pass 5/9: fault-sweep delivery counters + error gauges =="
 fault_dir="$workdir/fault"
 rm -rf "$fault_dir"
 mkdir -p "$fault_dir"
@@ -137,7 +146,7 @@ mkdir -p "$fault_dir"
   "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
 
 echo ""
-echo "== pass 6/8: telemetry families + windowed series (deterministic) =="
+echo "== pass 6/9: telemetry families + windowed series (deterministic) =="
 telemetry_dir="$workdir/telemetry"
 rm -rf "$telemetry_dir"
 mkdir -p "$telemetry_dir"
@@ -150,7 +159,7 @@ mkdir -p "$telemetry_dir"
   "$baseline" "$telemetry_dir/bench_out/telemetry_metrics.json"
 
 echo ""
-echo "== pass 7/8: allocation census + ratchet gauges (deterministic) =="
+echo "== pass 7/9: allocation census + ratchet gauges (deterministic) =="
 profile_dir="$workdir/profile"
 rm -rf "$profile_dir"
 mkdir -p "$profile_dir"
@@ -163,7 +172,7 @@ mkdir -p "$profile_dir"
   "$baseline" "$profile_dir/bench_out/profile_metrics.json"
 
 echo ""
-echo "== pass 8/8: quantized kernel accuracy counters + timings =="
+echo "== pass 8/9: quantized kernel accuracy counters + timings =="
 quant_dir="$workdir/quant"
 rm -rf "$quant_dir"
 mkdir -p "$quant_dir"
@@ -179,6 +188,19 @@ mkdir -p "$quant_dir"
   --ignore _speedup \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$quant_dir/bench_out/syn_quant_metrics.json"
+
+echo ""
+echo "== pass 9/9: sharded service admission/queue counters (tight) =="
+service_dir="$workdir/service"
+rm -rf "$service_dir"
+mkdir -p "$service_dir"
+(cd "$service_dir" && "$service_bin" --report-only > bench_service_scaling.log)
+"$obs_diff_bin" --section service_metrics \
+  --counter-tol 0.02 --gauge-tol 0.05 \
+  --ignore log.suppressed --ignore health.latency_p99_us \
+  --ignore health.alerts \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$service_dir/bench_out/service_scaling_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

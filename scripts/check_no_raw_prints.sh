@@ -28,11 +28,12 @@ allowlist=(
   bench_ablation_window.cpp bench_ablation_field_scales.cpp
   bench_ablation_gap.cpp bench_ext_multiband.cpp bench_fleet_scaling.cpp
   bench_fault_sweep.cpp bench_telemetry.cpp bench_profile.cpp
+  bench_service_scaling.cpp
   bench_common.hpp bench_campaign.hpp
   # example CLIs / demos
   quickstart.cpp convoy_tracking.cpp rush_hour.cpp gsm_survey.cpp
   pedestrian.cpp trace_tool.cpp obs_diff.cpp telemetry_report.cpp
-  rups_exporterd.cpp
+  rups_exporterd.cpp rups_matcherd.cpp
 )
 
 allowed() {

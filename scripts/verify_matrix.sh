@@ -24,7 +24,14 @@
 #     Allocation accounting auto-disables under ASAN (the sanitizer owns
 #     malloc; interposing operator new would bypass redzone poisoning) —
 #     alloc.cpp logs the reason once and test_alloc GTEST_SKIPs its
-#     accounting assertions in this lane.
+#     accounting assertions in this lane. The sharded matcher service
+#     suites (arena slot recycling, ticket-table indexing, bounded-ring
+#     queue arithmetic) run here too.
+#  3. tsan — ThreadSanitizer over the shard-concurrency suite and the
+#     thread-pool tests: pooled drains slice shards across workers every
+#     round, so any cross-shard sharing that is not actually
+#     private-per-shard (arena slots, ticket table, metric handles,
+#     queue internals) surfaces as a data race.
 #
 # Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
 set -eu
@@ -48,6 +55,7 @@ cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_quant_kernel test_quant_fuzz \
   test_wsm_faults test_exchange_degraded \
   test_profiler test_alloc test_expo test_ops_shutdown \
+  test_service test_service_concurrency \
   trace_tool rups_exporterd
 
 echo ""
@@ -59,7 +67,8 @@ for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
            test_obs_pipeline test_json test_codec_fuzz test_packed_batch \
            test_quant_kernel test_quant_fuzz \
            test_wsm_faults test_exchange_degraded \
-           test_profiler test_alloc test_expo test_ops_shutdown; do
+           test_profiler test_alloc test_expo test_ops_shutdown \
+           test_service test_service_concurrency; do
   echo "-- $bin"
   "build-asan/tests/$bin"
 done
@@ -79,6 +88,19 @@ test -e "$smoke_dir/profile.folded"
 
 echo "-- rups_exporterd selfcheck (live scrape under sanitizers)"
 build-asan/examples/rups_exporterd --selfcheck
+
+echo ""
+echo "== tsan: configure + build shard-concurrency surfaces =="
+cmake --preset tsan
+cmake --build --preset tsan -j"$jobs" --target \
+  test_service_concurrency test_thread_pool
+
+echo ""
+echo "== tsan: run sanitized binaries =="
+for bin in test_thread_pool test_service_concurrency; do
+  echo "-- $bin"
+  "build-tsan/tests/$bin"
+done
 
 echo ""
 echo "verify matrix: PASS"

@@ -72,6 +72,16 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     const ContextTrajectory& ego,
     std::span<const ContextTrajectory* const> neighbours,
     std::span<const std::uint64_t> ids, util::ThreadPool* pool) {
+  std::vector<NeighbourResult> results;
+  estimate_batch_into(ego, neighbours, ids, pool, results);
+  return results;
+}
+
+void FleetEngine::estimate_batch_into(
+    const ContextTrajectory& ego,
+    std::span<const ContextTrajectory* const> neighbours,
+    std::span<const std::uint64_t> ids, util::ThreadPool* pool,
+    std::vector<NeighbourResult>& results) {
   if (neighbours.size() != ids.size()) {
     throw std::invalid_argument("FleetEngine: neighbours/ids size mismatch");
   }
@@ -115,7 +125,7 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
   // emitted as a trace flow arrow.
   const obs::SpanContext batch_span = obs::current_span();
 
-  std::vector<NeighbourResult> results(neighbours.size());
+  results.resize(neighbours.size());
   const bool count_allocs = obs::alloc_accounting_available();
   const auto query_one = [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -123,7 +133,7 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     obs::ObsTimer task_timer(&m.task_us, "fleet.task", batch_span);
     SynCache& shard = *shards_.find(ids[i])->second;
     NeighbourResult& r = results[i];
-    r.syn_points = shard.find(ego, *neighbours[i], &ego_pack_, ego_q);
+    shard.find_into(ego, *neighbours[i], &ego_pack_, ego_q, r.syn_points);
     r.estimate = aggregate_estimates(ego, *neighbours[i], r.syn_points,
                                      config_.rups.aggregation);
     task_timer.stop();
@@ -134,7 +144,9 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     r.latency_us = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
-    m.task_by_neighbour.with(ids[i]).record(r.latency_us);
+    if (config_.per_neighbour_latency) {
+      m.task_by_neighbour.with(ids[i]).record(r.latency_us);
+    }
     m.outcomes.with(r.estimate.has_value() ? "hit" : "miss").inc();
   };
 
@@ -152,7 +164,6 @@ std::vector<FleetEngine::NeighbourResult> FleetEngine::estimate_batch(
     m.hit_rate.set(static_cast<double>(stats.tracking_hits) /
                    static_cast<double>(resolved));
   }
-  return results;
 }
 
 }  // namespace rups::core

@@ -35,6 +35,11 @@ struct FleetConfig {
   /// When false, every query runs the full SYN search (the per-neighbour
   /// shards then only provide pack reuse). Mirrors SynCacheConfig::enabled.
   bool use_cache = true;
+  /// Record per-neighbour latency cells (fleet.task_us{neighbour=...}).
+  /// The uint64-labeled family lookup formats the label per call, which
+  /// heap-allocates; zero-alloc callers (the matcher service) turn this
+  /// off and keep only the unlabeled task_us histogram.
+  bool per_neighbour_latency = true;
 };
 
 /// One ego vehicle's batched distance-query front end. Not thread-safe as a
@@ -60,6 +65,16 @@ class FleetEngine {
       std::span<const ContextTrajectory* const> neighbours,
       std::span<const std::uint64_t> ids,
       util::ThreadPool* pool = nullptr);
+
+  /// Scratch-reusing form: resizes `results` to the batch and reuses each
+  /// slot's syn_points capacity. With warm caches (and
+  /// per_neighbour_latency off) a steady-state batch performs no dynamic
+  /// allocation. Identical results to estimate_batch.
+  void estimate_batch_into(const ContextTrajectory& ego,
+                           std::span<const ContextTrajectory* const> neighbours,
+                           std::span<const std::uint64_t> ids,
+                           util::ThreadPool* pool,
+                           std::vector<NeighbourResult>& results);
 
   /// Drop the cache shard of one neighbour (e.g. it left radio range).
   void forget(std::uint64_t id);

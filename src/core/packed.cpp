@@ -262,8 +262,11 @@ template <int B>
 // must sit on a concrete (non-template) function, hence the macro. Every
 // caller of a given width runs the same resolved clone, and all clones
 // evaluate the same strict-FP source semantics, so dispatch cannot break
-// bit-identity.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// bit-identity. TSan builds drop the clones: ifunc resolvers run during
+// relocation, before the sanitizer runtime is initialised, and the
+// instrumented resolver path segfaults there.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define RUPS_KERNEL_CLONES \
   __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
 #else

@@ -769,8 +769,10 @@ struct QuantLaneAcc {
 // Same clone discipline as packed.cpp: the attribute must sit on a
 // concrete (non-template) function, an ifunc resolver picks one clone at
 // load time, and every clone evaluates identical per-lane IEEE semantics —
-// so dispatch is a pure speed knob, never a value knob.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// so dispatch is a pure speed knob, never a value knob. Dropped under
+// TSan for the same reason as packed.cpp (resolvers outrun the runtime).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define RUPS_QUANT_CLONES \
   __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
 #else

@@ -20,17 +20,27 @@ std::optional<RelativeDistanceEstimate> aggregate_estimates(
     const std::vector<SynPoint>& syns, Aggregation scheme) {
   if (syns.empty()) return std::nullopt;
 
-  std::vector<double> estimates;
-  estimates.reserve(syns.size());
+  // syn_points is a handful (default 1, paper sweeps to 5); a stack buffer
+  // keeps aggregation allocation-free on the hot path, with a heap
+  // fallback preserving correctness for oversized inputs.
+  constexpr std::size_t kInline = 8;
+  double inline_buf[kInline];
+  std::vector<double> heap_buf;
+  double* estimates = inline_buf;
+  if (syns.size() > kInline) {
+    heap_buf.resize(syns.size());
+    estimates = heap_buf.data();
+  }
+  const std::size_t n_est = syns.size();
   double best_corr = -2.0;
-  for (const SynPoint& s : syns) {
-    estimates.push_back(resolve_distance(a, b, s));
-    best_corr = std::max(best_corr, s.correlation);
+  for (std::size_t i = 0; i < n_est; ++i) {
+    estimates[i] = resolve_distance(a, b, syns[i]);
+    best_corr = std::max(best_corr, syns[i].correlation);
   }
 
   RelativeDistanceEstimate out;
   out.confidence = best_corr;
-  out.syn_count = estimates.size();
+  out.syn_count = n_est;
 
   switch (scheme) {
     case Aggregation::kSingleBest: {
@@ -45,32 +55,42 @@ std::optional<RelativeDistanceEstimate> aggregate_estimates(
       break;
     }
     case Aggregation::kMean: {
-      out.distance_m =
-          std::accumulate(estimates.begin(), estimates.end(), 0.0) /
-          static_cast<double>(estimates.size());
+      out.distance_m = std::accumulate(estimates, estimates + n_est, 0.0) /
+                       static_cast<double>(n_est);
       break;
     }
     case Aggregation::kSelectiveMean: {
-      if (estimates.size() <= 2) {
-        out.distance_m =
-            std::accumulate(estimates.begin(), estimates.end(), 0.0) /
-            static_cast<double>(estimates.size());
+      if (n_est <= 2) {
+        out.distance_m = std::accumulate(estimates, estimates + n_est, 0.0) /
+                         static_cast<double>(n_est);
         break;
       }
-      std::vector<double> sorted = estimates;
-      std::sort(sorted.begin(), sorted.end());
-      const double sum =
-          std::accumulate(sorted.begin() + 1, sorted.end() - 1, 0.0);
-      out.distance_m = sum / static_cast<double>(sorted.size() - 2);
+      double sorted_inline[kInline];
+      std::vector<double> sorted_heap;
+      double* sorted = sorted_inline;
+      if (n_est > kInline) {
+        sorted_heap.resize(n_est);
+        sorted = sorted_heap.data();
+      }
+      std::copy(estimates, estimates + n_est, sorted);
+      std::sort(sorted, sorted + n_est);
+      const double sum = std::accumulate(sorted + 1, sorted + n_est - 1, 0.0);
+      out.distance_m = sum / static_cast<double>(n_est - 2);
       break;
     }
     case Aggregation::kMedian: {
-      std::vector<double> sorted = estimates;
-      std::sort(sorted.begin(), sorted.end());
-      const std::size_t n = sorted.size();
-      out.distance_m = (n % 2 == 1)
-                           ? sorted[n / 2]
-                           : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+      double sorted_inline[kInline];
+      std::vector<double> sorted_heap;
+      double* sorted = sorted_inline;
+      if (n_est > kInline) {
+        sorted_heap.resize(n_est);
+        sorted = sorted_heap.data();
+      }
+      std::copy(estimates, estimates + n_est, sorted);
+      std::sort(sorted, sorted + n_est);
+      out.distance_m = (n_est % 2 == 1)
+                           ? sorted[n_est / 2]
+                           : 0.5 * (sorted[n_est / 2 - 1] + sorted[n_est / 2]);
       break;
     }
   }

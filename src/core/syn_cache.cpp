@@ -55,9 +55,10 @@ SynCache::TrackOutcome SynCache::verify_tracked(
     const ContextTrajectory& local, const ContextTrajectory& neighbour,
     std::size_t recency_offset_m, const PackedSpan& local_span,
     const PackedSpan& neighbour_span, const QuantizedPack* local_q,
-    const QuantizedPack* neighbour_q) const {
-  const SynSeeker::SeekPlan p = seeker_.plan(local, neighbour,
-                                             recency_offset_m);
+    const QuantizedPack* neighbour_q) {
+  seeker_.plan_into(local, neighbour, recency_offset_m, plan_scratch_,
+                    chan_scratch_);
+  const SynSeeker::SeekPlan& p = plan_scratch_;
   if (p.reject != nullptr) {
     // The full search would reject identically before any sliding — the
     // offset is resolved (no SYN point) without falling back.
@@ -174,6 +175,17 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
                                      const ContextTrajectory& neighbour,
                                      const PackedContext* local_pack,
                                      const QuantizedPack* local_qpack) {
+  std::vector<SynPoint> out;
+  find_into(local, neighbour, local_pack, local_qpack, out);
+  return out;
+}
+
+void SynCache::find_into(const ContextTrajectory& local,
+                         const ContextTrajectory& neighbour,
+                         const PackedContext* local_pack,
+                         const QuantizedPack* local_qpack,
+                         std::vector<SynPoint>& out) {
+  out.clear();
   CacheMetrics& m = cache_metrics();
   ++stats_.queries;
   m.queries.inc();
@@ -208,21 +220,32 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
   }
 
   if (!config_.enabled || !locked_) {
-    // Cold (or tracking disabled): full multi-offset search; the packs are
-    // still reused across offsets and passes.
+    // Cold (or tracking disabled): full multi-offset search through the
+    // member scratch — same offsets, same arithmetic and the same sort as
+    // SynSeeker::find, but a steady never-matching pair (out of radio
+    // range) re-searches every round without heap allocation.
     obs::ObsTimer timer(&m.full_us, "syncache.full");
     stats_.full_searches += points;
     m.full.inc(points);
     m.resolution.with("full").inc(points);
-    auto out = seeker_.find(local, neighbour, lp, &neighbour_pack_, lq, nq);
+    for (std::size_t k = 0; k < points; ++k) {
+      const std::size_t offset = k * seeker_.config().syn_segment_spacing_m;
+      const auto syn =
+          seeker_.find_one(local, neighbour, offset, lp, &neighbour_pack_, lq,
+                           nq, plan_scratch_, chan_scratch_);
+      if (syn.has_value()) out.push_back(*syn);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SynPoint& x, const SynPoint& y) {
+                return x.correlation > y.correlation;
+              });
     if (config_.enabled) update_lock(local, neighbour, out);
-    return out;
+    return;
   }
 
   const PackedSpan local_span = lp->span();
   const PackedSpan neighbour_span = neighbour_pack_.span();
   obs::FlightRecorder& recorder = obs::FlightRecorder::global();
-  std::vector<SynPoint> out;
   for (std::size_t k = 0; k < points; ++k) {
     const std::size_t offset = k * seeker_.config().syn_segment_spacing_m;
     TrackOutcome outcome;
@@ -252,14 +275,14 @@ std::vector<SynPoint> SynCache::find(const ContextTrajectory& local,
     m.full.inc();
     obs::ObsTimer timer(&m.full_us, "syncache.full");
     const auto syn = seeker_.find_one(local, neighbour, offset, lp,
-                                      &neighbour_pack_, lq, nq);
+                                      &neighbour_pack_, lq, nq, plan_scratch_,
+                                      chan_scratch_);
     if (syn.has_value()) out.push_back(*syn);
   }
   std::sort(out.begin(), out.end(), [](const SynPoint& x, const SynPoint& y) {
     return x.correlation > y.correlation;
   });
   update_lock(local, neighbour, out);
-  return out;
 }
 
 }  // namespace rups::core

@@ -63,6 +63,17 @@ class SynCache {
       const PackedContext* local_pack = nullptr,
       const QuantizedPack* local_qpack = nullptr);
 
+  /// Scratch-reusing form of find(): writes the SYN points into `out`
+  /// (cleared first, capacity retained). On the warm tracking path —
+  /// every offset resolved by the band — this performs no dynamic
+  /// allocation once the session's scratch vectors are warm; only the
+  /// cold / fallback full searches allocate.
+  void find_into(const ContextTrajectory& local,
+                 const ContextTrajectory& neighbour,
+                 const PackedContext* local_pack,
+                 const QuantizedPack* local_qpack,
+                 std::vector<SynPoint>& out);
+
   /// Tracking lock held from a previous accepted SYN point?
   [[nodiscard]] bool locked() const noexcept { return locked_; }
   /// Locked (local − neighbour) odometer-metre alignment offset.
@@ -89,14 +100,15 @@ class SynCache {
   /// `local_q` / `neighbour_q` are quantized mirrors of the spans (null at
   /// kFloat32): the band re-verification then runs the same quantized
   /// kernel as the full search, so precision cannot split the two paths.
+  /// Non-const: plans through the member scratch (plan_scratch_ /
+  /// chan_scratch_) so warm re-verification never heap-allocates.
   [[nodiscard]] TrackOutcome verify_tracked(const ContextTrajectory& local,
                                             const ContextTrajectory& neighbour,
                                             std::size_t recency_offset_m,
                                             const PackedSpan& local_span,
                                             const PackedSpan& neighbour_span,
                                             const QuantizedPack* local_q,
-                                            const QuantizedPack* neighbour_q)
-      const;
+                                            const QuantizedPack* neighbour_q);
 
   void update_lock(const ContextTrajectory& local,
                    const ContextTrajectory& neighbour,
@@ -112,6 +124,9 @@ class SynCache {
   bool locked_ = false;
   std::int64_t lock_offset_m_ = 0;
   Stats stats_;
+  /// Reusable planning workspace for the warm tracking path.
+  SynSeeker::SeekPlan plan_scratch_;
+  ChannelSelectScratch chan_scratch_;
 };
 
 }  // namespace rups::core

@@ -95,13 +95,31 @@ SynSeeker::SeekPlan SynSeeker::plan(const ContextTrajectory& a,
                                     const ContextTrajectory& b,
                                     std::size_t recency_offset_m) const {
   SeekPlan p;
+  ChannelSelectScratch scratch;
+  plan_into(a, b, recency_offset_m, p, scratch);
+  return p;
+}
+
+void SynSeeker::plan_into(const ContextTrajectory& a,
+                          const ContextTrajectory& b,
+                          std::size_t recency_offset_m, SeekPlan& p,
+                          ChannelSelectScratch& scratch) const {
+  p.window = 0;
+  p.threshold = 0.0;
+  p.a_start = 0;
+  p.b_start = 0;
+  p.channels_a.clear();
+  p.channels_b.clear();
+  p.reject = nullptr;
+  p.reject_v1 = 0.0;
+  p.reject_v2 = 0.0;
   if (a.empty() || b.empty()) {
     p.reject = "syn.empty";
-    return p;
+    return;
   }
   if (a.size() <= recency_offset_m || b.size() <= recency_offset_m) {
     p.reject = "syn.recency_overflow";
-    return p;
+    return;
   }
   // Post-turn limiting (Sec. V-C): the RECENT fixed segment must not span
   // a turn — the metres before it belong to a different road.
@@ -114,7 +132,7 @@ SynSeeker::SeekPlan SynSeeker::plan(const ContextTrajectory& a,
         static_cast<std::size_t>(TurnDetector::straight_tail_metres(b));
     if (tail_a <= recency_offset_m || tail_b <= recency_offset_m) {
       p.reject = "syn.turn_limited";
-      return p;
+      return;
     }
     avail_a = std::min(avail_a, tail_a - recency_offset_m);
     avail_b = std::min(avail_b, tail_b - recency_offset_m);
@@ -125,24 +143,23 @@ SynSeeker::SeekPlan SynSeeker::plan(const ContextTrajectory& a,
     p.reject = "syn.no_window";
     p.reject_v1 = static_cast<double>(std::min(avail_a, avail_b));
     p.reject_v2 = threshold;
-    return p;
+    return;
   }
   p.window = window;
   p.a_start = a.size() - recency_offset_m - window;
   p.b_start = b.size() - recency_offset_m - window;
 
   // Channel selection from the fixed segments (top-k strongest).
-  p.channels_a =
-      select_top_channels(a, p.a_start, window, config_.top_channels);
-  p.channels_b =
-      select_top_channels(b, p.b_start, window, config_.top_channels);
+  select_top_channels_into(a, p.a_start, window, config_.top_channels, scratch,
+                           p.channels_a);
+  select_top_channels_into(b, p.b_start, window, config_.top_channels, scratch,
+                           p.channels_b);
   if (p.channels_a.empty() || p.channels_b.empty()) {
     p.reject = "syn.no_channels";
     p.reject_v1 = static_cast<double>(window);
     p.reject_v2 = threshold;
-    return p;
+    return;
   }
-  return p;
 }
 
 SynSeeker::Candidate SynSeeker::best_over_positions(
@@ -371,6 +388,18 @@ std::optional<SynPoint> SynSeeker::find_one(
     std::size_t recency_offset_m, const PackedContext* pack_a,
     const PackedContext* pack_b, const QuantizedPack* qpack_a,
     const QuantizedPack* qpack_b) const {
+  SeekPlan plan_scratch;
+  ChannelSelectScratch chan_scratch;
+  return find_one(a, b, recency_offset_m, pack_a, pack_b, qpack_a, qpack_b,
+                  plan_scratch, chan_scratch);
+}
+
+std::optional<SynPoint> SynSeeker::find_one(
+    const ContextTrajectory& a, const ContextTrajectory& b,
+    std::size_t recency_offset_m, const PackedContext* pack_a,
+    const PackedContext* pack_b, const QuantizedPack* qpack_a,
+    const QuantizedPack* qpack_b, SeekPlan& plan_scratch,
+    ChannelSelectScratch& chan_scratch) const {
   SynMetrics& metrics = syn_metrics();
   metrics.seeks.inc();
   obs::ObsTimer timer(&metrics.seek_us, "syn.seek");
@@ -378,7 +407,8 @@ std::optional<SynPoint> SynSeeker::find_one(
   recorder.record(obs::EventType::kSeekStarted, "syn.seek",
                   static_cast<double>(a.size()), static_cast<double>(b.size()),
                   static_cast<double>(recency_offset_m));
-  const SeekPlan p = plan(a, b, recency_offset_m);
+  plan_into(a, b, recency_offset_m, plan_scratch, chan_scratch);
+  const SeekPlan& p = plan_scratch;
   if (p.reject != nullptr) {
     metrics.outcomes.with(p.reject).inc();
     recorder.record(obs::EventType::kSeekRejected, p.reject, 0.0, p.reject_v1,

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/channel_select.hpp"
 #include "core/correlation.hpp"
 #include "core/packed.hpp"
 #include "core/quant.hpp"
@@ -150,10 +151,28 @@ class SynSeeker {
       std::size_t recency_offset_m, const PackedContext* pack_a,
       const PackedContext* pack_b, const QuantizedPack* qpack_a,
       const QuantizedPack* qpack_b) const;
+  /// Scratch-reusing form: plans through the caller's SeekPlan and channel
+  /// workspace (see plan_into), so a steady-state full search against
+  /// stable-width trajectories performs no dynamic allocation. Identical
+  /// results to the allocating overloads.
+  [[nodiscard]] std::optional<SynPoint> find_one(
+      const ContextTrajectory& a, const ContextTrajectory& b,
+      std::size_t recency_offset_m, const PackedContext* pack_a,
+      const PackedContext* pack_b, const QuantizedPack* qpack_a,
+      const QuantizedPack* qpack_b, SeekPlan& plan_scratch,
+      ChannelSelectScratch& chan_scratch) const;
 
   [[nodiscard]] SeekPlan plan(const ContextTrajectory& a,
                               const ContextTrajectory& b,
                               std::size_t recency_offset_m) const;
+
+  /// Scratch-reusing form of plan(): resets every field of `out` but keeps
+  /// the channel vectors' capacity, and ranks through the caller's
+  /// workspace — repeated planning against stable-width trajectories is
+  /// allocation-free once warm. Identical selection arithmetic to plan().
+  void plan_into(const ContextTrajectory& a, const ContextTrajectory& b,
+                 std::size_t recency_offset_m, SeekPlan& out,
+                 ChannelSelectScratch& scratch) const;
 
   /// Effective window and threshold after the adaptive-window rule
   /// (window 0 = cannot search).

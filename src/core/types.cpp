@@ -1,5 +1,6 @@
 #include "core/types.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rups::core {
@@ -30,6 +31,12 @@ std::size_t PowerVector::measured_count() const noexcept {
   return n;
 }
 
+void PowerVector::reset() noexcept {
+  std::fill(rssi_.begin(), rssi_.end(), 0.0f);
+  std::fill(state_.begin(), state_.end(),
+            static_cast<std::uint8_t>(ChannelState::kMissing));
+}
+
 double PowerVector::mean_usable() const noexcept {
   double sum = 0.0;
   std::size_t n = 0;
@@ -53,16 +60,23 @@ ContextTrajectory::ContextTrajectory(std::size_t channels,
 }
 
 void ContextTrajectory::append(GeoSample geo, PowerVector power) {
+  (void)append_evict(geo, std::move(power));
+}
+
+PowerVector ContextTrajectory::append_evict(GeoSample geo, PowerVector power) {
   if (power.channels() != channels_) {
     throw std::invalid_argument("ContextTrajectory::append: width mismatch");
   }
+  PowerVector evicted;
   if (geo_.size() == capacity_) {
+    evicted = std::move(power_.front());
     geo_.erase(geo_.begin());
     power_.erase(power_.begin());
     ++first_seq_;
   }
   geo_.push_back(geo);
   power_.push_back(std::move(power));
+  return evicted;
 }
 
 bool ContextTrajectory::splice_tail(const ContextTrajectory& tail) {

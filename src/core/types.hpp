@@ -48,6 +48,10 @@ class PowerVector {
   /// Mean over usable channels (0 if none).
   [[nodiscard]] double mean_usable() const noexcept;
 
+  /// Zero every channel back to kMissing, keeping the buffers — a recycled
+  /// vector is indistinguishable from PowerVector(channels()).
+  void reset() noexcept;
+
  private:
   std::vector<float> rssi_;
   std::vector<std::uint8_t> state_;
@@ -72,6 +76,12 @@ class ContextTrajectory {
 
   /// Append the next metre mark. Entries must be appended in odometer order.
   void append(GeoSample geo, PowerVector power);
+
+  /// Append, returning the evicted oldest entry (empty PowerVector while
+  /// still below capacity). Long-lived ingest loops reset() and refill the
+  /// returned vector for the next metre, so a full ring recycles buffers
+  /// instead of allocating per append.
+  [[nodiscard]] PowerVector append_evict(GeoSample geo, PowerVector power);
 
   [[nodiscard]] std::size_t size() const noexcept { return geo_.size(); }
   [[nodiscard]] bool empty() const noexcept { return geo_.empty(); }

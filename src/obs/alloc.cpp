@@ -9,14 +9,15 @@
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 
-// Decide whether interposition is compiled in. ASAN's allocator must stay
-// in charge under the sanitizer lanes (redzone poisoning lives inside its
-// malloc), so accounting compiles out there and availability reports why.
+// Decide whether interposition is compiled in. The sanitizer allocators
+// must stay in charge under their lanes (ASAN's redzone poisoning and
+// TSAN's happens-before tracking live inside their malloc), so accounting
+// compiles out there and availability reports why.
 #if !defined(RUPS_OBS_DISABLED)
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define RUPS_ALLOC_ASAN_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define RUPS_ALLOC_ASAN_DISABLED 1
 #endif
 #endif
@@ -133,8 +134,8 @@ bool alloc_accounting_available() noexcept {
 #ifdef RUPS_ALLOC_ASAN_DISABLED
   static const bool logged = [] {
     RUPS_LOG(kWarn)
-        << "alloc accounting disabled: AddressSanitizer owns the allocator "
-           "(operator new interposition would bypass redzone poisoning)";
+        << "alloc accounting disabled: a sanitizer owns the allocator "
+           "(operator new interposition would bypass its bookkeeping)";
     return true;
   }();
   (void)logged;

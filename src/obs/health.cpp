@@ -46,6 +46,9 @@ std::string HealthReport::to_json() const {
   out += "    \"delivery_failure_rate\": " + num(delivery_failure_rate) +
          ",\n";
   out += "    \"degraded_rate\": " + num(degraded_rate) + ",\n";
+  out += "    \"admissions\": " + std::to_string(admissions) + ",\n";
+  out += "    \"admission_reject_rate\": " + num(admission_reject_rate) +
+         ",\n";
   out += "    \"log_suppressed\": " + std::to_string(log_suppressed) + ",\n";
   out += "    \"recorder_overwritten\": " +
          std::to_string(recorder_overwritten) + ",\n";
@@ -70,7 +73,8 @@ HealthMonitor::HealthMonitor(HealthConfig config)
       hits_(config.window == 0 ? 1 : config.window),
       errors_(config.window == 0 ? 1 : config.window),
       latencies_(config.window == 0 ? 1 : config.window),
-      deliveries_(config.window == 0 ? 1 : config.window) {
+      deliveries_(config.window == 0 ? 1 : config.window),
+      admitted_(config.window == 0 ? 1 : config.window) {
   config_.window = hits_.capacity();
 }
 
@@ -105,6 +109,28 @@ void HealthMonitor::on_exchange(bool usable, bool degraded) {
        config_.max_delivery_failure_rate > 0.0 &&
            failure_rate > config_.max_delivery_failure_rate,
        failure_rate, config_.max_delivery_failure_rate);
+}
+
+void HealthMonitor::on_admission(bool accepted) {
+  ++admissions_;
+  admitted_.push(accepted ? 1 : 0);
+
+  double rejected = 0.0;
+  for (std::size_t i = 0; i < admitted_.size(); ++i) {
+    if (admitted_[i] == 0) rejected += 1.0;
+  }
+  const double reject_rate =
+      admitted_.empty() ? 0.0
+                        : rejected / static_cast<double>(admitted_.size());
+  Registry& reg = Registry::global();
+  reg.gauge("health.admission_reject_rate").set(reject_rate);
+  reg.gauge("health.admissions").set(static_cast<double>(admissions_));
+
+  if (admissions_ < config_.min_admissions) return;
+  fire("admission_reject", "health.admission_reject", armed_admission_,
+       config_.max_admission_reject_rate > 0.0 &&
+           reject_rate > config_.max_admission_reject_rate,
+       reject_rate, config_.max_admission_reject_rate);
 }
 
 void HealthMonitor::evaluate() {
@@ -189,6 +215,15 @@ HealthReport HealthMonitor::report() const {
     r.delivery_failure_rate =
         failures / static_cast<double>(deliveries_.size());
     r.degraded_rate = degraded / static_cast<double>(deliveries_.size());
+  }
+  r.admissions = admissions_;
+  double rejected = 0.0;
+  for (std::size_t i = 0; i < admitted_.size(); ++i) {
+    if (admitted_[i] == 0) rejected += 1.0;
+  }
+  if (!admitted_.empty()) {
+    r.admission_reject_rate =
+        rejected / static_cast<double>(admitted_.size());
   }
   r.log_suppressed = Logger::global().total_suppressed();
   r.recorder_overwritten = FlightRecorder::global().overwritten();

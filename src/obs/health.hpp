@@ -38,6 +38,11 @@ struct HealthConfig {
   /// exceeds this. Degraded-but-usable deliveries do not count as failures.
   double max_delivery_failure_rate = 0.5;
   std::size_t min_exchanges = 8;     ///< warm-up before the delivery rule
+  /// Service admission rule (fed by on_admission): alert when the fraction
+  /// of requests rejected by admission control (queue full, arena
+  /// exhausted) over the rolling window exceeds this.
+  double max_admission_reject_rate = 0.5;
+  std::size_t min_admissions = 16;   ///< warm-up before the admission rule
 };
 
 struct HealthAlert {
@@ -64,6 +69,8 @@ struct HealthReport {
   std::uint64_t exchanges = 0;    ///< V2V exchanges observed in total
   double delivery_failure_rate = 0.0;  ///< kFailed rate over the window
   double degraded_rate = 0.0;     ///< degraded-delivery rate over the window
+  std::uint64_t admissions = 0;   ///< admission decisions observed in total
+  double admission_reject_rate = 0.0;  ///< reject rate over the window
   /// Telemetry self-loss at report time (process-wide, cumulative): log
   /// lines suppressed by the rate limiter and flight-recorder ring
   /// overwrites. Non-zero means bundles/logs are missing history.
@@ -90,6 +97,11 @@ class HealthMonitor {
   /// feed is plain bools so obs stays independent of the v2v layer.
   void on_exchange(bool usable, bool degraded);
 
+  /// Observe one service admission decision: `accepted` when the request
+  /// entered a shard queue, false when admission control rejected it. Plain
+  /// bool feed so obs stays independent of the service layer.
+  void on_admission(bool accepted);
+
   [[nodiscard]] HealthReport report() const;
   [[nodiscard]] const HealthConfig& config() const noexcept {
     return config_;
@@ -107,8 +119,11 @@ class HealthMonitor {
   util::RingBuffer<double> latencies_;
   /// Exchange outcomes: 0 = delivered, 1 = degraded, 2 = failed.
   util::RingBuffer<unsigned char> deliveries_;
+  /// Admission outcomes: 1 = accepted, 0 = rejected.
+  util::RingBuffer<unsigned char> admitted_;
   std::uint64_t samples_ = 0;
   std::uint64_t exchanges_ = 0;
+  std::uint64_t admissions_ = 0;
   std::size_t miss_streak_ = 0;
   std::vector<HealthAlert> alerts_;
   bool armed_availability_ = true;
@@ -116,6 +131,7 @@ class HealthMonitor {
   bool armed_latency_ = true;
   bool armed_streak_ = true;
   bool armed_delivery_ = true;
+  bool armed_admission_ = true;
 };
 
 }  // namespace rups::obs

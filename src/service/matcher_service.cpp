@@ -1,0 +1,254 @@
+#include "service/matcher_service.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace rups::service {
+
+namespace {
+
+/// Session map key. Slot indices are < 2^32 by FixedPool construction.
+constexpr std::uint64_t pair_key(std::uint32_t ego,
+                                 std::uint32_t neighbour) noexcept {
+  return (static_cast<std::uint64_t>(ego) << 32) | neighbour;
+}
+
+}  // namespace
+
+const char* MatcherService::admission_reason(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kQueueFull:
+      return "queue_full";
+    case Admission::kSessionsFull:
+      return "sessions_full";
+    case Admission::kUnknownVehicle:
+      return "unknown_vehicle";
+    case Admission::kRoundFull:
+      return "round_full";
+  }
+  return "unknown";
+}
+
+MatcherService::MatcherService(ServiceConfig config)
+    : config_(config),
+      vehicles_(std::max<std::size_t>(1, config.max_vehicles)),
+      sessions_(std::max<std::size_t>(1, config.max_sessions)),
+      m_requests_(obs::Registry::global().counter("service.requests")),
+      m_queries_(obs::Registry::global().counter("service.queries")),
+      m_estimates_(obs::Registry::global().counter("service.estimates")),
+      m_admission_(obs::Registry::global().counter_family(
+          "service.admission", "reason")),
+      m_latency_(obs::Registry::global().histogram("service.request_us")) {
+  config_.shard_count = std::max<std::size_t>(1, config_.shard_count);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  if (config_.cell_m <= 0.0) config_.cell_m = 250.0;
+  // The uint64-labeled per-neighbour latency family formats its label per
+  // call, which allocates — incompatible with the zero-alloc round.
+  config_.fleet.per_neighbour_latency = false;
+  if (config_.max_round_requests == 0) {
+    config_.max_round_requests =
+        config_.shard_count * config_.queue_capacity;
+  }
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_.emplace_back(config_.queue_capacity);
+    shards_.back().latencies.reserve(config_.queue_capacity);
+  }
+  tickets_.resize(config_.max_round_requests);
+  vehicle_index_.reserve(vehicles_.capacity());
+  obs::Registry::global().gauge("service.shards").set(
+      static_cast<double>(shards_.size()));
+}
+
+bool MatcherService::register_vehicle(std::uint64_t id, double position_m) {
+  obs::Registry& reg = obs::Registry::global();
+  if (vehicle_index_.contains(id)) return false;
+  const std::uint32_t slot =
+      vehicles_.acquire_index(id, position_m, config_.fleet);
+  if (slot == util::FixedPool<VehicleSlot>::npos) {
+    reg.counter("service.register_rejected").inc();
+    RUPS_LOG(kWarn) << "matcher service: vehicle arena full ("
+                    << vehicles_.capacity() << "), rejecting id " << id;
+    return false;
+  }
+  vehicle_index_.emplace(id, slot);
+  reg.gauge("service.vehicles").set(static_cast<double>(vehicles_.in_use()));
+  return true;
+}
+
+bool MatcherService::deregister_vehicle(std::uint64_t id) {
+  const auto it = vehicle_index_.find(id);
+  if (it == vehicle_index_.end()) return false;
+  const std::uint32_t slot = it->second;
+
+  // Release every pair session touching the slot; other egos also drop the
+  // SynCache shard they keep for this neighbour.
+  for (auto sit = session_index_.begin(); sit != session_index_.end();) {
+    const PairSession& session = sessions_[sit->second];
+    if (session.ego_slot == slot || session.neighbour_slot == slot) {
+      if (session.neighbour_slot == slot) {
+        vehicles_[session.ego_slot].engine.forget(id);
+      }
+      sessions_.release_index(sit->second);
+      sit = session_index_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+
+  vehicles_.release_index(slot);
+  vehicle_index_.erase(it);
+  obs::Registry& reg = obs::Registry::global();
+  reg.gauge("service.vehicles").set(static_cast<double>(vehicles_.in_use()));
+  reg.gauge("service.sessions").set(static_cast<double>(sessions_.in_use()));
+  return true;
+}
+
+bool MatcherService::observe(std::uint64_t id, double position_m,
+                             core::GeoSample geo,
+                             const core::PowerVector& power) {
+  const auto it = vehicle_index_.find(id);
+  if (it == vehicle_index_.end()) return false;
+  VehicleSlot& slot = vehicles_[it->second];
+  slot.position_m = position_m;
+  // Copy into the recycled buffer (equal width: no allocation), then swap
+  // it for whatever the bounded trajectory evicts.
+  slot.spare = power;
+  slot.spare = slot.traj.append_evict(geo, std::move(slot.spare));
+  return true;
+}
+
+void MatcherService::begin_round() {
+  round_requests_ = 0;
+  ++rounds_;
+  for (Shard& shard : shards_) {
+    shard.stats = ShardStats{};
+    shard.latencies.clear();
+  }
+  obs::Registry::global().gauge("service.rounds").set(
+      static_cast<double>(rounds_));
+}
+
+std::uint32_t MatcherService::shard_of_position(double position_m) const {
+  const auto cell = static_cast<long long>(
+      std::floor(position_m / config_.cell_m));
+  const auto n = static_cast<long long>(shards_.size());
+  return static_cast<std::uint32_t>(((cell % n) + n) % n);
+}
+
+std::uint32_t MatcherService::shard_of(std::uint64_t id) const {
+  const auto it = vehicle_index_.find(id);
+  if (it == vehicle_index_.end()) return 0;
+  return shard_of_position(vehicles_[it->second].position_m);
+}
+
+MatcherService::Ticket MatcherService::reject(Admission reason) {
+  m_admission_.with(admission_reason(reason)).inc();
+  if (health_ != nullptr) health_->on_admission(false);
+  Ticket t;
+  t.admission = reason;
+  return t;
+}
+
+MatcherService::Ticket MatcherService::submit(std::uint64_t ego_id,
+                                              std::uint64_t neighbour_id) {
+  obs::Registry& reg = obs::Registry::global();
+  m_requests_.inc();
+
+  const auto ego_it = vehicle_index_.find(ego_id);
+  const auto nb_it = vehicle_index_.find(neighbour_id);
+  if (ego_it == vehicle_index_.end() || nb_it == vehicle_index_.end() ||
+      ego_id == neighbour_id) {
+    return reject(Admission::kUnknownVehicle);
+  }
+  if (round_requests_ >= tickets_.size()) {
+    return reject(Admission::kRoundFull);
+  }
+
+  const std::uint32_t ego_slot = ego_it->second;
+  const std::uint32_t nb_slot = nb_it->second;
+  const std::uint64_t key = pair_key(ego_slot, nb_slot);
+  auto session_it = session_index_.find(key);
+  if (session_it == session_index_.end()) {
+    const std::uint32_t session = sessions_.acquire_index();
+    if (session == util::FixedPool<PairSession>::npos) {
+      return reject(Admission::kSessionsFull);
+    }
+    sessions_[session].ego_slot = ego_slot;
+    sessions_[session].neighbour_slot = nb_slot;
+    session_it = session_index_.emplace(key, session).first;
+    reg.gauge("service.sessions").set(
+        static_cast<double>(sessions_.in_use()));
+  }
+
+  const std::uint32_t shard_index =
+      shard_of_position(vehicles_[ego_slot].position_m);
+  Shard& shard = shards_[shard_index];
+  QueuedRequest request;
+  request.ego_slot = ego_slot;
+  request.neighbour_slot = nb_slot;
+  request.session = session_it->second;
+  request.ticket = round_requests_;
+  if (!shard.queue.push(request)) {
+    return reject(Admission::kQueueFull);
+  }
+
+  ++round_requests_;
+  m_admission_.with(admission_reason(Admission::kAccepted)).inc();
+  if (health_ != nullptr) health_->on_admission(true);
+  Ticket t;
+  t.admission = Admission::kAccepted;
+  t.index = request.ticket;
+  t.shard = shard_index;
+  return t;
+}
+
+void MatcherService::drain_shard(std::size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  const double start_us = obs::now_us();
+
+  QueuedRequest request;
+  while (shard.queue.pop(request)) {
+    VehicleSlot& ego = vehicles_[request.ego_slot];
+    VehicleSlot& neighbour = vehicles_[request.neighbour_slot];
+    const core::ContextTrajectory* nb_traj = &neighbour.traj;
+
+    const double t0 = obs::now_us();
+    ego.engine.estimate_batch_into(
+        ego.traj, std::span<const core::ContextTrajectory* const>(&nb_traj, 1),
+        std::span<const std::uint64_t>(&neighbour.id, 1), nullptr,
+        tickets_[request.ticket]);
+    const double elapsed = obs::now_us() - t0;
+
+    ++sessions_[request.session].queries;
+    ++shard.stats.processed;
+    if (shard.latencies.size() < shard.latencies.capacity()) {
+      shard.latencies.push_back(elapsed);
+    }
+    m_latency_.record(elapsed);
+    m_queries_.inc();
+    if (tickets_[request.ticket][0].estimate.has_value()) {
+      m_estimates_.inc();
+    }
+  }
+  shard.stats.busy_us = obs::now_us() - start_us;
+}
+
+void MatcherService::drain(util::ThreadPool* pool) {
+  if (pool == nullptr || shards_.size() <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) drain_shard(s);
+    return;
+  }
+  // One slice per shard; every shard queue keeps a single consumer, so the
+  // unsynchronized BoundedRing stays safe and results match serial drains.
+  pool->parallel_for(0, shards_.size(),
+                     [this](std::size_t s) { drain_shard(s); });
+}
+
+}  // namespace rups::service

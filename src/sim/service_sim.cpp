@@ -1,0 +1,176 @@
+#include "sim/service_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rups::sim {
+
+CityFleet::CityFleet(CityFleetConfig config)
+    : config_(config),
+      chan_noise_(config.seed ^ 0x9E3779B97F4A7C15ULL),
+      meas_noise_(config.seed ^ 0xD1B54A32D192ED03ULL),
+      field_(config.seed, /*correlation_length=*/18.0, /*octaves=*/3) {
+  config_.vehicles = std::max<std::size_t>(2, config_.vehicles);
+  config_.channels = std::max<std::size_t>(4, config_.channels);
+  config_.max_advance_m =
+      std::max(config_.max_advance_m, config_.min_advance_m);
+  positions_.resize(config_.vehicles);
+  advance_m_.resize(config_.vehicles);
+  samples_.resize(config_.vehicles);
+  queries_.reserve(config_.vehicles);
+  const std::size_t spread =
+      config_.max_advance_m - config_.min_advance_m + 1;
+  for (std::size_t v = 0; v < config_.vehicles; ++v) {
+    // Front of the column drives at the highest index; staggered starts.
+    positions_[v] = static_cast<double>(v) * config_.spacing_m;
+    advance_m_[v] =
+        config_.min_advance_m +
+        static_cast<std::size_t>(
+            chan_noise_.uniform(static_cast<std::int64_t>(v) + 7919) *
+            static_cast<double>(spread));
+    samples_[v].reserve(config_.max_advance_m);
+    queries_.push_back(
+        Query{v, (v + config_.vehicles - 1) % config_.vehicles});
+  }
+}
+
+float CityFleet::rssi(std::size_t vehicle, long long metre,
+                      std::size_t channel) const noexcept {
+  // Shared spatial component: a per-channel base level plus the hashed
+  // lattice field sampled at a per-channel offset of the road coordinate —
+  // every vehicle passing `metre` sees the same value (temporary
+  // stability), which is what makes the trajectories matchable.
+  const double base =
+      -95.0 + 40.0 * chan_noise_.uniform(static_cast<std::int64_t>(channel));
+  const double spatial = 6.0 * field_.value(
+      static_cast<double>(metre) +
+      1024.0 * static_cast<double>(channel));
+  const double noise =
+      config_.noise_dbm *
+      meas_noise_.gaussian2(
+          static_cast<std::int64_t>(vehicle) * 1315423911LL +
+              static_cast<std::int64_t>(channel),
+          metre);
+  return static_cast<float>(base + spatial + noise);
+}
+
+void CityFleet::advance_round() {
+  ++round_;
+  for (std::size_t v = 0; v < positions_.size(); ++v) {
+    const std::size_t advance = advance_m_[v];
+    auto& out = samples_[v];
+    // Reuse the PowerVector buffers from previous rounds: resize only
+    // grows on the first round, then the per-sample vectors are recycled.
+    if (out.size() != advance) {
+      out.resize(advance, Sample{0.0, {}, core::PowerVector(config_.channels)});
+    }
+    for (std::size_t k = 0; k < advance; ++k) {
+      const double position = positions_[v] + static_cast<double>(k + 1);
+      const auto metre = static_cast<long long>(std::llround(position));
+      Sample& s = out[k];
+      s.position_m = position;
+      s.geo.heading_rad = 0.08 * std::sin(position / 90.0);
+      s.geo.time_s =
+          (static_cast<double>(round_ - 1) +
+           static_cast<double>(k + 1) / static_cast<double>(advance)) *
+          config_.interval_s;
+      if (s.power.channels() != config_.channels) {
+        s.power = core::PowerVector(config_.channels);
+      }
+      for (std::size_t c = 0; c < config_.channels; ++c) {
+        s.power.set(c, rssi(v, metre, c), core::ChannelState::kMeasured);
+      }
+    }
+    positions_[v] += static_cast<double>(advance);
+  }
+}
+
+ServiceCampaignResult run_service_campaign(
+    const ServiceCampaignConfig& config) {
+  ServiceCampaignConfig cfg = config;
+  cfg.service.fleet.rups.channels = cfg.city.channels;
+  cfg.service.fleet.rups.context_capacity_m = cfg.city.context_capacity_m;
+
+  CityFleet city(cfg.city);
+  service::MatcherService svc(cfg.service);
+  obs::HealthMonitor health(cfg.health);
+  svc.set_health_monitor(&health);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (cfg.pool_threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(cfg.pool_threads);
+  }
+
+  for (std::size_t v = 0; v < city.vehicle_count(); ++v) {
+    (void)svc.register_vehicle(city.vehicle_id(v), city.position(v));
+  }
+
+  ServiceCampaignResult result;
+  result.shard_processed.assign(svc.shard_count(), 0);
+  double latency_sum = 0.0;
+  std::uint64_t latency_n = 0;
+  std::vector<service::MatcherService::Ticket> tickets;
+  tickets.reserve(city.queries().size());
+
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    city.advance_round();
+    svc.begin_round();
+    for (std::size_t v = 0; v < city.vehicle_count(); ++v) {
+      for (const CityFleet::Sample& s : city.samples(v)) {
+        (void)svc.observe(city.vehicle_id(v), s.position_m, s.geo, s.power);
+      }
+    }
+    if (r < cfg.warmup_rounds) continue;
+
+    tickets.clear();
+    for (const CityFleet::Query& q : city.queries()) {
+      const auto ticket =
+          svc.submit(city.vehicle_id(q.ego), city.vehicle_id(q.neighbour));
+      tickets.push_back(ticket);
+      ++result.requests;
+      if (ticket.accepted()) {
+        ++result.accepted;
+      } else {
+        ++result.rejected;
+      }
+    }
+    svc.drain(pool.get());
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (!tickets[i].accepted()) continue;
+      const auto& nr = svc.result(tickets[i]);
+      const CityFleet::Query& q = city.queries()[i];
+      if (nr.estimate.has_value()) {
+        ++result.estimates;
+        health.on_query(true,
+                        std::abs(nr.estimate->distance_m - city.truth_m(q)),
+                        nr.latency_us);
+      } else {
+        health.on_query(false, std::nullopt, nr.latency_us);
+      }
+      latency_sum += nr.latency_us;
+      ++latency_n;
+    }
+    for (std::size_t s = 0; s < svc.shard_count(); ++s) {
+      result.shard_processed[s] += svc.shard_stats(s).processed;
+    }
+  }
+
+  result.availability =
+      result.accepted > 0
+          ? static_cast<double>(result.estimates) /
+                static_cast<double>(result.accepted)
+          : 0.0;
+  result.mean_latency_us =
+      latency_n > 0 ? latency_sum / static_cast<double>(latency_n) : 0.0;
+  result.metrics = obs::Registry::global().snapshot();
+  result.health = health.report();
+  return result;
+}
+
+}  // namespace rups::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+// City-scale service workload: a fleet of vehicles driving one shared road
+// log, feeding a service::MatcherService round by round. Unlike the
+// convoy simulators (full sensor stacks through RupsEngine), CityFleet
+// synthesizes per-metre context trajectories directly from a deterministic
+// hashed radio field — the same "temporary stability" construction the GSM
+// field uses, cheap enough to drive 10k+ vehicles — so service benches and
+// shard-routing determinism tests share one replayable workload.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "obs/health.hpp"
+#include "obs/snapshot.hpp"
+#include "service/matcher_service.hpp"
+#include "util/hash_noise.hpp"
+
+namespace rups::sim {
+
+struct CityFleetConfig {
+  std::size_t vehicles = 24;
+  std::size_t channels = 45;
+  std::size_t context_capacity_m = 240;
+  /// Initial gap between consecutive vehicles (metres of road position).
+  double spacing_m = 30.0;
+  /// Per-round advance is a per-vehicle constant drawn from this range —
+  /// vehicles drift apart, exercising shard migration and re-verification.
+  std::size_t min_advance_m = 8;
+  std::size_t max_advance_m = 14;
+  double interval_s = 1.0;
+  std::uint64_t seed = 0xC17F;
+  /// Per-(vehicle, metre, channel) measurement noise sigma (dB) on top of
+  /// the shared spatial field.
+  double noise_dbm = 1.5;
+};
+
+/// Deterministic city fleet. Every vehicle observes the SAME spatial RSSI
+/// component at a given road metre (plus private noise), which is exactly
+/// the property RUPS matching needs. Replayable: two CityFleets with equal
+/// configs produce bit-identical samples and queries.
+class CityFleet {
+ public:
+  /// One new context metre for a vehicle this round.
+  struct Sample {
+    double position_m = 0.0;
+    core::GeoSample geo;
+    core::PowerVector power;
+  };
+  /// One relative-distance request (indices into the fleet).
+  struct Query {
+    std::size_t ego = 0;
+    std::size_t neighbour = 0;
+  };
+
+  explicit CityFleet(CityFleetConfig config);
+
+  [[nodiscard]] std::size_t vehicle_count() const noexcept {
+    return positions_.size();
+  }
+  [[nodiscard]] std::uint64_t vehicle_id(std::size_t i) const noexcept {
+    return 1000 + i;
+  }
+  [[nodiscard]] double position(std::size_t i) const noexcept {
+    return positions_[i];
+  }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// Advance every vehicle by its per-round metre budget and regenerate
+  /// the per-vehicle sample lists. Buffers are reused across rounds.
+  void advance_round();
+
+  /// New samples for vehicle i produced by the last advance_round().
+  [[nodiscard]] const std::vector<Sample>& samples(std::size_t i) const {
+    return samples_[i];
+  }
+  /// This round's request plan: each vehicle queries its predecessor on
+  /// the ring (vehicle 0 queries the last — usually out of context range,
+  /// exercising the miss path deterministically).
+  [[nodiscard]] const std::vector<Query>& queries() const noexcept {
+    return queries_;
+  }
+  /// Signed ground truth for a query (positive = ego ahead).
+  [[nodiscard]] double truth_m(const Query& q) const noexcept {
+    return positions_[q.ego] - positions_[q.neighbour];
+  }
+
+  /// RSSI of `channel` at absolute road metre `metre` for `vehicle` —
+  /// shared spatial field plus private noise. Exposed so tests can verify
+  /// temporary stability directly.
+  [[nodiscard]] float rssi(std::size_t vehicle, long long metre,
+                           std::size_t channel) const noexcept;
+
+ private:
+  CityFleetConfig config_;
+  util::HashNoise chan_noise_;
+  util::HashNoise meas_noise_;
+  util::LatticeField1D field_;
+  std::vector<double> positions_;
+  std::vector<std::size_t> advance_m_;
+  std::vector<std::vector<Sample>> samples_;
+  std::vector<Query> queries_;
+  std::size_t round_ = 0;
+};
+
+/// Deterministic service campaign for the service_metrics regression
+/// section and the shard-routing tests.
+struct ServiceCampaignConfig {
+  CityFleetConfig city{};
+  service::ServiceConfig service{};
+  std::size_t rounds = 12;
+  /// Rounds of pure context feeding before requests start.
+  std::size_t warmup_rounds = 4;
+  /// Worker threads for pooled drains; 0 = serial.
+  std::size_t pool_threads = 0;
+  obs::HealthConfig health{};
+};
+
+struct ServiceCampaignResult {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t estimates = 0;
+  /// estimates / accepted (0 when nothing was accepted).
+  double availability = 0.0;
+  double mean_latency_us = 0.0;
+  std::vector<std::uint64_t> shard_processed;
+  obs::MetricsSnapshot metrics;
+  obs::HealthReport health;
+};
+
+/// Feed a CityFleet through a MatcherService: register everyone, then per
+/// round observe every sample, submit the query plan (after warm-up) and
+/// drain. All counters in the result are deterministic functions of the
+/// config; only latencies are machine-dependent.
+[[nodiscard]] ServiceCampaignResult run_service_campaign(
+    const ServiceCampaignConfig& config);
+
+}  // namespace rups::sim

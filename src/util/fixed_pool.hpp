@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace rups::util {
+
+/// Fixed-capacity object pool with freelist recycling. All storage is
+/// reserved up front; acquire/release never touch the heap, so a service
+/// whose sessions live in a FixedPool has a bounded, allocation-free steady
+/// state. Slots are addressed by index (stable for the pool's lifetime —
+/// safe to store in registries) and constructed/destroyed in place on
+/// acquire/release.
+template <typename T>
+class FixedPool {
+ public:
+  static constexpr std::uint32_t npos =
+      std::numeric_limits<std::uint32_t>::max();
+
+  explicit FixedPool(std::size_t capacity)
+      : storage_(new Slot[capacity]), capacity_(capacity), live_(capacity, 0) {
+    free_.reserve(capacity);
+    // LIFO freelist pre-filled in reverse so acquisition order is 0,1,2,...
+    for (std::size_t i = capacity; i > 0; --i) {
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+
+  ~FixedPool() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (live_[i] != 0) ptr(i)->~T();
+    }
+    delete[] storage_;
+  }
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t in_use() const noexcept {
+    return capacity_ - free_.size();
+  }
+  [[nodiscard]] bool full() const noexcept { return free_.empty(); }
+
+  /// Construct a T in a free slot; returns its index, or npos when
+  /// exhausted (callers must degrade with a reasoned rejection, never UB).
+  template <typename... Args>
+  [[nodiscard]] std::uint32_t acquire_index(Args&&... args) {
+    if (free_.empty()) return npos;
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    try {
+      ::new (static_cast<void*>(ptr(index))) T(std::forward<Args>(args)...);
+    } catch (...) {
+      free_.push_back(index);
+      throw;
+    }
+    live_[index] = 1;
+    return index;
+  }
+
+  /// Destroy the slot and return it to the freelist.
+  void release_index(std::uint32_t index) {
+    ptr(index)->~T();
+    live_[index] = 0;
+    free_.push_back(index);
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t index) { return *ptr(index); }
+  [[nodiscard]] const T& operator[](std::uint32_t index) const {
+    return *ptr(index);
+  }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char bytes[sizeof(T)];
+  };
+
+  [[nodiscard]] T* ptr(std::size_t index) noexcept {
+    return std::launder(reinterpret_cast<T*>(storage_[index].bytes));
+  }
+  [[nodiscard]] const T* ptr(std::size_t index) const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_[index].bytes));
+  }
+
+  Slot* storage_;
+  std::size_t capacity_;
+  std::vector<std::uint8_t> live_;  ///< destructor cleanup map
+  std::vector<std::uint32_t> free_;
+};
+
+/// Fixed-capacity FIFO ring. push returns false when full (the caller's
+/// admission-control signal) and pop returns false when empty; neither ever
+/// allocates after construction. Not internally synchronized: the matcher
+/// service fills queues in its single-threaded ingest phase and drains each
+/// shard's queue from exactly one worker.
+template <typename T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::size_t capacity) : buf_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool pop(T& out) {
+    if (empty()) return false;
+    out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rups::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace rups::util {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Non-owning callable reference: one void* plus a trampoline function
+/// pointer, so passing a lambda into a blocking call (parallel_for) never
+/// heap-allocates the way constructing a std::function can. The referenced
+/// callable must outlive every invocation — fine for blocking APIs, wrong
+/// for anything that stores the ref past the call.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace rups::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace rups::util {
 
@@ -8,6 +9,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  ring_.resize(std::max<std::size_t>(256, threads * 8));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -23,48 +25,63 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
-  auto fut = pt.get_future();
-  {
-    std::lock_guard lock(mutex_);
-    tasks_.push(std::move(pt));
-  }
-  cv_.notify_one();
-  return fut;
-}
-
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+                              FunctionRef<void(std::size_t)> fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()));
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  const std::size_t live = (n + chunk - 1) / chunk;  // non-empty chunks
 
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
+  struct ChunkTask {
+    std::size_t lo;
+    std::size_t hi;
+    FunctionRef<void(std::size_t)> fn;
+    void operator()() {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  static_assert(sizeof(ChunkTask) <= kInlineBytes &&
+                std::is_nothrow_move_constructible_v<ChunkTask>);
+
+  std::vector<std::future<void>> joins;
+  joins.reserve(live);
+  for (std::size_t c = 0; c < live; ++c) {
     const std::size_t lo = begin + c * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    joins.push_back(submit(ChunkTask{lo, hi, fn}));
   }
-  for (auto& f : futs) f.get();
+
+  // Wait for every chunk even if an early one threw: tasks reference fn on
+  // this stack frame, so returning before the pool drains them is UB.
+  std::exception_ptr error;
+  for (auto& join : joins) {
+    try {
+      join.get();
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    TaskSlot local;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return stop_ || count_ > 0; });
+      if (count_ == 0) return;  // stop_ set and queue drained
+      TaskSlot& slot = ring_[head_];
+      slot.relocate(local.storage, slot.storage);
+      local.invoke = slot.invoke;
+      slot.invoke = nullptr;
+      slot.relocate = nullptr;
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
     }
-    task();
+    cv_space_.notify_one();
+    local.invoke(local.storage);
   }
 }
 

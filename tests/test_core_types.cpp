@@ -109,5 +109,48 @@ TEST(ContextTrajectory, MutablePowerRetrofill) {
   EXPECT_FLOAT_EQ(traj.power(0).at(1), -55.0f);
 }
 
+TEST(PowerVector, ResetRecyclesToAllMissing) {
+  PowerVector pv(3);
+  pv.set(0, -60.0f);
+  pv.set(2, -70.0f, ChannelState::kInterpolated);
+  pv.reset();
+  EXPECT_EQ(pv.channels(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_FALSE(pv.usable(c));
+    EXPECT_EQ(pv.state(c), ChannelState::kMissing);
+  }
+  // A reset vector behaves like a fresh one.
+  pv.set(1, -50.0f);
+  EXPECT_TRUE(pv.usable(1));
+  EXPECT_FLOAT_EQ(pv.at(1), -50.0f);
+}
+
+TEST(ContextTrajectory, AppendEvictReturnsDisplacedBuffer) {
+  ContextTrajectory traj(2, 3);
+  // Below capacity: nothing is displaced; the returned vector is empty-width.
+  for (int i = 0; i < 3; ++i) {
+    PowerVector pv(2);
+    pv.set(0, static_cast<float>(-60 - i));
+    const PowerVector evicted =
+        traj.append_evict(GeoSample{0.0, static_cast<double>(i)},
+                          std::move(pv));
+    EXPECT_EQ(evicted.channels(), 0u);
+  }
+  // At capacity: the oldest metre's vector comes back (content intact —
+  // callers recycle it by copy-assigning the next sample over it).
+  PowerVector pv(2);
+  pv.set(0, -70.0f);
+  PowerVector evicted = traj.append_evict(GeoSample{0.0, 3.0}, std::move(pv));
+  EXPECT_EQ(evicted.channels(), 2u);
+  EXPECT_FLOAT_EQ(evicted.at(0), -60.0f);
+  EXPECT_EQ(traj.size(), 3u);
+  EXPECT_FLOAT_EQ(traj.power(2).at(0), -70.0f);
+  EXPECT_FLOAT_EQ(traj.power(0).at(0), -61.0f);
+  // reset() makes the recycled buffer indistinguishable from a fresh one.
+  evicted.reset();
+  EXPECT_FALSE(evicted.usable(0));
+  EXPECT_EQ(evicted.channels(), 2u);
+}
+
 }  // namespace
 }  // namespace rups::core

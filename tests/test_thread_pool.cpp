@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -76,6 +77,59 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                                    if (i == 50) throw std::runtime_error("x");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, OversizedCallableTakesBoxedPath) {
+  // Callables beyond the inline task-slot buffer fall back to a heap box;
+  // results and exception plumbing must be identical.
+  ThreadPool pool(2);
+  std::array<char, 256> payload{};
+  payload.fill(7);
+  std::atomic<int> sum{0};
+  auto fut = pool.submit([payload, &sum] {
+    int s = 0;
+    for (const char c : payload) s += c;
+    sum.store(s);
+  });
+  fut.get();
+  EXPECT_EQ(sum.load(), 256 * 7);
+
+  auto thrower = pool.submit([payload] {
+    (void)payload;
+    throw std::runtime_error("boxed boom");
+  });
+  EXPECT_THROW(thrower.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RingBackpressureBlocksUntilSpaceThenRunsEverything) {
+  // Many more tasks than ring slots: submit() must block (not drop, not
+  // grow) until workers free slots, and every task must still run.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 5000);
+}
+
+TEST(ThreadPool, ParallelForRunsAllChunksEvenWhenOneThrows) {
+  // The join must wait for every chunk before rethrowing — the chunk
+  // callbacks reference the caller's stack frame. Throwing at the global
+  // last index means every index was visited despite the exception.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  try {
+    pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == hits.size() - 1) throw std::runtime_error("last item");
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error&) {
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, SizeDefaultsToHardware) {
