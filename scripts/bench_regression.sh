@@ -56,20 +56,28 @@
 #     (health.latency_p99_us, latency-rule health.alerts,
 #     log.suppressed) are excluded; the scaling/zero-alloc floors are
 #     enforced by the service_scaling_gate ctest, not here.
+# 10. bench_stream replays the seeded per-metre streaming campaign and
+#     its round baseline through every profile (fixed size, serial,
+#     RUPS_BENCH_SCALE ignored): stream.* protocol counters and the
+#     per-profile bytes/accuracy/staleness gauges are exact functions of
+#     the seeded drive — counters diffed at 2%, gauges at 5%. The
+#     wall-clock stream.update_us histogram is excluded
+#     (--skip-histograms); the efficiency floors themselves are enforced
+#     by the stream_efficiency_gate ctest, not here.
 #
 # Usage:
 #   bench_regression.sh <bench_compute_cost> <bench_comm_cost> \
 #                       <bench_fleet_scaling> <bench_syn_kernel> \
 #                       <bench_fault_sweep> <bench_telemetry> \
 #                       <bench_profile> <bench_service_scaling> \
-#                       <obs_diff> <baseline.json> <workdir>
+#                       <bench_stream> <obs_diff> <baseline.json> <workdir>
 set -eu
 
-if [[ $# -ne 11 ]]; then
+if [[ $# -ne 12 ]]; then
   echo "usage: bench_regression.sh <bench_compute_cost> <bench_comm_cost>" \
        "<bench_fleet_scaling> <bench_syn_kernel> <bench_fault_sweep>" \
        "<bench_telemetry> <bench_profile> <bench_service_scaling>" \
-       "<obs_diff> <baseline.json> <workdir>" >&2
+       "<bench_stream> <obs_diff> <baseline.json> <workdir>" >&2
   exit 2
 fi
 
@@ -81,14 +89,15 @@ fault_bin=$(realpath "$5")
 telemetry_bin=$(realpath "$6")
 profile_bin=$(realpath "$7")
 service_bin=$(realpath "$8")
-obs_diff_bin=$(realpath "$9")
-baseline=$(realpath "${10}")
-workdir="${11}"
+stream_bin=$(realpath "$9")
+obs_diff_bin=$(realpath "${10}")
+baseline=$(realpath "${11}")
+workdir="${12}"
 
 mkdir -p "$workdir"
 workdir=$(realpath "$workdir")
 
-echo "== pass 1/9: comm-cost counters (deterministic, tight) =="
+echo "== pass 1/10: comm-cost counters (deterministic, tight) =="
 comm_dir="$workdir/comm"
 rm -rf "$comm_dir"
 mkdir -p "$comm_dir"
@@ -98,7 +107,7 @@ mkdir -p "$comm_dir"
   "$baseline" "$comm_dir/bench_out/comm_cost_metrics.json"
 
 echo ""
-echo "== pass 2/9: compute-cost timings (noisy, one-sided 100%) =="
+echo "== pass 2/10: compute-cost timings (noisy, one-sided 100%) =="
 compute_dir="$workdir/compute"
 rm -rf "$compute_dir"
 mkdir -p "$compute_dir"
@@ -111,7 +120,7 @@ mkdir -p "$compute_dir"
   "$baseline" "$compute_dir/compute_bench.json"
 
 echo ""
-echo "== pass 3/9: fleet cache/batch counters (deterministic, tight) =="
+echo "== pass 3/10: fleet cache/batch counters (deterministic, tight) =="
 fleet_dir="$workdir/fleet"
 rm -rf "$fleet_dir"
 mkdir -p "$fleet_dir"
@@ -121,7 +130,7 @@ mkdir -p "$fleet_dir"
   "$baseline" "$fleet_dir/bench_out/fleet_scaling_metrics.json"
 
 echo ""
-echo "== pass 4/9: kernel sweep counters (tight) + timings (one-sided) =="
+echo "== pass 4/10: kernel sweep counters (tight) + timings (one-sided) =="
 kernel_dir="$workdir/kernel"
 rm -rf "$kernel_dir"
 mkdir -p "$kernel_dir"
@@ -135,7 +144,7 @@ mkdir -p "$kernel_dir"
   "$baseline" "$kernel_dir/bench_out/syn_kernel_metrics.json"
 
 echo ""
-echo "== pass 5/9: fault-sweep delivery counters + error gauges =="
+echo "== pass 5/10: fault-sweep delivery counters + error gauges =="
 fault_dir="$workdir/fault"
 rm -rf "$fault_dir"
 mkdir -p "$fault_dir"
@@ -146,7 +155,7 @@ mkdir -p "$fault_dir"
   "$baseline" "$fault_dir/bench_out/fault_sweep_metrics.json"
 
 echo ""
-echo "== pass 6/9: telemetry families + windowed series (deterministic) =="
+echo "== pass 6/10: telemetry families + windowed series (deterministic) =="
 telemetry_dir="$workdir/telemetry"
 rm -rf "$telemetry_dir"
 mkdir -p "$telemetry_dir"
@@ -159,7 +168,7 @@ mkdir -p "$telemetry_dir"
   "$baseline" "$telemetry_dir/bench_out/telemetry_metrics.json"
 
 echo ""
-echo "== pass 7/9: allocation census + ratchet gauges (deterministic) =="
+echo "== pass 7/10: allocation census + ratchet gauges (deterministic) =="
 profile_dir="$workdir/profile"
 rm -rf "$profile_dir"
 mkdir -p "$profile_dir"
@@ -172,7 +181,7 @@ mkdir -p "$profile_dir"
   "$baseline" "$profile_dir/bench_out/profile_metrics.json"
 
 echo ""
-echo "== pass 8/9: quantized kernel accuracy counters + timings =="
+echo "== pass 8/10: quantized kernel accuracy counters + timings =="
 quant_dir="$workdir/quant"
 rm -rf "$quant_dir"
 mkdir -p "$quant_dir"
@@ -190,7 +199,7 @@ mkdir -p "$quant_dir"
   "$baseline" "$quant_dir/bench_out/syn_quant_metrics.json"
 
 echo ""
-echo "== pass 9/9: sharded service admission/queue counters (tight) =="
+echo "== pass 9/10: sharded service admission/queue counters (tight) =="
 service_dir="$workdir/service"
 rm -rf "$service_dir"
 mkdir -p "$service_dir"
@@ -201,6 +210,18 @@ mkdir -p "$service_dir"
   --ignore health.alerts \
   --skip-histograms --skip-benchmarks \
   "$baseline" "$service_dir/bench_out/service_scaling_metrics.json"
+
+echo ""
+echo "== pass 10/10: streaming protocol counters + efficiency gauges =="
+stream_dir="$workdir/stream"
+rm -rf "$stream_dir"
+mkdir -p "$stream_dir"
+(cd "$stream_dir" && "$stream_bin" > bench_stream.log)
+"$obs_diff_bin" --section stream_metrics \
+  --counter-tol 0.02 --gauge-tol 0.05 \
+  --ignore log.suppressed --ignore health.latency_p99_us \
+  --skip-histograms --skip-benchmarks \
+  "$baseline" "$stream_dir/bench_out/stream_metrics.json"
 
 echo ""
 echo "bench regression gate: PASS"

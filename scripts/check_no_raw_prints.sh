@@ -28,7 +28,7 @@ allowlist=(
   bench_ablation_window.cpp bench_ablation_field_scales.cpp
   bench_ablation_gap.cpp bench_ext_multiband.cpp bench_fleet_scaling.cpp
   bench_fault_sweep.cpp bench_telemetry.cpp bench_profile.cpp
-  bench_service_scaling.cpp
+  bench_service_scaling.cpp bench_stream.cpp
   bench_common.hpp bench_campaign.hpp
   # example CLIs / demos
   quickstart.cpp convoy_tracking.cpp rush_hour.cpp gsm_survey.cpp

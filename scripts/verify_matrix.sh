@@ -27,11 +27,13 @@
 #     accounting assertions in this lane. The sharded matcher service
 #     suites (arena slot recycling, ticket-table indexing, bounded-ring
 #     queue arithmetic) run here too.
-#  3. tsan — ThreadSanitizer over the shard-concurrency suite and the
-#     thread-pool tests: pooled drains slice shards across workers every
-#     round, so any cross-shard sharing that is not actually
-#     private-per-shard (arena slots, ticket table, metric handles,
-#     queue internals) surfaces as a data race.
+#  3. tsan — ThreadSanitizer over the shard-concurrency suite, the
+#     thread-pool tests and the pooled streaming-determinism suite:
+#     pooled drains slice shards (and streaming updates slice
+#     neighbours) across workers every round, so any cross-shard or
+#     cross-neighbour sharing that is not actually private (arena
+#     slots, ticket table, metric handles, queue internals) surfaces
+#     as a data race.
 #
 # Usage: scripts/verify_matrix.sh [jobs]   (default: 2)
 set -eu
@@ -56,6 +58,8 @@ cmake --build --preset asan-ubsan -j"$jobs" --target \
   test_wsm_faults test_exchange_degraded \
   test_profiler test_alloc test_expo test_ops_shutdown \
   test_service test_service_concurrency \
+  test_service_churn test_stream_recovery test_stream_determinism \
+  test_packed_stream \
   trace_tool rups_exporterd
 
 echo ""
@@ -68,7 +72,9 @@ for bin in test_obs test_obs_disabled test_obs_recorder test_obs_health \
            test_quant_kernel test_quant_fuzz \
            test_wsm_faults test_exchange_degraded \
            test_profiler test_alloc test_expo test_ops_shutdown \
-           test_service test_service_concurrency; do
+           test_service test_service_concurrency \
+           test_service_churn test_stream_recovery test_stream_determinism \
+           test_packed_stream; do
   echo "-- $bin"
   "build-asan/tests/$bin"
 done
@@ -93,11 +99,12 @@ echo ""
 echo "== tsan: configure + build shard-concurrency surfaces =="
 cmake --preset tsan
 cmake --build --preset tsan -j"$jobs" --target \
-  test_service_concurrency test_thread_pool
+  test_service_concurrency test_thread_pool test_stream_determinism
 
 echo ""
 echo "== tsan: run sanitized binaries =="
-for bin in test_thread_pool test_service_concurrency; do
+for bin in test_thread_pool test_service_concurrency \
+           test_stream_determinism; do
   echo "-- $bin"
   "build-tsan/tests/$bin"
 done

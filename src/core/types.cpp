@@ -83,17 +83,24 @@ bool ContextTrajectory::splice_tail(const ContextTrajectory& tail) {
   if (tail.channels() != channels_) return false;
   if (tail.empty()) return true;
   if (empty()) {
-    // Adopt the tail wholesale; appends start the odometer at 0, so shift
-    // it to the tail's indexing afterwards (append() already advanced
-    // first_seq_ by any evictions).
+    // Adopt the tail wholesale. The retained window is the tail's newest
+    // min(size, capacity) entries, so entry 0 sits at the tail's indexing
+    // plus whatever the appends evicted. Computed absolutely — NOT by
+    // adding to the previous first_seq_: an empty trajectory may still
+    // carry a non-zero odometer base (rebase(), or a fully-evicted cache),
+    // and accumulating on top of it would desynchronize every subsequent
+    // metre index.
     for (std::size_t i = 0; i < tail.size(); ++i) {
       append(tail.geo(i), tail.power(i));
     }
-    first_seq_ += tail.first_metre();
+    first_seq_ = tail.first_metre() + (tail.size() - size());
     return true;
   }
   const std::uint64_t next = first_seq_ + size();
   if (tail.first_metre() > next) return false;  // gap — cannot splice
+  // Overlapping metres keep our copies, so a duplicate tail re-delivered
+  // after channel reorder appends nothing: the loop below only touches
+  // metres at or beyond `next`, in consecutive order.
   for (std::size_t i = 0; i < tail.size(); ++i) {
     const std::uint64_t metre = tail.first_metre() + i;
     if (metre < next) continue;  // overlap: keep our copy

@@ -120,41 +120,6 @@ double CampaignResult::rups_availability() const {
   return static_cast<double>(hits) / static_cast<double>(queries.size());
 }
 
-V2vReceiver::V2vReceiver(std::size_t channels, std::size_t capacity_m)
-    : received(std::max<std::size_t>(1, channels),
-               std::max<std::size_t>(1, capacity_m)) {}
-
-bool V2vReceiver::ingest(const v2v::ExchangeResult& result,
-                         bool full_exchange) {
-  if (!result.usable()) {
-    // Nothing decodable arrived. A failed tail keeps the watermark, so the
-    // next round re-requests the same metres; a failed full just retries.
-    if (full_exchange) have_full = false;
-    return false;
-  }
-  const std::size_t before = received.size();
-  if (!received.splice_tail(result.trajectory)) {
-    if (full_exchange) {
-      // A salvaged full transfer may not connect to the stale cache (e.g.
-      // the prefix was lost); the full payload is authoritative, so start
-      // over from the decoded region.
-      received = core::ContextTrajectory(received.channels(),
-                                         received.capacity_m());
-      (void)received.splice_tail(result.trajectory);
-    } else {
-      // Gap between the cache and a (possibly salvaged) tail: force a full
-      // re-transfer next round rather than splicing a hole.
-      have_full = false;
-      return false;
-    }
-  }
-  have_full = !received.empty();
-  if (!received.empty()) {
-    synced_metre = received.first_metre() + received.size();
-  }
-  return received.size() != before || full_exchange;
-}
-
 CampaignResult run_campaign(ConvoySimulation& sim,
                             const CampaignConfig& config,
                             util::ThreadPool* pool) {

@@ -8,6 +8,7 @@
 #include "obs/timeseries.hpp"
 #include "sim/convoy_sim.hpp"
 #include "v2v/exchange.hpp"
+#include "v2v/receiver.hpp"
 
 namespace rups::sim {
 
@@ -82,24 +83,10 @@ struct CampaignResult {
   [[nodiscard]] double rups_availability() const;
 };
 
-/// Receiver-side view of one neighbour's trajectory, maintained across
-/// exchanges: splices delivered/degraded updates onto a cached copy,
-/// tracks the sync watermark, and falls back to a full transfer when a
-/// failed exchange leaves a gap. Shared by run_campaign and FleetSimulation.
-struct V2vReceiver {
-  core::ContextTrajectory received;
-  std::uint64_t synced_metre = 0;
-  /// False until a usable full context arrived (or after a gap forced a
-  /// re-transfer); drives the full-vs-tail decision.
-  bool have_full = false;
-
-  V2vReceiver(std::size_t channels, std::size_t capacity_m);
-
-  /// Fold one exchange outcome into the cached copy. `full_exchange` says
-  /// whether the sender encoded its whole context (vs a tail update).
-  /// Returns true when the cached copy gained metres.
-  bool ingest(const v2v::ExchangeResult& result, bool full_exchange);
-};
+/// Receiver-side exchange bookkeeping now lives in the v2v layer
+/// (v2v/receiver.hpp) so the streaming stack can reuse it; the sim-side
+/// name is kept as an alias for run_campaign / FleetSimulation users.
+using V2vReceiver = v2v::V2vReceiver;
 
 /// Run the campaign: rear vehicle (index 1) queries the front (index 0).
 [[nodiscard]] CampaignResult run_campaign(ConvoySimulation& sim,

@@ -1,0 +1,285 @@
+#include "sim/stream_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/fleet.hpp"
+#include "v2v/receiver.hpp"
+
+namespace rups::sim {
+namespace {
+
+[[nodiscard]] double sorted_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+/// Force the engine geometry onto the city workload's.
+[[nodiscard]] StreamCampaignConfig normalized(StreamCampaignConfig cfg) {
+  cfg.stream.fleet.rups.channels = cfg.city.channels;
+  cfg.stream.fleet.rups.context_capacity_m = cfg.city.context_capacity_m;
+  cfg.neighbours = std::max<std::size_t>(1, cfg.neighbours);
+  return cfg;
+}
+
+}  // namespace
+
+double StreamCampaignResult::mean_error() const {
+  if (errors.empty()) return 0.0;
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  return sum / static_cast<double>(errors.size());
+}
+
+double StreamCampaignResult::staleness_quantile(double q) const {
+  return sorted_quantile(staleness_s, q);
+}
+
+StreamCampaignResult run_stream_campaign(const StreamCampaignConfig& config,
+                                         util::ThreadPool* pool) {
+  const StreamCampaignConfig cfg = normalized(config);
+  CityFleet city(cfg.city);
+  const std::size_t k = std::min(cfg.neighbours, city.vehicle_count() - 1);
+
+  stream::StreamingEngine engine(cfg.stream);
+  v2v::DsrcLink link(cfg.link_seed);
+  std::vector<std::unique_ptr<v2v::FaultyChannel>> channels;
+  for (std::size_t i = 1; i <= k; ++i) {
+    if (cfg.ideal) {
+      engine.add_neighbour(city.vehicle_id(i));
+    } else {
+      channels.push_back(std::make_unique<v2v::FaultyChannel>(
+          cfg.fault_seed + i, cfg.fault));
+      engine.add_neighbour(city.vehicle_id(i), &link, channels.back().get());
+    }
+  }
+
+  // Vehicle-owned live contexts: 0 = ego, 1..k = the streaming senders.
+  std::vector<core::ContextTrajectory> trajs;
+  trajs.reserve(k + 1);
+  for (std::size_t i = 0; i <= k; ++i) {
+    trajs.emplace_back(cfg.city.channels, cfg.city.context_capacity_m);
+  }
+  std::vector<const core::ContextTrajectory*> senders;
+  for (std::size_t i = 1; i <= k; ++i) senders.push_back(&trajs[i]);
+  std::vector<double> last_pos(k + 1, 0.0);
+
+  obs::TimeSeriesCollector collector(cfg.series);
+  collector.begin(0.0);
+  for (std::size_t i = 1; i <= k; ++i) collector.track(city.vehicle_id(i));
+
+  StreamCampaignResult result;
+  std::vector<double> last_estimate_s(k + 1, 0.0);
+  bool accounting = false;
+  double t = 0.0;
+
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    city.advance_round();
+    if (!accounting && r >= cfg.warmup_rounds) {
+      // Staleness clocks start when accounting does.
+      for (std::size_t i = 1; i <= k; ++i) last_estimate_s[i] = t;
+      accounting = true;
+    }
+    std::size_t max_steps = 0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      max_steps = std::max(max_steps, city.samples(i).size());
+    }
+    for (std::size_t s = 0; s < max_steps; ++s) {
+      for (std::size_t i = 0; i <= k; ++i) {
+        const auto& batch = city.samples(i);
+        if (s < batch.size()) {
+          trajs[i].append(batch[s].geo, batch[s].power);
+          last_pos[i] = batch[s].position_m;
+        }
+      }
+      t = (static_cast<double>(r) +
+           static_cast<double>(s + 1) / static_cast<double>(max_steps)) *
+          cfg.city.interval_s;
+      collector.observe(t);
+
+      const auto& update = engine.update(
+          trajs[0],
+          std::span<const core::ContextTrajectory* const>(senders.data(),
+                                                          senders.size()),
+          pool);
+      ++result.updates;
+      for (std::size_t j = 0; j < update.ids.size(); ++j) {
+        const auto& nr = update.results[j];
+        if (!nr.estimate.has_value()) continue;
+        ++result.estimates;
+        const std::size_t i = update.ids[j] - city.vehicle_id(0);
+        collector.note_estimate(update.ids[j], t);
+        last_estimate_s[i] = t;
+        if (accounting) {
+          result.errors.push_back(
+              std::abs(nr.estimate->distance_m - (last_pos[0] - last_pos[i])));
+        }
+      }
+      if (accounting) {
+        for (std::size_t i = 1; i <= k; ++i) {
+          result.staleness_s.push_back(t - last_estimate_s[i]);
+        }
+      }
+    }
+  }
+
+  result.bytes = engine.total_beacon_bytes();
+  result.bytes_per_estimate =
+      result.estimates > 0
+          ? static_cast<double>(result.bytes) /
+                static_cast<double>(result.estimates)
+          : 0.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    if (const stream::BeaconStats* s =
+            engine.beacon_stats(city.vehicle_id(i))) {
+      result.beacons.beacons += s->beacons;
+      result.beacons.diffs += s->diffs;
+      result.beacons.no_news += s->no_news;
+      result.beacons.rerequests += s->rerequests;
+      result.beacons.resyncs += s->resyncs;
+      result.beacons.metres_gained += s->metres_gained;
+    }
+  }
+  result.series = collector.finish(t);
+  return result;
+}
+
+StreamCampaignResult run_batch_campaign(const StreamCampaignConfig& config,
+                                        util::ThreadPool* pool) {
+  const StreamCampaignConfig cfg = normalized(config);
+  CityFleet city(cfg.city);
+  const std::size_t k = std::min(cfg.neighbours, city.vehicle_count() - 1);
+
+  core::FleetEngine fleet(cfg.stream.fleet);
+  v2v::DsrcLink link(cfg.link_seed);
+  std::vector<std::unique_ptr<v2v::FaultyChannel>> channels;
+  std::vector<std::unique_ptr<v2v::ExchangeSession>> sessions;
+  std::vector<v2v::V2vReceiver> receivers;
+  for (std::size_t i = 1; i <= k; ++i) {
+    if (!cfg.ideal) {
+      channels.push_back(std::make_unique<v2v::FaultyChannel>(
+          cfg.fault_seed + i, cfg.fault));
+      sessions.push_back(std::make_unique<v2v::ExchangeSession>(
+          &link, channels.back().get(), cfg.stream.beacon.exchange));
+    }
+    receivers.emplace_back(cfg.city.channels, cfg.city.context_capacity_m);
+  }
+
+  std::vector<core::ContextTrajectory> trajs;
+  for (std::size_t i = 0; i <= k; ++i) {
+    trajs.emplace_back(cfg.city.channels, cfg.city.context_capacity_m);
+  }
+  std::vector<double> last_pos(k + 1, 0.0);
+
+  obs::TimeSeriesCollector collector(cfg.series);
+  collector.begin(0.0);
+  for (std::size_t i = 1; i <= k; ++i) collector.track(city.vehicle_id(i));
+
+  StreamCampaignResult result;
+  std::vector<double> last_estimate_s(k + 1, 0.0);
+  std::vector<const core::ContextTrajectory*> views(k, nullptr);
+  std::vector<std::uint64_t> ids(k, 0);
+  std::vector<core::FleetEngine::NeighbourResult> results;
+  bool accounting = false;
+  double t = 0.0;
+
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    city.advance_round();
+    if (!accounting && r >= cfg.warmup_rounds) {
+      for (std::size_t i = 1; i <= k; ++i) last_estimate_s[i] = t;
+      accounting = true;
+    }
+    std::size_t max_steps = 0;
+    for (std::size_t i = 0; i <= k; ++i) {
+      max_steps = std::max(max_steps, city.samples(i).size());
+    }
+    // Context lands per metre exactly like the streaming drive; only the
+    // EXCHANGE + estimate happen once per round. Staleness is sampled at
+    // the shared per-metre cadence so quantiles are comparable.
+    for (std::size_t s = 0; s < max_steps; ++s) {
+      for (std::size_t i = 0; i <= k; ++i) {
+        const auto& batch = city.samples(i);
+        if (s < batch.size()) {
+          trajs[i].append(batch[s].geo, batch[s].power);
+          last_pos[i] = batch[s].position_m;
+        }
+      }
+      t = (static_cast<double>(r) +
+           static_cast<double>(s + 1) / static_cast<double>(max_steps)) *
+          cfg.city.interval_s;
+      collector.observe(t);
+      if (accounting && s + 1 < max_steps) {
+        for (std::size_t i = 1; i <= k; ++i) {
+          result.staleness_s.push_back(t - last_estimate_s[i]);
+        }
+      }
+    }
+
+    // Round exchange: full until a usable context is cached, then tails
+    // from the receiver watermark (the PR 5 campaign protocol).
+    std::size_t batch_n = 0;
+    for (std::size_t i = 1; i <= k; ++i) {
+      v2v::V2vReceiver& recv = receivers[i - 1];
+      if (cfg.ideal) {
+        views[batch_n] = &trajs[i];
+        ids[batch_n] = city.vehicle_id(i);
+        ++batch_n;
+        continue;
+      }
+      v2v::ExchangeSession& session = *sessions[i - 1];
+      const bool full = !recv.have_full;
+      const v2v::ExchangeResult ex =
+          full ? session.exchange_full(trajs[i])
+               : session.exchange_tail(trajs[i], recv.synced_metre);
+      (void)recv.ingest(ex, full);
+      if (!recv.received.empty()) {
+        views[batch_n] = &recv.received;
+        ids[batch_n] = city.vehicle_id(i);
+        ++batch_n;
+      }
+    }
+    ++result.updates;
+    if (batch_n > 0) {
+      fleet.estimate_batch_into(
+          trajs[0],
+          std::span<const core::ContextTrajectory* const>(views.data(),
+                                                          batch_n),
+          std::span<const std::uint64_t>(ids.data(), batch_n), pool,
+          results);
+      for (std::size_t j = 0; j < batch_n; ++j) {
+        if (!results[j].estimate.has_value()) continue;
+        ++result.estimates;
+        const std::size_t i = ids[j] - city.vehicle_id(0);
+        collector.note_estimate(ids[j], t);
+        last_estimate_s[i] = t;
+        if (accounting) {
+          result.errors.push_back(std::abs(results[j].estimate->distance_m -
+                                           (last_pos[0] - last_pos[i])));
+        }
+      }
+    }
+    if (accounting) {
+      for (std::size_t i = 1; i <= k; ++i) {
+        result.staleness_s.push_back(t - last_estimate_s[i]);
+      }
+    }
+  }
+
+  for (const auto& session : sessions) result.bytes += session->total_bytes();
+  result.bytes_per_estimate =
+      result.estimates > 0
+          ? static_cast<double>(result.bytes) /
+                static_cast<double>(result.estimates)
+          : 0.0;
+  result.series = collector.finish(t);
+  return result;
+}
+
+}  // namespace rups::sim

@@ -85,6 +85,10 @@ class FaultyChannel {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  /// Swap the impairment profile mid-session (fault scripting: outage →
+  /// recovery scenarios). Chain state and the reorder delay-line persist
+  /// across the swap, like driving out of a tunnel mid-fade.
+  void set_config(FaultConfig config) noexcept { config_ = config; }
 
  private:
   /// One loss coin, advancing the Gilbert-Elliott chain when enabled.

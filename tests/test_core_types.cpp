@@ -152,5 +152,128 @@ TEST(ContextTrajectory, AppendEvictReturnsDisplacedBuffer) {
   EXPECT_EQ(evicted.channels(), 2u);
 }
 
+// --- splice_tail: beacon-diff redelivery semantics -------------------------
+//
+// The streaming beacon protocol re-delivers tails after channel reorder and
+// duplication, so splice_tail must be idempotent under overlap and must keep
+// first_seq_ consistent with absolute odometer metres in every adopt path.
+
+namespace {
+
+/// Tail [first, first + n) with a recognisable per-metre value.
+ContextTrajectory make_tail(std::size_t channels, std::size_t capacity,
+                            std::uint64_t first, std::size_t n) {
+  ContextTrajectory tail(channels, capacity);
+  for (std::size_t i = 0; i < n; ++i) {
+    PowerVector pv(channels);
+    pv.set(0, static_cast<float>(-(100.0 + static_cast<double>(first + i))));
+    tail.append(GeoSample{0.0, static_cast<double>(first + i)}, std::move(pv));
+  }
+  tail.rebase(first);
+  return tail;
+}
+
+/// Trajectory metre-for-metre equal (geo time, power ch0, indexing)?
+void expect_same(const ContextTrajectory& a, const ContextTrajectory& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.first_metre(), b.first_metre());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.geo(i).time_s, b.geo(i).time_s) << "metre " << i;
+    EXPECT_FLOAT_EQ(a.power(i).at(0), b.power(i).at(0)) << "metre " << i;
+  }
+}
+
+}  // namespace
+
+TEST(SpliceTail, DuplicateRedeliveryIsIdempotent) {
+  ContextTrajectory cache(2, 100);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 0, 20)));
+  const ContextTrajectory tail = make_tail(2, 100, 12, 8);
+  ASSERT_TRUE(cache.splice_tail(tail));  // fully-overlapping duplicate
+  EXPECT_EQ(cache.size(), 20u);
+  EXPECT_EQ(cache.first_metre(), 0u);
+  ASSERT_TRUE(cache.splice_tail(tail));  // re-delivered again
+  EXPECT_EQ(cache.size(), 20u);
+  expect_same(cache, make_tail(2, 100, 0, 20));
+}
+
+TEST(SpliceTail, OverlappingTailKeepsOursAppendsRest) {
+  ContextTrajectory cache(2, 100);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 0, 10)));
+  // Mark our copy of metre 8 so we can prove the overlap kept it.
+  cache.mutable_power(8).set(1, -42.0f);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 6, 10)));  // [6, 16)
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.first_metre(), 0u);
+  EXPECT_FLOAT_EQ(cache.power(8).at(1), -42.0f);  // ours survived
+  EXPECT_FLOAT_EQ(cache.power(15).at(0), -115.0f);
+}
+
+TEST(SpliceTail, GapRejectsAndLeavesCacheUntouched) {
+  ContextTrajectory cache(2, 100);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 0, 10)));
+  EXPECT_FALSE(cache.splice_tail(make_tail(2, 100, 11, 5)));  // hole at 10
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_EQ(cache.first_metre(), 0u);
+}
+
+TEST(SpliceTail, AdoptIntoEmptyTakesTailIndexing) {
+  ContextTrajectory cache(2, 100);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 500, 10)));
+  EXPECT_EQ(cache.first_metre(), 500u);
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_DOUBLE_EQ(cache.end_distance_m(), 509.0);
+}
+
+TEST(SpliceTail, AdoptIntoEmptyOversizedTailKeepsNewestWindow) {
+  ContextTrajectory cache(2, 8);  // capacity below the tail length
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 40, 20)));  // [40, 60)
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.first_metre(), 52u);  // newest 8 of [40, 60)
+  EXPECT_FLOAT_EQ(cache.power(0).at(0), -152.0f);
+  EXPECT_FLOAT_EQ(cache.power(7).at(0), -159.0f);
+}
+
+// Regression: an EMPTY trajectory with a non-zero odometer base (rebase(),
+// the codec's receiver-side reconstruction path) adopted a tail by ADDING
+// the tail's first metre to the stale base instead of replacing it,
+// desynchronizing first_seq_ — every later distance_at/contains_metre and
+// watermark computed from the splice was shifted by the stale base.
+TEST(SpliceTail, AdoptIntoRebasedEmptyDoesNotDoubleCountBase) {
+  ContextTrajectory cache(2, 100);
+  cache.rebase(300);  // empty but with a non-zero odometer base
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 500, 10)));
+  EXPECT_EQ(cache.first_metre(), 500u);  // was 800 before the fix
+  EXPECT_TRUE(cache.contains_metre(505));
+  EXPECT_DOUBLE_EQ(cache.end_distance_m(), 509.0);
+}
+
+TEST(SpliceTail, AtCapacityDuplicateThenExtension) {
+  ContextTrajectory cache(2, 10);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 0, 10)));  // full window
+  const ContextTrajectory dup = make_tail(2, 100, 4, 6);     // stale dup
+  ASSERT_TRUE(cache.splice_tail(dup));
+  EXPECT_EQ(cache.first_metre(), 0u);  // duplicate must not advance window
+  EXPECT_EQ(cache.size(), 10u);
+  // Extension past capacity advances the window exactly by the new metres.
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 8, 6)));  // [8, 14)
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_EQ(cache.first_metre(), 4u);
+  EXPECT_FLOAT_EQ(cache.power(9).at(0), -113.0f);
+}
+
+TEST(SpliceTail, ReorderedRedeliveryConvergesToInOrderResult) {
+  // Deliver tails out of order with duplicates, as the fault channel's
+  // reorder/duplicate impairments produce them; the cache must converge to
+  // the same window an in-order append stream yields.
+  ContextTrajectory cache(2, 12);
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 0, 8)));    // [0, 8)
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 6, 6)));    // [6, 12)
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 2, 4)));    // stale dup
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 6, 6)));    // dup again
+  ASSERT_TRUE(cache.splice_tail(make_tail(2, 100, 12, 4)));   // [12, 16)
+  expect_same(cache, make_tail(2, 12, 4, 12));
+}
+
 }  // namespace
 }  // namespace rups::core

@@ -1,0 +1,245 @@
+// Gap bookkeeping and recovery of the streaming V2V path: the
+// v2v::V2vReceiver watermark invariants under degraded outcomes, and the
+// stream::BeaconSession diff protocol under scripted fault profiles
+// (blackout -> recovery, gap bound -> full re-sync fallback).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "stream/beacon.hpp"
+#include "v2v/channel.hpp"
+#include "v2v/exchange.hpp"
+#include "v2v/link.hpp"
+#include "v2v/receiver.hpp"
+
+namespace rups {
+namespace {
+
+constexpr std::size_t kChannels = 12;
+constexpr std::size_t kCapacity = 200;
+
+[[nodiscard]] float value_at(std::uint64_t metre, std::size_t channel) {
+  return -90.0f + 0.5f * static_cast<float>(channel) +
+         3.0f * std::sin(0.21f * static_cast<float>(metre));
+}
+
+/// Grow `t` by `n` metres continuing from its current end.
+void grow(core::ContextTrajectory& t, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t metre = t.first_metre() + t.size();
+    core::PowerVector power(kChannels);
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      power.set(c, value_at(metre, c), core::ChannelState::kMeasured);
+    }
+    t.append(core::GeoSample{0.0, static_cast<double>(metre)},
+             std::move(power));
+  }
+}
+
+/// Trajectory covering [first, first + n).
+[[nodiscard]] core::ContextTrajectory make_region(std::uint64_t first,
+                                                  std::size_t n) {
+  core::ContextTrajectory t(kChannels, kCapacity);
+  t.rebase(first);
+  grow(t, n);
+  return t;
+}
+
+[[nodiscard]] v2v::ExchangeResult degraded(core::ContextTrajectory region) {
+  v2v::ExchangeResult result{std::move(region),
+                             {},
+                             v2v::ExchangeOutcome::kDegraded};
+  result.detail = "v2v.degraded.test";
+  return result;
+}
+
+[[nodiscard]] v2v::ExchangeResult delivered(core::ContextTrajectory region) {
+  return v2v::ExchangeResult{std::move(region), {},
+                             v2v::ExchangeOutcome::kDelivered};
+}
+
+/// Receiver holding a clean cache of [0, 100).
+[[nodiscard]] v2v::V2vReceiver synced_receiver() {
+  v2v::V2vReceiver recv(kChannels, kCapacity);
+  EXPECT_TRUE(recv.ingest(delivered(make_region(0, 100)), true));
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_TRUE(recv.have_full);
+  return recv;
+}
+
+TEST(V2vReceiverGap, BackToBackDegradedTailsKeepOriginalWatermark) {
+  v2v::V2vReceiver recv = synced_receiver();
+
+  // Two consecutive degraded tails whose salvaged region starts past the
+  // cache end (the requested prefix was lost). The cache cannot splice a
+  // gap, so each must keep BOTH the cache and the watermark — a second
+  // degraded outcome must re-request from the same metre as the first.
+  EXPECT_FALSE(recv.ingest(degraded(make_region(120, 30)), false));
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_FALSE(recv.have_full);
+
+  EXPECT_FALSE(recv.ingest(degraded(make_region(130, 30)), false));
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_EQ(recv.received.size(), 100u);
+}
+
+TEST(V2vReceiverGap, DegradedFullSalvageOlderThanCacheKeepsCache) {
+  v2v::V2vReceiver recv = synced_receiver();
+
+  // A full re-transfer degraded down to a salvaged region that ends BEFORE
+  // our cache does ([20,60) vs [0,100)). The overlap splice keeps every
+  // cached entry, so the watermark must NOT regress from 100 to 60 and the
+  // cache stays authoritative for a tail re-request from 100.
+  const double head_time = recv.received.geo(99).time_s;
+  (void)recv.ingest(degraded(make_region(20, 40)), true);
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_EQ(recv.received.size(), 100u);
+  EXPECT_EQ(recv.received.first_metre(), 0u);
+  EXPECT_EQ(recv.received.geo(99).time_s, head_time);  // ours kept, not theirs
+  EXPECT_TRUE(recv.have_full);
+
+  // And again: the bookkeeping is idempotent, not one-shot.
+  (void)recv.ingest(degraded(make_region(10, 50)), true);
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_EQ(recv.received.size(), 100u);
+}
+
+TEST(V2vReceiverGap, DegradedFullReachingPastCacheAdoptsRegion) {
+  v2v::V2vReceiver recv = synced_receiver();
+
+  // Salvaged full region that extends PAST the cache is authoritative for
+  // the newest metres even though it does not connect: adopt it.
+  EXPECT_TRUE(recv.ingest(degraded(make_region(120, 60)), true));
+  EXPECT_EQ(recv.synced_metre, 180u);
+  EXPECT_EQ(recv.received.first_metre(), 120u);
+  EXPECT_TRUE(recv.have_full);
+}
+
+TEST(V2vReceiverGap, FailedExchangesNeverMoveTheWatermark) {
+  v2v::V2vReceiver recv = synced_receiver();
+  const v2v::ExchangeResult failed{
+      core::ContextTrajectory(kChannels, kCapacity),
+      {},
+      v2v::ExchangeOutcome::kFailed};
+  EXPECT_FALSE(recv.ingest(failed, false));
+  EXPECT_EQ(recv.synced_metre, 100u);
+  EXPECT_TRUE(recv.have_full);  // a failed TAIL does not force a re-transfer
+  EXPECT_FALSE(recv.ingest(failed, true));
+  EXPECT_FALSE(recv.have_full);  // a failed FULL does
+  EXPECT_EQ(recv.synced_metre, 100u);
+}
+
+TEST(BeaconSession, CleanChannelDiffsAndHeartbeats) {
+  v2v::DsrcLink link(0x57AB1EULL);
+  v2v::FaultyChannel channel(0xFA151ULL, v2v::FaultConfig::clean());
+  stream::BeaconSession session(kChannels, kCapacity, &link, &channel);
+
+  core::ContextTrajectory sender(kChannels, kCapacity);
+  grow(sender, 40);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kResync);
+  EXPECT_EQ(session.watermark(), 40u);
+
+  grow(sender, 5);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kSynced);
+  EXPECT_EQ(session.watermark(), 45u);
+
+  // No growth: watermark-only heartbeat, no payload moved.
+  const std::size_t bytes_before = session.total_bytes();
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kNoNews);
+  EXPECT_EQ(session.total_bytes(),
+            bytes_before + stream::BeaconSession::kHeartbeatBytes);
+
+  const stream::BeaconStats& stats = session.stats();
+  EXPECT_EQ(stats.beacons, 3u);
+  EXPECT_EQ(stats.resyncs, 1u);
+  EXPECT_EQ(stats.diffs, 1u);
+  EXPECT_EQ(stats.no_news, 1u);
+  EXPECT_EQ(stats.rerequests, 0u);
+  EXPECT_EQ(stats.metres_gained, 45u);
+
+  // Codec quantization may perturb values, but the metre RANGE of the
+  // receiver-side view must mirror the sender exactly.
+  EXPECT_EQ(session.view().first_metre(), sender.first_metre());
+  EXPECT_EQ(session.view().size(), sender.size());
+}
+
+TEST(BeaconSession, BlackoutHoldsWatermarkThenRecovers) {
+  v2v::DsrcLink link(0x57AB1EULL);
+  v2v::FaultyChannel channel(0xFA151ULL, v2v::FaultConfig::clean());
+  stream::BeaconConfig cfg;
+  cfg.max_gap_rerequests = 5;
+  stream::BeaconSession session(kChannels, kCapacity, &link, &channel, cfg);
+
+  core::ContextTrajectory sender(kChannels, kCapacity);
+  grow(sender, 30);
+  ASSERT_EQ(session.beacon(sender), stream::BeaconOutcome::kResync);
+  ASSERT_EQ(session.watermark(), 30u);
+
+  // Total blackout: every beacon fails, the watermark must hold at 30.
+  channel.set_config(v2v::FaultConfig::iid(1.0));
+  grow(sender, 8);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kStale);
+  EXPECT_EQ(session.watermark(), 30u);
+  grow(sender, 8);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kStale);
+  EXPECT_EQ(session.watermark(), 30u);
+  EXPECT_EQ(session.stats().rerequests, 2u);
+
+  // Channel heals: ONE beacon catches the whole 16-metre backlog because
+  // the re-request still starts from the held watermark.
+  channel.set_config(v2v::FaultConfig::clean());
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kRecovered);
+  EXPECT_EQ(session.watermark(), 46u);
+  EXPECT_EQ(session.stats().metres_gained, 46u);
+  EXPECT_EQ(session.stats().resyncs, 1u);  // the gap healed WITHOUT a resync
+}
+
+TEST(BeaconSession, GapBoundForcesFullResync) {
+  v2v::DsrcLink link(0x57AB1EULL);
+  v2v::FaultyChannel channel(0xFA151ULL, v2v::FaultConfig::clean());
+  stream::BeaconConfig cfg;
+  cfg.max_gap_rerequests = 2;
+  stream::BeaconSession session(kChannels, kCapacity, &link, &channel, cfg);
+
+  core::ContextTrajectory sender(kChannels, kCapacity);
+  grow(sender, 30);
+  ASSERT_EQ(session.beacon(sender), stream::BeaconOutcome::kResync);
+
+  channel.set_config(v2v::FaultConfig::iid(1.0));
+  grow(sender, 4);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kStale);
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kStale);
+
+  // Two consecutive short rounds exhausted the re-request budget; the next
+  // beacon abandons diffing and re-ships the full context.
+  channel.set_config(v2v::FaultConfig::clean());
+  EXPECT_EQ(session.beacon(sender), stream::BeaconOutcome::kResync);
+  EXPECT_EQ(session.watermark(), 34u);
+  EXPECT_EQ(session.stats().resyncs, 2u);
+}
+
+TEST(BeaconSession, WatermarkIsMonotoneUnderUrbanFaults) {
+  v2v::DsrcLink link(0xD5ECULL);
+  v2v::FaultyChannel channel(0xFADEDULL, v2v::FaultConfig::urban());
+  stream::BeaconSession session(kChannels, kCapacity, &link, &channel);
+
+  core::ContextTrajectory sender(kChannels, kCapacity);
+  std::uint64_t watermark = 0;
+  for (int round = 0; round < 120; ++round) {
+    grow(sender, 3);
+    (void)session.beacon(sender);
+    EXPECT_GE(session.watermark(), watermark)
+        << "watermark regressed in round " << round;
+    watermark = session.watermark();
+  }
+  // The diff protocol keeps up with a 5%-loss urban channel: by the end the
+  // view is within one beacon of the sender.
+  EXPECT_GE(watermark, sender.first_metre() + sender.size() - 3);
+  EXPECT_GT(session.stats().diffs, 0u);
+}
+
+}  // namespace
+}  // namespace rups
